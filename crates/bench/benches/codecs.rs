@@ -1,0 +1,47 @@
+//! Codec micro-benchmarks: RLE, TRLE and bounding-interval encode/decode
+//! throughput on realistic partial-image rows (the `Tc` constant of the
+//! extended cost model).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rt_compress::CodecKind;
+use rt_imaging::pixel::{GrayAlpha8, Pixel};
+
+const N: usize = 1 << 15;
+
+/// A partial-image-like buffer: `blank_pct`% leading/trailing blank margin
+/// with varied gray content in the middle.
+fn partial_like(blank_pct: usize) -> Vec<GrayAlpha8> {
+    let blanks = N * blank_pct / 100 / 2;
+    let mut out = vec![GrayAlpha8::blank(); blanks];
+    for i in 0..(N - 2 * blanks) {
+        out.push(GrayAlpha8::new((37 + i * 31 % 200) as u8, 200));
+    }
+    out.resize(N, GrayAlpha8::blank());
+    out
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    for blank_pct in [0usize, 50, 90] {
+        let pixels = partial_like(blank_pct);
+        let mut group = c.benchmark_group(format!("codec_blank{blank_pct}"));
+        group.throughput(Throughput::Bytes((N * GrayAlpha8::BYTES) as u64));
+        for kind in CodecKind::ALL {
+            let codec = kind.build::<GrayAlpha8>();
+            group.bench_with_input(BenchmarkId::new("encode", kind.name()), &pixels, |b, px| {
+                b.iter(|| codec.encode(black_box(px)));
+            });
+            let enc = codec.encode(&pixels);
+            group.bench_with_input(
+                BenchmarkId::new("decode", kind.name()),
+                &enc.bytes,
+                |b, bytes| {
+                    b.iter(|| codec.decode(black_box(bytes), N).unwrap());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the `over` operator — the `To` constant of the
+//! paper's cost model, measured for every pixel type.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rt_imaging::pixel::{GrayAlpha, GrayAlpha8, Provenance, Rgba};
+use rt_imaging::{Image, Span};
+
+const N: usize = 1 << 16;
+
+fn bench_over(c: &mut Criterion) {
+    let mut group = c.benchmark_group("over");
+    group.throughput(Throughput::Elements(N as u64));
+
+    let front_f: Vec<GrayAlpha> = (0..N)
+        .map(|i| GrayAlpha::new(0.3 * (i % 7) as f32 / 7.0, 0.5))
+        .collect();
+    group.bench_function("gray_alpha_f32", |b| {
+        let mut img = Image::from_fn(N, 1, |x, _| GrayAlpha::new(0.1, 0.2 + (x % 3) as f32 * 0.1));
+        b.iter(|| {
+            img.over_front(Span::whole(N), black_box(&front_f)).unwrap();
+        });
+    });
+
+    let front_8: Vec<GrayAlpha8> = (0..N)
+        .map(|i| GrayAlpha8::new((i % 200) as u8, 128))
+        .collect();
+    group.bench_function("gray_alpha_u8", |b| {
+        let mut img = Image::from_fn(N, 1, |x, _| GrayAlpha8::new((x % 100) as u8, 99));
+        b.iter(|| {
+            img.over_front(Span::whole(N), black_box(&front_8)).unwrap();
+        });
+    });
+
+    let front_rgba: Vec<Rgba> = (0..N)
+        .map(|i| Rgba::new(0.2, 0.1, (i % 5) as f32 * 0.1, 0.5))
+        .collect();
+    group.bench_function("rgba_f32", |b| {
+        let mut img = Image::from_fn(N, 1, |_, _| Rgba::new(0.1, 0.1, 0.1, 0.3));
+        b.iter(|| {
+            img.over_front(Span::whole(N), black_box(&front_rgba))
+                .unwrap();
+        });
+    });
+
+    let front_p: Vec<Provenance> = (0..N).map(|_| Provenance::rank(0)).collect();
+    group.bench_function("provenance", |b| {
+        b.iter(|| {
+            let mut img = Image::from_fn(N, 1, |_, _| Provenance::rank(1));
+            img.over_front(Span::whole(N), black_box(&front_p)).unwrap();
+            img
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_pixel_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_bytes");
+    group.throughput(Throughput::Elements(N as u64));
+    let pixels: Vec<GrayAlpha8> = (0..N)
+        .map(|i| GrayAlpha8::new((i % 251) as u8, 200))
+        .collect();
+    group.bench_function("encode_u8", |b| {
+        b.iter(|| rt_imaging::pixel::pixels_to_bytes(black_box(&pixels)));
+    });
+    let bytes = rt_imaging::pixel::pixels_to_bytes(&pixels);
+    group.bench_function("decode_u8", |b| {
+        b.iter(|| rt_imaging::pixel::pixels_from_bytes::<GrayAlpha8>(black_box(&bytes)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_over, bench_pixel_io);
+criterion_main!(benches);

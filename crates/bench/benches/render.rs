@@ -1,0 +1,85 @@
+//! Rendering-stage benchmarks: shear-warp versus the reference ray-caster,
+//! plus the warp and the synthetic dataset generators.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rt_render::camera::Camera;
+use rt_render::datasets::Dataset;
+use rt_render::partition::Subvolume;
+use rt_render::accel::SliceBounds;
+use rt_render::camera::factorize;
+use rt_render::octree::MinMaxOctree;
+use rt_render::raycast::{render_raycast, render_raycast_accel, RaycastOptions};
+use rt_render::shearwarp::{
+    render, render_intermediate, render_intermediate_accel, warp_to_screen, RenderOptions,
+};
+
+fn bench_renderers(c: &mut Criterion) {
+    let n = 48;
+    let vol = Dataset::Engine.generate(n, 7);
+    let tf = Dataset::Engine.transfer_function();
+    let sub = Subvolume::whole(vol);
+    let cam = Camera::yaw_pitch(0.35, 0.2);
+    let opts = RenderOptions::square(128);
+
+    let mut group = c.benchmark_group("render");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    group.bench_function("shear_warp_48", |b| {
+        b.iter(|| render(&sub, &tf, &cam, &opts));
+    });
+    group.bench_function("raycast_48", |b| {
+        b.iter(|| {
+            render_raycast(
+                &sub,
+                &tf,
+                &cam,
+                &RaycastOptions {
+                    frame: opts,
+                    step: 1.0,
+                },
+            )
+        });
+    });
+    let (inter, f) = render_intermediate(&sub, &tf, &cam, &opts);
+    group.bench_function("warp_only", |b| {
+        b.iter(|| warp_to_screen(&inter, &f, &opts));
+    });
+
+    // Accelerated variants (pixel-exact; the wins come from the ~90% empty
+    // space of the engine dataset).
+    let f2 = factorize(&cam, sub.full, opts.width, opts.height);
+    let bounds = SliceBounds::build(&sub, &tf, &f2);
+    group.bench_function("shear_warp_48_scanline_bounds", |b| {
+        b.iter(|| render_intermediate_accel(&sub, &tf, &cam, &opts, &bounds));
+    });
+    let tree = MinMaxOctree::build(&sub.vol, 4);
+    group.bench_function("raycast_48_octree", |b| {
+        b.iter(|| {
+            render_raycast_accel(
+                &sub,
+                &tf,
+                &cam,
+                &RaycastOptions {
+                    frame: opts,
+                    step: 1.0,
+                },
+                &tree,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets");
+    group.sample_size(10);
+    for ds in Dataset::PAPER {
+        group.bench_function(ds.name(), |b| {
+            b.iter(|| ds.generate(48, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_renderers, bench_datasets);
+criterion_main!(benches);

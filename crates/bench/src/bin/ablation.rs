@@ -1,0 +1,102 @@
+//! **Extension experiment E2 — design ablations** for the rotate-tiling
+//! schedule and its baselines:
+//!
+//! * direct-send as a third baseline (single unscheduled step);
+//! * the paper's admissibility rule: `unchecked` RT on odd-P/odd-B shapes
+//!   (the re-derived schedule stays correct — the rule is about the paper's
+//!   index formulas, not the merge tree);
+//! * codec compute-cost sensitivity: how the TRLE advantage erodes as the
+//!   per-byte codec cost `Tc` grows.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin ablation -- [--dataset engine] [--cost paper|sp2]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::method::CompositionMethod;
+use rt_core::{DirectSend, ParallelPipelined, RotateTiling};
+
+fn main() {
+    let mut args = Args::parse();
+    let cost = args.cost();
+    let dataset = args.dataset;
+
+    // A) Direct-send vs PP vs RT at the figure shape.
+    {
+        let scene = ScreenScene::prepare(&args, dataset);
+        let mut rows = Vec::new();
+        let methods: Vec<Box<dyn CompositionMethod>> = vec![
+            Box::new(DirectSend::new()),
+            Box::new(ParallelPipelined::new()),
+            Box::new(RotateTiling::two_n(4)),
+        ];
+        for m in methods {
+            let meas = measure(&scene, m.as_ref(), CodecKind::Raw, &cost);
+            rows.push(vec![
+                m.name(),
+                secs(meas.total_time),
+                meas.messages.to_string(),
+                meas.bytes.to_string(),
+            ]);
+        }
+        print_table(
+            &format!(
+                "E2a — direct-send baseline, P = {}, {}",
+                args.p,
+                dataset.name()
+            ),
+            &["method", "sim(+gather)", "msgs", "bytes"],
+            &rows,
+        );
+    }
+
+    // B) Odd-odd shapes with the unchecked schedule.
+    {
+        let mut rows = Vec::new();
+        for (p, b) in [(7usize, 3usize), (9, 5), (11, 3), (33, 3)] {
+            args.p = p;
+            let scene = ScreenScene::prepare(&args, dataset);
+            let rt = measure(&scene, &RotateTiling::unchecked(b), CodecKind::Raw, &cost);
+            let pp = measure(&scene, &ParallelPipelined::new(), CodecKind::Raw, &cost);
+            rows.push(vec![
+                format!("P={p},B={b}"),
+                secs(rt.total_time),
+                secs(pp.total_time),
+                format!("{:.2}x", pp.total_time / rt.total_time),
+            ]);
+        }
+        print_table(
+            "E2b — odd-P/odd-B rotate-tiling (outside the paper's admissibility rule)",
+            &["shape", "RT(unchecked)", "PP", "PP/RT"],
+            &rows,
+        );
+        args.p = 32;
+    }
+
+    // C) Codec cost sensitivity: sweep Tc.
+    {
+        let scene = ScreenScene::prepare(&args, dataset);
+        let mut rows = Vec::new();
+        for mult in [0.0, 1.0, 10.0, 100.0, 1000.0] {
+            let mut c = cost;
+            c.tc = cost.tp * mult / 10.0; // Tc relative to the per-byte wire cost
+            let raw = measure(&scene, &RotateTiling::two_n(4), CodecKind::Raw, &c);
+            let trle = measure(&scene, &RotateTiling::two_n(4), CodecKind::Trle, &c);
+            rows.push(vec![
+                format!("{:.1e}", c.tc),
+                secs(raw.total_time),
+                secs(trle.total_time),
+                format!("{:.2}", raw.total_time / trle.total_time),
+            ]);
+        }
+        print_table(
+            &format!(
+                "E2c — TRLE speedup vs codec cost Tc, 2N_RT(4), P = {}, {}",
+                args.p,
+                dataset.name()
+            ),
+            &["Tc (s/byte)", "raw", "TRLE", "speedup"],
+            &rows,
+        );
+    }
+}

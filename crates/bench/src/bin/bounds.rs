@@ -1,0 +1,77 @@
+//! Regenerates the **Equation (5)/(6) optimal-block-count examples** of
+//! Section 2.3: the performance bounds of `N` for the 2N_RT and N_RT
+//! methods (the paper quotes 4.3 and 3.4 at `P = 32`), plus the discrete
+//! optima of the closed forms.
+//!
+//! Usage: `cargo run -p rt-bench --bin bounds [--p N] [--cost paper|sp2]`
+
+use rt_bench::harness::{print_table, Args};
+use rt_core::theory::{
+    bound_rhs, closed_form_2n, closed_form_n, eq5_bound, eq5_lhs, eq6_bound, eq6_lhs,
+    optimal_blocks_2n, optimal_blocks_n,
+};
+
+fn main() {
+    let args = Args::parse();
+    let params = args.theory(args.cost());
+    let s = params.s();
+
+    println!(
+        "Equations (5)/(6) at P = {}, A = {} px, Ts = {}, Tp = {}, To = {}",
+        params.p, params.a, params.cost.ts, params.cost.tp, params.cost.to
+    );
+    println!(
+        "shared RHS = (2A/Ts)(Tp + To*S*q)*q = {:.1}",
+        bound_rhs(&params)
+    );
+
+    let b5 = eq5_bound(&params);
+    let b6 = eq6_bound(&params);
+    print_table(
+        "performance bounds of N",
+        &["equation", "bound N*", "paper quotes", "LHS(N*)"],
+        &[
+            vec![
+                "(5) 2N_RT".into(),
+                format!("{b5:.2}"),
+                "4.3".into(),
+                format!("{:.1}", eq5_lhs(b5, s)),
+            ],
+            vec![
+                "(6) N_RT".into(),
+                format!("{b6:.2}"),
+                "3.4".into(),
+                format!("{:.1}", eq6_lhs(b6, s)),
+            ],
+        ],
+    );
+
+    // Closed-form sweep: where the discrete optimum lands.
+    let mut rows = Vec::new();
+    for n in 1..=10usize {
+        rows.push(vec![
+            n.to_string(),
+            if n % 2 == 0 {
+                format!("{:.3}", closed_form_2n(&params, n))
+            } else {
+                "-".into()
+            },
+            format!("{:.3}", closed_form_n(&params, n)),
+        ]);
+    }
+    print_table(
+        "closed-form composition time vs N",
+        &["N", "T_2N_RT(N)", "T_N_RT(N)"],
+        &rows,
+    );
+    println!(
+        "closed-form optima: 2N_RT N* = {} (paper: 4), N_RT N* = {} (paper: 3)",
+        optimal_blocks_2n(&params, 12),
+        optimal_blocks_n(&params, 12)
+    );
+    println!(
+        "note: evaluating the printed formulas transposes the paper's quoted\n\
+         bounds (we get eq5 ≈ {b5:.1}, eq6 ≈ {b6:.1}); the discrete optima still\n\
+         land at N = 4 (even) and N = 3..5 — see EXPERIMENTS.md."
+    );
+}

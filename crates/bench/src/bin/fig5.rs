@@ -1,0 +1,107 @@
+//! Regenerates **Figure 5**: theoretical and experimental composition time
+//! of the N_RT (panel a) and 2N_RT (panel b) methods versus the number of
+//! initial blocks of a sub-image, on 32 processors.
+//!
+//! "Theoretical" series are the paper's own formulas (Table 1 totals and
+//! the Section 2.3 closed forms); "simulated" series execute the real
+//! schedule over the threaded multicomputer on the rendered dataset and
+//! replay the trace under the chosen cost model.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin fig5 -- [--dataset engine] [--all] [--cost paper|sp2]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::theory::{closed_form_2n, closed_form_n, rt_2n_cost, rt_n_cost};
+use rt_core::RotateTiling;
+
+fn main() {
+    let args = Args::parse();
+    let cost = args.cost();
+    let params = args.theory(cost);
+
+    for dataset in args.datasets() {
+        eprintln!(
+            "rendering {} scene (P = {}, {}³ voxels, {}² frame)...",
+            dataset.name(),
+            args.p,
+            args.volume,
+            args.frame
+        );
+        let scene = ScreenScene::prepare(&args, dataset);
+        eprintln!(
+            "scene ready: mean blank fraction {:.2}",
+            scene.blank_fraction
+        );
+
+        // Panel (a): N_RT, any block count (P is even).
+        let mut rows = Vec::new();
+        for b in 1..=8usize {
+            let theory_table1 = rt_n_cost(&params, b).total();
+            let theory_closed = closed_form_n(&params, b);
+            let m = measure(&scene, &RotateTiling::n(b), CodecKind::Raw, &cost);
+            rows.push(vec![
+                b.to_string(),
+                secs(theory_table1),
+                secs(theory_closed),
+                secs(m.compose_time),
+                secs(m.total_time),
+                m.messages.to_string(),
+                m.bytes.to_string(),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 5(a) — N_RT vs initial blocks, {} dataset, P = {}, cost = {}",
+                dataset.name(),
+                args.p,
+                args.cost_name
+            ),
+            &[
+                "N",
+                "theory(T1)",
+                "theory(closed)",
+                "sim(compose)",
+                "sim(+gather)",
+                "msgs",
+                "bytes",
+            ],
+            &rows,
+        );
+
+        // Panel (b): 2N_RT, even block counts.
+        let mut rows = Vec::new();
+        for b in [2usize, 4, 6, 8, 10, 12] {
+            let theory_table1 = rt_2n_cost(&params, b).total();
+            let theory_closed = closed_form_2n(&params, b);
+            let m = measure(&scene, &RotateTiling::two_n(b), CodecKind::Raw, &cost);
+            rows.push(vec![
+                b.to_string(),
+                secs(theory_table1),
+                secs(theory_closed),
+                secs(m.compose_time),
+                secs(m.total_time),
+                m.messages.to_string(),
+                m.bytes.to_string(),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 5(b) — 2N_RT vs initial blocks, {} dataset, P = {}, cost = {}",
+                dataset.name(),
+                args.p,
+                args.cost_name
+            ),
+            &[
+                "N",
+                "theory(T1)",
+                "theory(closed)",
+                "sim(compose)",
+                "sim(+gather)",
+                "msgs",
+                "bytes",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Figure 6**: theoretical and experimental composition time
+//! of the BS, PP, 2N_RT and N_RT methods on 32 processors, with the RT
+//! methods at their best block counts (4 and 3 respectively, per Figure 5).
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin fig6 -- [--dataset engine] [--all] [--cost paper|sp2]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, Measurement, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::method::CompositionMethod;
+use rt_core::theory::{binary_swap_cost, pipelined_cost, rt_2n_cost, rt_n_cost};
+use rt_core::{BinarySwap, ParallelPipelined, RotateTiling};
+
+fn main() {
+    let args = Args::parse();
+    let cost = args.cost();
+    let params = args.theory(cost);
+
+    let theory = [
+        ("BS", binary_swap_cost(&params).total()),
+        ("PP", pipelined_cost(&params).total()),
+        ("2N_RT(B=4)", rt_2n_cost(&params, 4).total()),
+        ("N_RT(B=3)", rt_n_cost(&params, 3).total()),
+    ];
+
+    for dataset in args.datasets() {
+        eprintln!("rendering {} scene...", dataset.name());
+        let scene = ScreenScene::prepare(&args, dataset);
+
+        let methods: Vec<Box<dyn CompositionMethod>> = vec![
+            Box::new(BinarySwap::new()),
+            Box::new(ParallelPipelined::new()),
+            Box::new(RotateTiling::two_n(4)),
+            Box::new(RotateTiling::n(3)),
+        ];
+        let sims: Vec<Measurement> = methods
+            .iter()
+            .map(|m| measure(&scene, m.as_ref(), CodecKind::Raw, &cost))
+            .collect();
+
+        let rows: Vec<Vec<String>> = theory
+            .iter()
+            .zip(&sims)
+            .map(|((name, t), m)| {
+                vec![
+                    name.to_string(),
+                    secs(*t),
+                    secs(m.compose_time),
+                    secs(m.total_time),
+                    m.messages.to_string(),
+                    m.bytes.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Figure 6 — methods at P = {}, {} dataset, cost = {}",
+                args.p,
+                dataset.name(),
+                args.cost_name
+            ),
+            &[
+                "method",
+                "theory",
+                "sim(compose)",
+                "sim(+gather)",
+                "msgs",
+                "bytes",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Figure 7**: composition time of the N_RT (panel a) and
+//! 2N_RT (panel b) methods **with and without TRLE**, versus the number of
+//! initial blocks, on 32 processors.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin fig7 -- [--dataset engine] [--all] [--cost paper|sp2]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::method::CompositionMethod;
+use rt_core::RotateTiling;
+
+fn panel(
+    title: &str,
+    scene: &ScreenScene,
+    cost: &rt_comm::CostModel,
+    methods: &[(usize, Box<dyn CompositionMethod>)],
+) {
+    let mut rows = Vec::new();
+    for (b, m) in methods {
+        let raw = measure(scene, m.as_ref(), CodecKind::Raw, cost);
+        let trle = measure(scene, m.as_ref(), CodecKind::Trle, cost);
+        rows.push(vec![
+            b.to_string(),
+            secs(raw.total_time),
+            secs(trle.total_time),
+            format!("{:.2}", raw.total_time / trle.total_time),
+            format!("{:.2}", raw.bytes as f64 / trle.bytes as f64),
+        ]);
+    }
+    print_table(title, &["N", "raw", "TRLE", "speedup", "byte ratio"], &rows);
+}
+
+fn main() {
+    let args = Args::parse();
+    let cost = args.cost();
+
+    for dataset in args.datasets() {
+        eprintln!("rendering {} scene...", dataset.name());
+        let scene = ScreenScene::prepare(&args, dataset);
+        eprintln!("mean blank fraction {:.2}", scene.blank_fraction);
+
+        let n_rt: Vec<(usize, Box<dyn CompositionMethod>)> = (1..=8)
+            .map(|b| {
+                (
+                    b,
+                    Box::new(RotateTiling::n(b)) as Box<dyn CompositionMethod>,
+                )
+            })
+            .collect();
+        panel(
+            &format!(
+                "Figure 7(a) — N_RT with/without TRLE, {} dataset, P = {}, cost = {}",
+                dataset.name(),
+                args.p,
+                args.cost_name
+            ),
+            &scene,
+            &cost,
+            &n_rt,
+        );
+
+        let two_n: Vec<(usize, Box<dyn CompositionMethod>)> = [2usize, 4, 6, 8, 10, 12]
+            .iter()
+            .map(|&b| {
+                (
+                    b,
+                    Box::new(RotateTiling::two_n(b)) as Box<dyn CompositionMethod>,
+                )
+            })
+            .collect();
+        panel(
+            &format!(
+                "Figure 7(b) — 2N_RT with/without TRLE, {} dataset, P = {}, cost = {}",
+                dataset.name(),
+                args.p,
+                args.cost_name
+            ),
+            &scene,
+            &cost,
+            &two_n,
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 8**: composition time of the BS, PP, 2N_RT and
+//! N_RT methods with and without the RLE and TRLE compression methods on
+//! 32 processors (RT block counts 4 and 3, per Figure 5). The
+//! bounding-interval codec (Ma et al.'s rectangle) is included as a fourth
+//! column — prior art the paper discusses but does not plot.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin fig8 -- [--dataset engine] [--all] [--cost paper|sp2]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::method::CompositionMethod;
+use rt_core::{BinarySwap, ParallelPipelined, RotateTiling};
+
+fn main() {
+    let args = Args::parse();
+    let cost = args.cost();
+
+    for dataset in args.datasets() {
+        eprintln!("rendering {} scene...", dataset.name());
+        let scene = ScreenScene::prepare(&args, dataset);
+
+        let methods: Vec<Box<dyn CompositionMethod>> = vec![
+            Box::new(BinarySwap::new()),
+            Box::new(ParallelPipelined::new()),
+            Box::new(RotateTiling::two_n(4)),
+            Box::new(RotateTiling::n(3)),
+        ];
+
+        let mut rows = Vec::new();
+        for m in &methods {
+            let mut cells = vec![m.name()];
+            for codec in [
+                CodecKind::Raw,
+                CodecKind::Rle,
+                CodecKind::Trle,
+                CodecKind::Bounds,
+            ] {
+                let meas = measure(&scene, m.as_ref(), codec, &cost);
+                cells.push(secs(meas.total_time));
+            }
+            rows.push(cells);
+        }
+        print_table(
+            &format!(
+                "Figure 8 — methods × codecs, {} dataset, P = {}, cost = {}",
+                dataset.name(),
+                args.p,
+                args.cost_name
+            ),
+            &["method", "raw", "RLE", "TRLE", "bounds"],
+            &rows,
+        );
+
+        // Byte traffic breakdown (what drives the codec gains).
+        let mut rows = Vec::new();
+        for m in &methods {
+            let mut cells = vec![m.name()];
+            for codec in [
+                CodecKind::Raw,
+                CodecKind::Rle,
+                CodecKind::Trle,
+                CodecKind::Bounds,
+            ] {
+                let meas = measure(&scene, m.as_ref(), codec, &cost);
+                cells.push(meas.bytes.to_string());
+            }
+            rows.push(cells);
+        }
+        print_table(
+            &format!("Figure 8 traffic (bytes) — {} dataset", dataset.name()),
+            &["method", "raw", "RLE", "TRLE", "bounds"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Schedule inspector: print any method's schedule as a walkthrough, its
+//! static cost analysis under both cost models, and (optionally) the full
+//! schedule as JSON for external tooling.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --bin inspect -- --method rt2n|rtn|bs|bsfold|pp|ds [--blocks B] [--p N] [--pixels A] [--json]`
+
+use rt_core::analysis::analyze;
+use rt_core::method::{CompositionMethod, Method};
+use rt_core::rotate::RtVariant;
+use rt_core::schedule::verify_schedule;
+
+fn main() {
+    let mut method_name = String::from("rt2n");
+    let mut blocks = 4usize;
+    let mut p = 8usize;
+    let mut pixels = 512 * 512usize;
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--method" => method_name = value(),
+            "--blocks" => blocks = value().parse().expect("bad --blocks"),
+            "--p" => p = value().parse().expect("bad --p"),
+            "--pixels" => pixels = value().parse().expect("bad --pixels"),
+            "--json" => json = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let method = match method_name.as_str() {
+        "rt2n" => Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks,
+        },
+        "rtn" => Method::RotateTiling {
+            variant: RtVariant::N,
+            blocks,
+        },
+        "bs" => Method::BinarySwap,
+        "bsfold" => Method::BinarySwapFold,
+        "pp" => Method::ParallelPipelined,
+        "ds" => Method::DirectSend,
+        other => panic!("unknown method {other} (rt2n|rtn|bs|bsfold|pp|ds)"),
+    };
+
+    let schedule = match method.build(p, pixels) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    verify_schedule(&schedule).expect("schedule verification");
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&schedule).unwrap());
+        return;
+    }
+
+    // For big frames the walkthrough is huge; print it only when small.
+    if schedule.message_count() <= 64 {
+        println!("{}", schedule.walkthrough());
+    } else {
+        println!(
+            "{}: P = {}, A = {} px, {} steps, {} messages (walkthrough suppressed; use --pixels with a small frame or --json)",
+            schedule.method,
+            schedule.p,
+            schedule.image_len,
+            schedule.step_count(),
+            schedule.message_count()
+        );
+    }
+
+    for (name, cost) in [
+        ("paper", rt_comm::CostModel::PAPER_EXAMPLE),
+        ("sp2", rt_comm::CostModel::SP2),
+    ] {
+        let a = analyze(&schedule, &cost, 2);
+        println!(
+            "cost[{name}]: compose {:.5}s  +gather {:.5}s  latency-depth {:.0} startups  \
+             max-sent {} px  max-over {} px",
+            a.makespan,
+            a.makespan_with_gather,
+            a.latency_depth / cost.ts,
+            a.max_sent_pixels,
+            a.max_over_pixels
+        );
+    }
+    println!(
+        "ownership: {:?} px per rank",
+        schedule.owned_pixels()
+    );
+}

@@ -1,0 +1,57 @@
+//! **Extension experiment E1 — processor-count scaling.** The paper's
+//! motivation for rotate-tiling is that binary-swap needs a power of two
+//! processors while parallel-pipelined needs `P − 1` steps. This sweep runs
+//! every applicable method across `P = 2..=40` (the SP2 at NCHC had 40
+//! nodes) and shows:
+//!
+//! * PP's linear startup blow-up with `P`;
+//! * BS existing only at `P ∈ {2,4,8,16,32}` (the fold extension fills the
+//!   gaps, at the cost of idle ranks);
+//! * RT tracking the BS cost at powers of two while running at *every* `P`
+//!   with `⌈log₂P⌉` steps.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin scaling -- [--dataset engine] [--cost paper|sp2] [--volume N]`
+
+use rt_bench::harness::{measure, print_table, secs, Args, ScreenScene};
+use rt_compress::CodecKind;
+use rt_core::{BinarySwap, ParallelPipelined, RotateTiling};
+
+fn main() {
+    let mut args = Args::parse();
+    let cost = args.cost();
+    let dataset = args.dataset;
+
+    let mut rows = Vec::new();
+    for p in 2..=40usize {
+        args.p = p;
+        eprintln!("P = {p}: rendering...");
+        let scene = ScreenScene::prepare(&args, dataset);
+        let rt = measure(&scene, &RotateTiling::two_n(4), CodecKind::Trle, &cost);
+        let pp = measure(&scene, &ParallelPipelined::new(), CodecKind::Trle, &cost);
+        let bs = if p.is_power_of_two() {
+            Some(measure(&scene, &BinarySwap::new(), CodecKind::Trle, &cost))
+        } else {
+            None
+        };
+        let bs_fold = measure(&scene, &BinarySwap::with_fold(), CodecKind::Trle, &cost);
+        rows.push(vec![
+            p.to_string(),
+            bs.map(|m| secs(m.total_time)).unwrap_or_else(|| "-".into()),
+            secs(bs_fold.total_time),
+            secs(pp.total_time),
+            secs(rt.total_time),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E1 — scaling P = 2..40, {} dataset, TRLE, cost = {} ({}³ voxels, {}² frame)",
+            dataset.name(),
+            args.cost_name,
+            args.volume,
+            args.frame
+        ),
+        &["P", "BS", "BS+fold", "PP", "2N_RT(B=4)"],
+        &rows,
+    );
+}

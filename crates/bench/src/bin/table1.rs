@@ -1,0 +1,83 @@
+//! Regenerates **Table 1**: the theoretical performance comparison of the
+//! BS, PP, 2N_RT and N_RT methods — step counts, per-step block sizes, and
+//! total communication/computation time, evaluated at the paper's constants
+//! (`P = 32`, `A = 512²`, `Ts = 0.005`, `Tp = 0.00004`, `To = 0.0002`).
+//!
+//! Usage: `cargo run -p rt-bench --bin table1 [--p N] [--cost paper|sp2]`
+
+use rt_bench::harness::{print_table, secs, Args};
+use rt_core::theory::{binary_swap_cost, pipelined_cost, rt_2n_cost, rt_n_cost, MethodCost};
+
+fn main() {
+    let args = Args::parse();
+    let params = args.theory(args.cost());
+    let a = params.a;
+    let s = params.s();
+
+    println!(
+        "Table 1 — theoretical comparison at P = {}, A = {} px, Ts = {}, Tp = {}, To = {}",
+        params.p, a, params.cost.ts, params.cost.tp, params.cost.to
+    );
+
+    let rows_for = |name: &str, steps: String, block: String, c: MethodCost| -> Vec<String> {
+        vec![
+            name.to_string(),
+            steps,
+            block,
+            secs(c.comm),
+            secs(c.comp),
+            secs(c.total()),
+        ]
+    };
+
+    let bs = binary_swap_cost(&params);
+    let pp = pipelined_cost(&params);
+    let rt2n = rt_2n_cost(&params, 4);
+    let rtn = rt_n_cost(&params, 3);
+
+    let rows = vec![
+        rows_for("BS", format!("log2(P) = {s}"), "A/2^k".to_string(), bs),
+        rows_for(
+            "PP",
+            format!("P-1 = {}", params.p - 1),
+            format!("A/P = {:.0}", a / params.p as f64),
+            pp,
+        ),
+        rows_for(
+            "2N_RT (N=4)",
+            format!("ceil(log2 P) = {s}"),
+            "A/(N*2^(k-1))".to_string(),
+            rt2n,
+        ),
+        rows_for(
+            "N_RT (N=3)",
+            format!("ceil(log2 P) = {s}"),
+            "A/(N*2^(k-1))".to_string(),
+            rtn,
+        ),
+    ];
+    print_table(
+        "Table 1 (evaluated)",
+        &["method", "S(M)", "A_k(M)", "T_comm", "T_comp", "total"],
+        &rows,
+    );
+
+    // Per-step breakdown for the two RT variants, the paper's block-size
+    // column made explicit.
+    let mut step_rows = Vec::new();
+    for k in 1..=s {
+        let block4 = a / (4.0 * 2f64.powi(k as i32 - 1));
+        let block3 = a / (3.0 * 2f64.powi(k as i32 - 1));
+        step_rows.push(vec![
+            k.to_string(),
+            format!("{:.0}", a / 2f64.powi(k as i32)),
+            format!("{block4:.0} x{k}"),
+            format!("{block3:.0} x{}", k / 2 + 1),
+        ]);
+    }
+    print_table(
+        "per-step block pixels (BS | 2N_RT N=4 | N_RT N=3)",
+        &["k", "BS", "2N_RT", "N_RT"],
+        &step_rows,
+    );
+}

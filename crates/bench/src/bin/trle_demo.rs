@@ -1,0 +1,108 @@
+//! Regenerates the **Section 3 / Figure 3–4 TRLE material**: the sixteen
+//! 2×2 templates, a worked scanline example in the spirit of Figure 4
+//! (where RLE needs 18 bytes and TRLE 5), and measured compression ratios
+//! of RLE / TRLE / bounding-interval on the rendered partial images of the
+//! three datasets.
+//!
+//! Usage: `cargo run -p rt-bench --release --bin trle_demo -- [--p N] [--volume N]`
+
+use rt_bench::harness::{print_table, Args, ScreenScene};
+use rt_compress::trle::{decode_codes, encode_codes, TILE};
+use rt_compress::{BoundsCodec, Codec, RleCodec, TrleCodec};
+use rt_imaging::pixel::{GrayAlpha8, Pixel};
+use rt_render::datasets::Dataset;
+
+fn main() {
+    let args = Args::parse();
+
+    // Figure 3: the sixteen templates.
+    println!("Figure 3 — the 16 TRLE templates (bit j of the code = pixel j non-blank):");
+    for t in 0u8..16 {
+        let cells: String = (0..TILE)
+            .map(|j| if t & (1 << j) != 0 { '#' } else { '.' })
+            .collect();
+        print!("  {t:>2}:[{cells}]");
+        if t % 4 == 3 {
+            println!();
+        }
+    }
+
+    // Figure 4 analog: two "scanlines" of 24 pixels whose gray values vary,
+    // with structured blank gaps — RLE finds no byte runs, TRLE collapses
+    // the blank structure.
+    let blank = GrayAlpha8::blank();
+    let px = |v: u8| GrayAlpha8::new(v, 255);
+    let mut scanlines: Vec<GrayAlpha8> = Vec::new();
+    for i in 0..12u8 {
+        // First scanline: blank, varied, varied, blank per tile.
+        scanlines.push(if i % 4 == 0 || i % 4 == 3 {
+            blank
+        } else {
+            px(37 + 11 * i)
+        });
+    }
+    for i in 0..12u8 {
+        // Second scanline: same template pattern, different grays.
+        scanlines.push(if i % 4 == 0 || i % 4 == 3 {
+            blank
+        } else {
+            px(90 + 7 * i)
+        });
+    }
+    let raw_len = scanlines.len() * 2;
+    let rle = Codec::<GrayAlpha8>::encode(&RleCodec, &scanlines);
+    let trle = Codec::<GrayAlpha8>::encode(&TrleCodec, &scanlines);
+    println!(
+        "\nFigure 4 analog — {} pixels ({raw_len} raw bytes): RLE = {} bytes, TRLE = {} bytes (ratio {}:{})",
+        scanlines.len(),
+        rle.bytes.len(),
+        trle.bytes.len(),
+        rle.bytes.len(),
+        trle.bytes.len(),
+    );
+    let codes = encode_codes(&scanlines);
+    println!(
+        "TRLE code stream: {:?} -> templates {:?}",
+        codes
+            .iter()
+            .map(|c| format!("run {} x t{}", (c >> 4) + 1, c & 0xF))
+            .collect::<Vec<_>>(),
+        decode_codes(&codes)
+    );
+
+    // Measured ratios on real partial images.
+    let mut rows = Vec::new();
+    for dataset in Dataset::PAPER {
+        eprintln!("rendering {}...", dataset.name());
+        let scene = ScreenScene::prepare(&args, dataset);
+        let mut raw_total = 0usize;
+        let (mut rle_total, mut trle_total, mut trle2d_total, mut bounds_total) =
+            (0usize, 0usize, 0usize, 0usize);
+        for img in &scene.partials {
+            let pixels = img.pixels();
+            raw_total += pixels.len() * 2;
+            rle_total += Codec::<GrayAlpha8>::encode(&RleCodec, pixels).bytes.len();
+            trle_total += Codec::<GrayAlpha8>::encode(&TrleCodec, pixels).bytes.len();
+            trle2d_total += rt_compress::trle2d::encode_image(img).bytes.len();
+            bounds_total += Codec::<GrayAlpha8>::encode(&BoundsCodec, pixels)
+                .bytes
+                .len();
+        }
+        rows.push(vec![
+            dataset.name().to_string(),
+            format!("{:.2}", scene.blank_fraction),
+            format!("{:.2}", raw_total as f64 / rle_total as f64),
+            format!("{:.2}", raw_total as f64 / trle_total as f64),
+            format!("{:.2}", raw_total as f64 / trle2d_total as f64),
+            format!("{:.2}", raw_total as f64 / bounds_total as f64),
+        ]);
+    }
+    print_table(
+        &format!(
+            "compression ratios on rendered partials (P = {}, {}³ voxels, {}² frame)",
+            args.p, args.volume, args.frame
+        ),
+        &["dataset", "blank frac", "RLE", "TRLE", "TRLE-2D", "bounds"],
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Prints the schedule walkthroughs of the paper's **Figure 1** (2N_RT,
+//! three processors, four initial blocks) and **Figure 2** (N_RT, four
+//! processors, three initial blocks), or any other shape.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --bin walkthrough -- [--p N] [--blocks B] [--variant 2n|n] [--pixels A]`
+
+use rt_core::method::CompositionMethod;
+use rt_core::schedule::verify_schedule;
+use rt_core::RotateTiling;
+
+fn main() {
+    let mut p = 0usize;
+    let mut blocks = 0usize;
+    let mut variant = String::from("2n");
+    let mut pixels = 240usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--p" => p = value().parse().expect("bad --p"),
+            "--blocks" => blocks = value().parse().expect("bad --blocks"),
+            "--variant" => variant = value(),
+            "--pixels" => pixels = value().parse().expect("bad --pixels"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let shapes: Vec<(usize, usize, &str)> = if p == 0 {
+        // Default: both worked examples from the paper.
+        vec![(3, 4, "2n"), (4, 3, "n")]
+    } else {
+        vec![(p, blocks.max(1), variant.as_str())]
+    };
+
+    for (p, blocks, variant) in shapes {
+        let method = match variant {
+            "2n" => RotateTiling::two_n(blocks),
+            "n" => RotateTiling::n(blocks),
+            other => panic!("unknown variant {other} (2n|n)"),
+        };
+        match method.build(p, pixels) {
+            Ok(schedule) => {
+                verify_schedule(&schedule).expect("schedule verification");
+                println!("{}", schedule.walkthrough());
+                println!("verified: every final block composites all {p} ranks in depth order\n");
+            }
+            Err(e) => println!("{e}\n"),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # rt-bench — the figure/table regeneration harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md`'s experiment
+//! index), all built on the helpers here:
+//!
+//! * [`harness::ScreenScene`] — a dataset rendered once into depth-ordered
+//!   512×512 screen-space partials in the paper's 8-bit gray wire format;
+//! * [`harness::measure`] — run one `(method, codec)` combination over the
+//!   multicomputer, check the frame against the sequential reference, and
+//!   price the trace under a [`rt_comm::CostModel`];
+//! * [`harness::Args`] — the tiny shared CLI (`--dataset`, `--p`,
+//!   `--volume`, `--cost paper|sp2`, `--all`).
+//!
+//! Binaries print aligned tables plus machine-readable CSV lines prefixed
+//! with `csv,` so results can be collected with `grep ^csv`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{measure, Args, Measurement, ScreenScene};

@@ -1,0 +1,243 @@
+//! Collective operations built on the traced point-to-point layer.
+//!
+//! The composition stage only needs gather (built into [`crate::RankCtx`]),
+//! but a usable multicomputer substrate — and the pipeline's configuration
+//! distribution — wants the standard collectives. All are implemented on
+//! the ordinary traced `send`/`recv`, so the virtual-clock replay prices
+//! them exactly like hand-written algorithms:
+//!
+//! * [`broadcast`] — binomial tree, `⌈log₂P⌉` rounds;
+//! * [`reduce`] — binomial tree toward the root with a caller-supplied
+//!   combiner, `⌈log₂P⌉` rounds;
+//! * [`all_gather`] — ring, `P − 1` rounds, each rank forwarding the piece
+//!   it received last round.
+
+use crate::comm::{CommError, RankCtx};
+
+/// Tag namespace for collectives (distinct from gather's bit 63 and from
+/// schedule tags, which keep bit 62 clear).
+const COLL_TAG_BIT: u64 = 1 << 62;
+
+fn coll_tag(op: u64, round: u64, gen: u64) -> u64 {
+    COLL_TAG_BIT | (op << 48) | (gen << 16) | round
+}
+
+/// Broadcast `payload` from `root` to every rank (binomial tree).
+///
+/// Returns the payload on every rank. `generation` disambiguates
+/// concurrent collectives; callers typically pass an incrementing counter.
+pub fn broadcast(
+    ctx: &mut RankCtx,
+    root: usize,
+    payload: Option<Vec<u8>>,
+    generation: u64,
+) -> Result<Vec<u8>, CommError> {
+    let p = ctx.size();
+    let me = ctx.rank();
+    // Work in root-relative coordinates: vrank 0 is the root.
+    let vrank = (me + p - root) % p;
+    let mut data = if me == root {
+        Some(payload.expect("root must provide the broadcast payload"))
+    } else {
+        None
+    };
+    let rounds = crate::comm::ceil_log2_pub(p);
+    // Round r: ranks with vrank < 2^r and a partner vrank + 2^r < p send.
+    for r in 0..rounds {
+        let half = 1usize << r;
+        if vrank < half {
+            let dst_v = vrank + half;
+            if dst_v < p {
+                let dst = (dst_v + root) % p;
+                let buf = data.as_ref().expect("sender holds the payload").clone();
+                ctx.send(dst, coll_tag(1, r as u64, generation), buf)?;
+            }
+        } else if vrank < 2 * half {
+            let src_v = vrank - half;
+            let src = (src_v + root) % p;
+            data = Some(ctx.recv(src, coll_tag(1, r as u64, generation))?);
+        }
+    }
+    Ok(data.expect("every rank received the payload"))
+}
+
+/// Reduce per-rank byte payloads to `root` with `combine` (binomial tree).
+///
+/// `combine(acc, other)` must be associative; contributions are combined
+/// in vrank order pairs, so commutativity is *not* required as long as the
+/// combiner respects its argument order (`acc` is the lower vrank).
+/// Returns `Some(result)` at the root, `None` elsewhere.
+pub fn reduce(
+    ctx: &mut RankCtx,
+    root: usize,
+    payload: Vec<u8>,
+    generation: u64,
+    mut combine: impl FnMut(&[u8], &[u8]) -> Vec<u8>,
+) -> Result<Option<Vec<u8>>, CommError> {
+    let p = ctx.size();
+    let me = ctx.rank();
+    let vrank = (me + p - root) % p;
+    let mut acc = payload;
+    let rounds = crate::comm::ceil_log2_pub(p);
+    for r in 0..rounds {
+        let half = 1usize << r;
+        if vrank.is_multiple_of(2 * half) {
+            let src_v = vrank + half;
+            if src_v < p {
+                let src = (src_v + root) % p;
+                let other = ctx.recv(src, coll_tag(2, r as u64, generation))?;
+                acc = combine(&acc, &other);
+            }
+        } else if vrank % (2 * half) == half {
+            let dst_v = vrank - half;
+            let dst = (dst_v + root) % p;
+            ctx.send(dst, coll_tag(2, r as u64, generation), acc)?;
+            return Ok(None); // contributed; done
+        }
+    }
+    Ok((me == root).then_some(acc))
+}
+
+/// All-gather on a ring: every rank ends with all `P` payloads, indexed by
+/// rank. `P − 1` rounds of one message each.
+pub fn all_gather(
+    ctx: &mut RankCtx,
+    payload: Vec<u8>,
+    generation: u64,
+) -> Result<Vec<Vec<u8>>, CommError> {
+    let p = ctx.size();
+    let me = ctx.rank();
+    let mut slots: Vec<Option<Vec<u8>>> = vec![None; p];
+    slots[me] = Some(payload);
+    let next = (me + 1) % p;
+    let prev = (me + p - 1) % p;
+    for r in 0..p.saturating_sub(1) {
+        // Forward the piece that originated at (me − r); receive the piece
+        // that originated at (prev − r).
+        let send_origin = (me + p - r) % p;
+        let buf = slots[send_origin]
+            .as_ref()
+            .expect("piece forwarded in ring order")
+            .clone();
+        ctx.send(next, coll_tag(3, r as u64, generation), buf)?;
+        let recv_origin = (prev + p - r) % p;
+        let got = ctx.recv(prev, coll_tag(3, r as u64, generation))?;
+        slots[recv_origin] = Some(got);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("ring delivered every piece"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Multicomputer;
+    use crate::cost::CostModel;
+    use crate::replay::replay;
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, p / 2, p - 1] {
+                let mc = Multicomputer::new(p);
+                let (results, trace) = mc.run(|ctx| {
+                    let payload =
+                        (ctx.rank() == root).then(|| vec![42u8, root as u8, ctx.size() as u8]);
+                    broadcast(ctx, root, payload, 0).unwrap()
+                });
+                for r in results {
+                    assert_eq!(r, vec![42u8, root as u8, p as u8]);
+                }
+                assert_eq!(trace.message_count(), p as u64 - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_latency_is_logarithmic() {
+        let mc = Multicomputer::new(16);
+        let (_, trace) = mc.run(|ctx| {
+            let payload = (ctx.rank() == 0).then(|| vec![0u8; 8]);
+            broadcast(ctx, 0, payload, 0).unwrap()
+        });
+        let report = replay(&trace, &CostModel::new(1.0, 0.0, 0.0)).unwrap();
+        // Binomial tree depth log2(16) = 4 startups on the critical path.
+        assert!((report.makespan - 4.0).abs() < 1e-12, "{}", report.makespan);
+    }
+
+    #[test]
+    fn reduce_concatenates_in_rank_order() {
+        // Order-sensitive combiner: concatenation. The binomial reduce
+        // must deliver rank order because it only pairs adjacent vranks.
+        for p in [1usize, 2, 3, 6, 7, 8] {
+            let mc = Multicomputer::new(p);
+            let (results, _) = mc.run(|ctx| {
+                let me = ctx.rank() as u8;
+                reduce(ctx, 0, vec![me], 0, |a, b| {
+                    let mut out = a.to_vec();
+                    out.extend_from_slice(b);
+                    out
+                })
+                .unwrap()
+            });
+            for (r, res) in results.into_iter().enumerate() {
+                if r == 0 {
+                    assert_eq!(res.unwrap(), (0..p as u8).collect::<Vec<_>>(), "p={p}");
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let mc = Multicomputer::new(5);
+        let (results, _) = mc.run(|ctx| {
+            reduce(ctx, 3, vec![ctx.rank() as u8], 7, |a, b| {
+                vec![a[0].wrapping_add(b[0])]
+            })
+            .unwrap()
+        });
+        assert_eq!(results[3], Some(vec![1 + 2 + 3 + 4]));
+        assert!(results
+            .iter()
+            .enumerate()
+            .all(|(r, v)| r == 3 || v.is_none()));
+    }
+
+    #[test]
+    fn all_gather_delivers_everything_everywhere() {
+        for p in [1usize, 2, 4, 5, 9] {
+            let mc = Multicomputer::new(p);
+            let (results, trace) =
+                mc.run(|ctx| all_gather(ctx, vec![ctx.rank() as u8; ctx.rank() + 1], 0).unwrap());
+            for res in results {
+                assert_eq!(res.len(), p);
+                for (i, buf) in res.iter().enumerate() {
+                    assert_eq!(buf, &vec![i as u8; i + 1], "p={p}");
+                }
+            }
+            assert_eq!(trace.message_count(), (p * (p.saturating_sub(1))) as u64);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross() {
+        let mc = Multicomputer::new(4);
+        let (results, _) = mc.run(|ctx| {
+            let a = broadcast(ctx, 0, (ctx.rank() == 0).then(|| vec![1]), 0).unwrap();
+            let b = broadcast(ctx, 1, (ctx.rank() == 1).then(|| vec![2]), 1).unwrap();
+            all_gather(ctx, vec![a[0] + b[0] + ctx.rank() as u8], 2).unwrap()
+        });
+        for res in results {
+            assert_eq!(
+                res,
+                vec![vec![3u8], vec![4], vec![5], vec![6]],
+                "1 + 2 + rank"
+            );
+        }
+    }
+}

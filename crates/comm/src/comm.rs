@@ -1,0 +1,606 @@
+//! Execution layer: threaded ranks over lossless FIFO channels.
+//!
+//! [`Multicomputer::run`] spawns one thread per rank and hands each a
+//! [`RankCtx`] with MPI-like tagged point-to-point messaging, barriers and a
+//! gather primitive. Every operation is recorded into the rank's event trace
+//! so the run can be re-priced on the virtual clock afterwards
+//! (see [`mod@crate::replay`]).
+//!
+//! Determinism: message matching is by *(source, FIFO order)* with an
+//! explicit tag check, so a schedule bug (two ranks disagreeing about what
+//! flows on a channel) surfaces as a [`CommError::TagMismatch`] instead of
+//! silent corruption; a missing message surfaces as [`CommError::Timeout`].
+//! A [`FaultPlan`] can inject exactly those failures on purpose.
+
+use crate::trace::{Event, RankTrace, Trace};
+use crate::ComputeKind;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the communication substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank index was outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Machine size.
+        size: usize,
+    },
+    /// The next FIFO message from `from` carried an unexpected tag.
+    TagMismatch {
+        /// Source rank of the offending message.
+        from: usize,
+        /// Tag the receiver was waiting for.
+        expected: u64,
+        /// Tag actually found.
+        got: u64,
+    },
+    /// No message arrived from `from` with tag `tag` before the deadline.
+    Timeout {
+        /// Source rank being waited on.
+        from: usize,
+        /// Tag being waited on.
+        tag: u64,
+    },
+    /// The peer's channel endpoint was dropped (peer exited early).
+    Disconnected {
+        /// Source rank whose channel closed.
+        from: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for machine of size {size}")
+            }
+            CommError::TagMismatch {
+                from,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tag mismatch on channel from rank {from}: expected {expected:#x}, got {got:#x}"
+            ),
+            CommError::Timeout { from, tag } => {
+                write!(f, "timed out waiting for tag {tag:#x} from rank {from}")
+            }
+            CommError::Disconnected { from } => {
+                write!(f, "channel from rank {from} disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Deterministic fault injection for testing error paths.
+///
+/// Faults are keyed by `(src, dst, seq)` where `seq` is the per-directed-
+/// channel FIFO sequence number (0-based).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    drops: HashSet<(usize, usize, u64)>,
+    tag_corruptions: HashMap<(usize, usize, u64), u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Silently drop the `seq`-th message from `src` to `dst`.
+    pub fn drop_message(mut self, src: usize, dst: usize, seq: u64) -> Self {
+        self.drops.insert((src, dst, seq));
+        self
+    }
+
+    /// Replace the tag of the `seq`-th message from `src` to `dst`.
+    pub fn corrupt_tag(mut self, src: usize, dst: usize, seq: u64, tag: u64) -> Self {
+        self.tag_corruptions.insert((src, dst, seq), tag);
+        self
+    }
+}
+
+struct Message {
+    from: usize,
+    tag: u64,
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-rank handle: the algorithm-facing API of the multicomputer.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    pending: Vec<VecDeque<Message>>,
+    send_seq: Vec<u64>,
+    events: RankTrace,
+    barrier: Arc<std::sync::Barrier>,
+    barrier_gen: u64,
+    gather_gen: u64,
+    timeout: Duration,
+    faults: Arc<FaultPlan>,
+}
+
+/// Tag namespace reserved for the built-in gather; algorithm tags must keep
+/// this bit clear.
+pub const GATHER_TAG_BIT: u64 = 1 << 63;
+
+/// `⌈log₂ p⌉` helper shared with the collectives module.
+pub(crate) fn ceil_log2_pub(p: usize) -> usize {
+    debug_assert!(p > 0);
+    p.next_power_of_two().trailing_zeros() as usize
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Machine size (number of ranks).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), CommError> {
+        if rank >= self.size {
+            Err(CommError::InvalidRank {
+                rank,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Send `payload` to rank `to` with an algorithm-defined `tag`.
+    ///
+    /// Sends are buffered (never block), matching an eager-protocol MPI send
+    /// for the message sizes involved here.
+    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        self.check_rank(to)?;
+        let seq = self.send_seq[to];
+        self.send_seq[to] += 1;
+        self.events.push(Event::Send {
+            to,
+            tag,
+            bytes: payload.len() as u64,
+            seq,
+        });
+        let key = (self.rank, to, seq);
+        if self.faults.drops.contains(&key) {
+            return Ok(()); // vanish into the network
+        }
+        let tag = *self.faults.tag_corruptions.get(&key).unwrap_or(&tag);
+        let msg = Message {
+            from: self.rank,
+            tag,
+            seq,
+            payload,
+        };
+        // A send can only fail if the receiver already exited; surface that.
+        self.senders[to]
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { from: to })
+    }
+
+    /// Receive the next FIFO message from `from`, requiring tag `tag`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>, CommError> {
+        self.check_rank(from)?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(msg) = self.pending[from].pop_front() {
+                if msg.tag != tag {
+                    return Err(CommError::TagMismatch {
+                        from,
+                        expected: tag,
+                        got: msg.tag,
+                    });
+                }
+                self.events.push(Event::Recv {
+                    from,
+                    tag,
+                    bytes: msg.payload.len() as u64,
+                    seq: msg.seq,
+                });
+                return Ok(msg.payload);
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CommError::Timeout { from, tag })?;
+            match self.rx.recv_timeout(remaining) {
+                Ok(msg) => {
+                    let src = msg.from;
+                    self.pending[src].push_back(msg);
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout { from, tag })
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { from })
+                }
+            }
+        }
+    }
+
+    /// Record local computation so replay can charge it.
+    pub fn compute(&mut self, kind: ComputeKind, units: u64) {
+        self.events.push(Event::Compute { kind, units });
+    }
+
+    /// Record a named phase boundary (e.g. `"compose:start"`).
+    pub fn mark(&mut self, label: impl Into<String>) {
+        self.events.push(Event::Mark {
+            label: label.into(),
+        });
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&mut self) {
+        let generation = self.barrier_gen;
+        self.barrier_gen += 1;
+        self.events.push(Event::Barrier { generation });
+        self.barrier.wait();
+    }
+
+    /// Gather one buffer from every rank at `root`.
+    ///
+    /// Returns `Some(buffers)` (indexed by rank, including the root's own
+    /// `payload`) at the root and `None` elsewhere. Implemented with the
+    /// ordinary traced sends, so gather traffic is priced by replay exactly
+    /// like the paper's final collection stage.
+    pub fn gather(
+        &mut self,
+        root: usize,
+        payload: Vec<u8>,
+    ) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+        self.check_rank(root)?;
+        let tag = GATHER_TAG_BIT | self.gather_gen;
+        self.gather_gen += 1;
+        if self.rank == root {
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                if r == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(r, tag)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, tag, payload)?;
+            Ok(None)
+        }
+    }
+
+    /// The events recorded so far (mainly for tests).
+    pub fn events(&self) -> &RankTrace {
+        &self.events
+    }
+}
+
+/// A simulated distributed-memory machine of `size` ranks.
+pub struct Multicomputer {
+    size: usize,
+    timeout: Duration,
+    faults: Arc<FaultPlan>,
+}
+
+impl Multicomputer {
+    /// Create a machine with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a multicomputer needs at least one rank");
+        Self {
+            size,
+            timeout: Duration::from_secs(10),
+            faults: Arc::new(FaultPlan::none()),
+        }
+    }
+
+    /// Override the receive timeout (default 10 s) — tests that expect
+    /// timeouts use a short one.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Install a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// Machine size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results and
+    /// the merged event trace.
+    ///
+    /// Rank panics propagate to the caller (after all threads are joined by
+    /// the scope), as a crashed node would abort an MPI job.
+    pub fn run<T, F>(&self, f: F) -> (Vec<T>, Trace)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        let p = self.size;
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<Message>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(p));
+        let f = &f;
+
+        let mut ctxs: Vec<RankCtx> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| RankCtx {
+                rank,
+                size: p,
+                senders: txs.clone(),
+                rx,
+                pending: (0..p).map(|_| VecDeque::new()).collect(),
+                send_seq: vec![0; p],
+                events: Vec::new(),
+                barrier: Arc::clone(&barrier),
+                barrier_gen: 0,
+                gather_gen: 0,
+                timeout: self.timeout,
+                faults: Arc::clone(&self.faults),
+            })
+            .collect();
+        drop(txs);
+
+        let mut outcome: Vec<Option<(T, RankTrace)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ctxs
+                .iter_mut()
+                .map(|ctx| {
+                    scope.spawn(move || {
+                        let result = f(ctx);
+                        (result, std::mem::take(&mut ctx.events))
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => outcome[rank] = Some(pair),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(p);
+        let mut trace = Trace::default();
+        for slot in outcome {
+            let (result, events) = slot.expect("every rank joined successfully");
+            results.push(result);
+            trace.ranks.push(events);
+        }
+        (results, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let mc = Multicomputer::new(4);
+        let (results, trace) = mc.run(|ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as u8]).unwrap();
+            let got = ctx.recv(prev, 1).unwrap();
+            got[0]
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+        assert_eq!(trace.message_count(), 4);
+        assert_eq!(trace.bytes_sent(), 4);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_channel() {
+        let mc = Multicomputer::new(2);
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10u8 {
+                    ctx.send(1, i as u64, vec![i]).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..10u8)
+                    .map(|i| ctx.recv(0, i as u64).unwrap()[0])
+                    .collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(results[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn tag_mismatch_is_detected() {
+        let mc = Multicomputer::new(2).with_timeout(Duration::from_millis(500));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 42, vec![1]).unwrap();
+                Ok(Vec::new())
+            } else {
+                ctx.recv(0, 43)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Err(CommError::TagMismatch {
+                from: 0,
+                expected: 43,
+                got: 42
+            })
+        );
+    }
+
+    #[test]
+    fn dropped_message_times_out() {
+        let mc = Multicomputer::new(2)
+            .with_timeout(Duration::from_millis(100))
+            .with_faults(FaultPlan::none().drop_message(0, 1, 0));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![9]).unwrap();
+                Ok(vec![])
+            } else {
+                ctx.recv(0, 5)
+            }
+        });
+        assert_eq!(results[1], Err(CommError::Timeout { from: 0, tag: 5 }));
+    }
+
+    #[test]
+    fn corrupted_tag_is_detected() {
+        let mc = Multicomputer::new(2)
+            .with_timeout(Duration::from_millis(500))
+            .with_faults(FaultPlan::none().corrupt_tag(0, 1, 0, 999));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![9]).unwrap();
+                Ok(vec![])
+            } else {
+                ctx.recv(0, 5)
+            }
+        });
+        assert_eq!(
+            results[1],
+            Err(CommError::TagMismatch {
+                from: 0,
+                expected: 5,
+                got: 999
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_rank_send_and_recv_fail() {
+        let mc = Multicomputer::new(2);
+        let (results, _) = mc.run(|ctx| {
+            let a = ctx.send(7, 0, vec![]).unwrap_err();
+            let b = ctx.recv(9, 0).unwrap_err();
+            (a, b)
+        });
+        assert_eq!(results[0].0, CommError::InvalidRank { rank: 7, size: 2 });
+        assert_eq!(results[0].1, CommError::InvalidRank { rank: 9, size: 2 });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let mc = Multicomputer::new(5);
+        let (results, trace) = mc.run(|ctx| {
+            let payload = vec![ctx.rank() as u8; ctx.rank() + 1];
+            ctx.gather(2, payload).unwrap()
+        });
+        for (r, res) in results.iter().enumerate() {
+            if r == 2 {
+                let bufs = res.as_ref().unwrap();
+                assert_eq!(bufs.len(), 5);
+                for (i, b) in bufs.iter().enumerate() {
+                    assert_eq!(b, &vec![i as u8; i + 1]);
+                }
+            } else {
+                assert!(res.is_none());
+            }
+        }
+        // 4 messages (root contributes locally).
+        assert_eq!(trace.message_count(), 4);
+    }
+
+    #[test]
+    fn consecutive_gathers_do_not_cross() {
+        let mc = Multicomputer::new(3);
+        let (results, _) = mc.run(|ctx| {
+            let a = ctx.gather(0, vec![ctx.rank() as u8]).unwrap();
+            let b = ctx.gather(1, vec![10 + ctx.rank() as u8]).unwrap();
+            (a, b)
+        });
+        assert_eq!(
+            results[0].0.as_ref().unwrap(),
+            &vec![vec![0], vec![1], vec![2]]
+        );
+        assert_eq!(
+            results[1].1.as_ref().unwrap(),
+            &vec![vec![10], vec![11], vec![12]]
+        );
+    }
+
+    #[test]
+    fn barrier_events_share_generations() {
+        let mc = Multicomputer::new(3);
+        let (_, trace) = mc.run(|ctx| {
+            ctx.barrier();
+            ctx.compute(ComputeKind::Over, 10);
+            ctx.barrier();
+        });
+        for events in &trace.ranks {
+            let gens: Vec<u64> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Barrier { generation } => Some(*generation),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(gens, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let mc = Multicomputer::new(2);
+        let (results, _) = mc.run(|ctx| {
+            let me = ctx.rank();
+            ctx.send(me, 3, vec![me as u8]).unwrap();
+            ctx.recv(me, 3).unwrap()
+        });
+        assert_eq!(results, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn marks_are_recorded() {
+        let mc = Multicomputer::new(1);
+        let (_, trace) = mc.run(|ctx| {
+            ctx.mark("compose:start");
+            ctx.compute(ComputeKind::Over, 1);
+            ctx.mark("compose:end");
+        });
+        let labels: Vec<&str> = trace.ranks[0]
+            .iter()
+            .filter_map(|e| match e {
+                Event::Mark { label } => Some(label.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["compose:start", "compose:end"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Multicomputer::new(0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The [`Codec`] trait and the identity [`RawCodec`].
+
+use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, Pixel};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while decoding a compressed pixel block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the announced content.
+    Truncated {
+        /// Which codec failed.
+        codec: &'static str,
+    },
+    /// The buffer decodes to a different pixel count than requested.
+    WrongPixelCount {
+        /// Which codec failed.
+        codec: &'static str,
+        /// Pixel count the caller expected.
+        expected: usize,
+        /// Pixel count actually decoded.
+        got: usize,
+    },
+    /// Structurally invalid data (bad mode byte, bad pixel bytes, ...).
+    Corrupt {
+        /// Which codec failed.
+        codec: &'static str,
+        /// Human-readable detail.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { codec } => write!(f, "{codec}: truncated buffer"),
+            CodecError::WrongPixelCount {
+                codec,
+                expected,
+                got,
+            } => write!(f, "{codec}: expected {expected} pixels, decoded {got}"),
+            CodecError::Corrupt { codec, what } => write!(f, "{codec}: corrupt data ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The result of encoding a pixel block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    /// The wire bytes.
+    pub bytes: Vec<u8>,
+    /// Size the block would have had uncompressed (`pixels · P::BYTES`),
+    /// kept for compression-ratio statistics and codec-cost accounting.
+    pub raw_bytes: usize,
+}
+
+impl Encoded {
+    /// `raw / encoded` — higher is better; 1.0 for the identity codec.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes.is_empty() {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.bytes.len() as f64
+    }
+}
+
+/// A lossless pixel-block compressor used on every composition message.
+pub trait Codec<P: Pixel>: Send + Sync {
+    /// Short name for reports ("raw", "rle", "trle", "bounds").
+    fn name(&self) -> &'static str;
+
+    /// Encode a pixel block.
+    fn encode(&self, pixels: &[P]) -> Encoded;
+
+    /// Decode a buffer produced by [`Codec::encode`] back into exactly
+    /// `n_pixels` pixels.
+    fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError>;
+}
+
+/// The identity codec: raw little-endian pixel bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+impl<P: Pixel> Codec<P> for RawCodec {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn encode(&self, pixels: &[P]) -> Encoded {
+        let bytes = pixels_to_bytes(pixels);
+        let raw_bytes = bytes.len();
+        Encoded { bytes, raw_bytes }
+    }
+
+    fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError> {
+        if data.len() != n_pixels * P::BYTES {
+            return Err(CodecError::WrongPixelCount {
+                codec: "raw",
+                expected: n_pixels,
+                got: data.len() / P::BYTES,
+            });
+        }
+        pixels_from_bytes(data).map_err(|_| CodecError::Corrupt {
+            codec: "raw",
+            what: "undecodable pixel bytes",
+        })
+    }
+}
+
+/// Selector for the codecs the paper evaluates, used by benches and the
+/// pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// No compression.
+    Raw,
+    /// Classic run-length encoding.
+    Rle,
+    /// The paper's template run-length encoding.
+    Trle,
+    /// Bounding-interval trimming (Ma et al.'s rectangle, 1-D analog).
+    Bounds,
+}
+
+impl CodecKind {
+    /// All kinds, in the order the paper's Figure 8 reports them.
+    pub const ALL: [CodecKind; 4] = [
+        CodecKind::Raw,
+        CodecKind::Rle,
+        CodecKind::Trle,
+        CodecKind::Bounds,
+    ];
+
+    /// Instantiate the codec for pixel type `P`.
+    pub fn build<P: Pixel>(self) -> Box<dyn Codec<P>> {
+        match self {
+            CodecKind::Raw => Box::new(RawCodec),
+            CodecKind::Rle => Box::new(crate::rle::RleCodec),
+            CodecKind::Trle => Box::new(crate::trle::TrleCodec),
+            CodecKind::Bounds => Box::new(crate::bounds::BoundsCodec),
+        }
+    }
+
+    /// Report name, matching [`Codec::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecKind::Raw => "raw",
+            CodecKind::Rle => "rle",
+            CodecKind::Trle => "trle",
+            CodecKind::Bounds => "bounds",
+        }
+    }
+}
+
+impl std::str::FromStr for CodecKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "raw" | "none" => Ok(CodecKind::Raw),
+            "rle" => Ok(CodecKind::Rle),
+            "trle" => Ok(CodecKind::Trle),
+            "bounds" | "rect" => Ok(CodecKind::Bounds),
+            other => Err(format!("unknown codec '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_imaging::pixel::GrayAlpha8;
+
+    #[test]
+    fn raw_roundtrip() {
+        let px: Vec<GrayAlpha8> = (0..10).map(|i| GrayAlpha8::new(i, 255 - i)).collect();
+        let enc = Codec::<GrayAlpha8>::encode(&RawCodec, &px);
+        assert_eq!(enc.bytes.len(), 20);
+        assert_eq!(enc.raw_bytes, 20);
+        assert!((enc.ratio() - 1.0).abs() < 1e-12);
+        let dec = Codec::<GrayAlpha8>::decode(&RawCodec, &enc.bytes, 10).unwrap();
+        assert_eq!(dec, px);
+    }
+
+    #[test]
+    fn raw_rejects_wrong_count() {
+        let px = vec![GrayAlpha8::new(1, 2); 4];
+        let enc = Codec::<GrayAlpha8>::encode(&RawCodec, &px);
+        assert!(Codec::<GrayAlpha8>::decode(&RawCodec, &enc.bytes, 5).is_err());
+    }
+
+    #[test]
+    fn kind_parses_and_builds() {
+        for kind in CodecKind::ALL {
+            let parsed: CodecKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+            let codec = kind.build::<GrayAlpha8>();
+            assert_eq!(codec.name(), kind.name());
+        }
+        assert!("zip".parse::<CodecKind>().is_err());
+    }
+
+    #[test]
+    fn empty_block_is_fine() {
+        let enc = Codec::<GrayAlpha8>::encode(&RawCodec, &[]);
+        assert!(enc.bytes.is_empty());
+        assert_eq!(
+            Codec::<GrayAlpha8>::decode(&RawCodec, &enc.bytes, 0).unwrap(),
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Classic run-length encoding over the raw pixel byte stream.
+//!
+//! This is the baseline the paper attributes to Lacroute & Levoy: a run of
+//! equal bytes is stored as `(count, byte)` with `count ∈ 1..=255`. On gray
+//! images with many distinct values the ratio is poor (each 1-byte run costs
+//! 2 bytes), which is precisely the weakness TRLE addresses — the paper's
+//! Figure 4 example gives RLE 18 bytes vs TRLE 5 bytes on two scanlines.
+//!
+//! A one-byte header selects between `RLE` and a raw fallback, so the codec
+//! never more than doubles (plus one byte) and is exactly reversible.
+
+use crate::codec::{Codec, CodecError, Encoded};
+use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, Pixel};
+
+const MODE_RAW: u8 = 0;
+const MODE_RLE: u8 = 1;
+
+/// Byte-stream run-length codec with raw fallback.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RleCodec;
+
+/// Run-length encode a byte slice as `(count, byte)` pairs.
+pub fn rle_encode_bytes(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
+/// Invert [`rle_encode_bytes`].
+pub fn rle_decode_bytes(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if !data.len().is_multiple_of(2) {
+        return Err(CodecError::Truncated { codec: "rle" });
+    }
+    let mut out = Vec::new();
+    for pair in data.chunks_exact(2) {
+        let (count, byte) = (pair[0], pair[1]);
+        if count == 0 {
+            return Err(CodecError::Corrupt {
+                codec: "rle",
+                what: "zero-length run",
+            });
+        }
+        out.extend(std::iter::repeat_n(byte, count as usize));
+    }
+    Ok(out)
+}
+
+impl<P: Pixel> Codec<P> for RleCodec {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn encode(&self, pixels: &[P]) -> Encoded {
+        let raw = pixels_to_bytes(pixels);
+        let rle = rle_encode_bytes(&raw);
+        let raw_bytes = raw.len();
+        let mut bytes;
+        if rle.len() < raw.len() {
+            bytes = Vec::with_capacity(rle.len() + 1);
+            bytes.push(MODE_RLE);
+            bytes.extend_from_slice(&rle);
+        } else {
+            bytes = Vec::with_capacity(raw.len() + 1);
+            bytes.push(MODE_RAW);
+            bytes.extend_from_slice(&raw);
+        }
+        Encoded { bytes, raw_bytes }
+    }
+
+    fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError> {
+        let Some((&mode, body)) = data.split_first() else {
+            if n_pixels == 0 {
+                return Ok(Vec::new());
+            }
+            return Err(CodecError::Truncated { codec: "rle" });
+        };
+        let raw = match mode {
+            MODE_RAW => body.to_vec(),
+            MODE_RLE => rle_decode_bytes(body)?,
+            _ => {
+                return Err(CodecError::Corrupt {
+                    codec: "rle",
+                    what: "unknown mode byte",
+                })
+            }
+        };
+        if raw.len() != n_pixels * P::BYTES {
+            return Err(CodecError::WrongPixelCount {
+                codec: "rle",
+                expected: n_pixels,
+                got: raw.len() / P::BYTES,
+            });
+        }
+        pixels_from_bytes(&raw).map_err(|_| CodecError::Corrupt {
+            codec: "rle",
+            what: "undecodable pixel bytes",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rt_imaging::pixel::{GrayAlpha8, Pixel};
+
+    #[test]
+    fn byte_rle_roundtrip_simple() {
+        let data = b"aaabbbbbc";
+        let enc = rle_encode_bytes(data);
+        assert_eq!(enc, vec![3, b'a', 5, b'b', 1, b'c']);
+        assert_eq!(rle_decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_rle_long_runs_split_at_255() {
+        let data = vec![7u8; 300];
+        let enc = rle_encode_bytes(&data);
+        assert_eq!(enc, vec![255, 7, 45, 7]);
+        assert_eq!(rle_decode_bytes(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn blank_block_compresses_well() {
+        let px = vec![GrayAlpha8::blank(); 1000];
+        let enc = Codec::<GrayAlpha8>::encode(&RleCodec, &px);
+        assert!(enc.bytes.len() < 30, "got {}", enc.bytes.len());
+        assert!(enc.ratio() > 60.0);
+        let dec = Codec::<GrayAlpha8>::decode(&RleCodec, &enc.bytes, 1000).unwrap();
+        assert_eq!(dec, px);
+    }
+
+    #[test]
+    fn incompressible_block_falls_back_to_raw() {
+        // Alternate values so every run has length 1.
+        let px: Vec<GrayAlpha8> = (0..100)
+            .map(|i| GrayAlpha8::new((i * 37 % 251) as u8, (i * 91 % 250 + 1) as u8))
+            .collect();
+        let enc = Codec::<GrayAlpha8>::encode(&RleCodec, &px);
+        assert_eq!(enc.bytes.len(), 201); // mode byte + raw
+        assert_eq!(enc.bytes[0], MODE_RAW);
+        let dec = Codec::<GrayAlpha8>::decode(&RleCodec, &enc.bytes, 100).unwrap();
+        assert_eq!(dec, px);
+    }
+
+    #[test]
+    fn decode_error_paths() {
+        assert!(rle_decode_bytes(&[1]).is_err()); // odd length
+        assert!(rle_decode_bytes(&[0, 5]).is_err()); // zero run
+        assert!(Codec::<GrayAlpha8>::decode(&RleCodec, &[9, 1, 2], 1).is_err()); // bad mode
+        assert!(Codec::<GrayAlpha8>::decode(&RleCodec, &[], 1).is_err()); // empty
+        assert_eq!(
+            Codec::<GrayAlpha8>::decode(&RleCodec, &[], 0).unwrap(),
+            vec![]
+        );
+        // Wrong pixel count.
+        let px = vec![GrayAlpha8::blank(); 4];
+        let enc = Codec::<GrayAlpha8>::encode(&RleCodec, &px);
+        assert!(Codec::<GrayAlpha8>::decode(&RleCodec, &enc.bytes, 3).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn byte_rle_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let enc = rle_encode_bytes(&data);
+            prop_assert_eq!(rle_decode_bytes(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn pixel_rle_roundtrips(
+            values in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..500)
+        ) {
+            let px: Vec<GrayAlpha8> = values.iter().map(|&(v, a)| GrayAlpha8::new(v, a)).collect();
+            let enc = Codec::<GrayAlpha8>::encode(&RleCodec, &px);
+            // Never worse than raw + 1 header byte.
+            prop_assert!(enc.bytes.len() <= px.len() * GrayAlpha8::BYTES + 1);
+            let dec = Codec::<GrayAlpha8>::decode(&RleCodec, &enc.bytes, px.len()).unwrap();
+            prop_assert_eq!(dec, px);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Direct-send composition (extension baseline).
+//!
+//! Every rank ships its partial of block `b` straight to block `b`'s owner
+//! in a single logical step — the unscheduled all-to-all that the pipelined
+//! method time-staggers. It is the standard third comparator in the
+//! compositing literature (Hsu '93, Neumann '93) and is included for the
+//! ablation benches; the paper itself compares only BS and PP.
+//!
+//! Merge order at each owner matches the pipelined method: nearer
+//! contributions merge in front (ordered nearest-last in the transfer list),
+//! farther ones fold deepest-first into the deferred back accumulator.
+
+use crate::method::CompositionMethod;
+use crate::schedule::{MergeDir, Schedule, Step, Transfer};
+use crate::CoreError;
+use rt_imaging::Span;
+use serde::{Deserialize, Serialize};
+
+/// The direct-send method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DirectSend;
+
+impl DirectSend {
+    /// Construct the method (block count is always `P`).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl CompositionMethod for DirectSend {
+    fn name(&self) -> String {
+        "DS".to_string()
+    }
+
+    fn build(&self, p: usize, image_len: usize) -> Result<Schedule, CoreError> {
+        if p == 0 {
+            return Err(CoreError::UnsupportedShape {
+                method: "direct-send",
+                why: "zero ranks".into(),
+            });
+        }
+        let spans = Span::whole(image_len).split_even(p);
+        let mut step = Step::default();
+        for (b, &span) in spans.iter().enumerate() {
+            if span.is_empty() {
+                continue;
+            }
+            // Receiver-side merge order: front contributions nearest-last
+            // (b−1, b−2, …, 0), then far contributions deepest-first
+            // (P−1, P−2, …, b+1). The executor processes a rank's receives
+            // in transfer-list order, so emitting them in this order per
+            // destination realizes the required merges.
+            for src in (0..b).rev() {
+                step.transfers.push(Transfer {
+                    src,
+                    dst: b,
+                    span,
+                    dir: MergeDir::Front,
+                });
+            }
+            for src in ((b + 1)..p).rev() {
+                step.transfers.push(Transfer {
+                    src,
+                    dst: b,
+                    span,
+                    dir: MergeDir::BackDefer,
+                });
+            }
+        }
+        let steps = if step.transfers.is_empty() {
+            Vec::new()
+        } else {
+            vec![step]
+        };
+        let final_owners = spans
+            .into_iter()
+            .enumerate()
+            .map(|(b, span)| (span, b))
+            .collect();
+        Ok(Schedule {
+            p,
+            image_len,
+            steps,
+            final_owners,
+            method: self.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::verify_schedule;
+
+    #[test]
+    fn all_processor_counts_verify() {
+        for p in 1..=16 {
+            let s = DirectSend::new().build(p, 1600).unwrap();
+            verify_schedule(&s).unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn message_count_is_p_times_p_minus_one() {
+        let s = DirectSend::new().build(9, 900).unwrap();
+        assert_eq!(s.message_count(), 9 * 8);
+        assert_eq!(s.step_count(), 1);
+        assert_eq!(s.pixels_shipped(), 8 * 900);
+    }
+
+    #[test]
+    fn single_rank_needs_no_messages() {
+        let s = DirectSend::new().build(1, 100).unwrap();
+        assert_eq!(s.step_count(), 0);
+        assert_eq!(s.message_count(), 0);
+        verify_schedule(&s).unwrap();
+    }
+}

@@ -1,0 +1,403 @@
+//! The schedule executor: runs any [`Schedule`] over the multicomputer.
+//!
+//! Every method uses this single code path, so cross-method comparisons
+//! measure schedules, not implementation accidents. Per step, a rank:
+//!
+//! 1. extracts and encodes each span it sends (charging the codec's bytes
+//!    to the `Encode` compute account);
+//! 2. receives, decodes and merges each incoming span, charging `To` per
+//!    composited pixel (`Over`);
+//! 3. after the last step, flushes deferred back accumulators;
+//! 4. finally, the owners ship their fully-composited spans to the gather
+//!    root, which assembles the output frame.
+//!
+//! Phase marks (`compose:start`, `compose:end`, `gather:end`) delimit the
+//! stages for the virtual-clock replay.
+
+use crate::schedule::{MergeDir, Schedule};
+use crate::CoreError;
+use rt_comm::{ComputeKind, Multicomputer, RankCtx, Trace};
+use rt_compress::CodecKind;
+use rt_imaging::pixel::Pixel;
+use rt_imaging::{Image, Span};
+use std::collections::HashMap;
+
+/// Execution options for [`compose`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposeConfig {
+    /// Message codec applied to every transfer (and the gather).
+    pub codec: CodecKind,
+    /// Rank that assembles the final frame.
+    pub root: usize,
+    /// Whether to run the final gather (the paper's collection stage).
+    /// When `false`, the composed pieces stay distributed and only the
+    /// owners' local frames are meaningful.
+    pub gather: bool,
+}
+
+impl Default for ComposeConfig {
+    fn default() -> Self {
+        Self {
+            codec: CodecKind::Raw,
+            root: 0,
+            gather: true,
+        }
+    }
+}
+
+/// What one rank gets back from [`compose`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposeOutput<P: Pixel> {
+    /// The assembled frame (root only, and only if `gather` was requested).
+    pub frame: Option<Image<P>>,
+    /// Pixels this rank finally owned (its contribution to the gather).
+    pub owned_pixels: usize,
+}
+
+/// Tag for a transfer: step index in the high bits, span start in the low.
+///
+/// Unique per `(src, dst, step)` because a step never ships the same span
+/// twice between the same pair, and disjoint spans have distinct starts.
+fn tag(step: usize, span_start: usize) -> u64 {
+    ((step as u64) << 40) | span_start as u64
+}
+
+/// Execute `schedule` on this rank with `local` as the rank's rendered
+/// partial image. Depth order is rank order (rank 0 nearest the viewer);
+/// callers with a different depth order permute ranks beforehand (see
+/// `rt-pvr`).
+pub fn compose<P: Pixel>(
+    ctx: &mut RankCtx,
+    schedule: &Schedule,
+    mut local: Image<P>,
+    config: &ComposeConfig,
+) -> Result<ComposeOutput<P>, CoreError> {
+    let me = ctx.rank();
+    if schedule.p != ctx.size() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "schedule built for {} ranks, machine has {}",
+                schedule.p,
+                ctx.size()
+            ),
+        });
+    }
+    if schedule.image_len != local.len() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "schedule built for {} pixels, image has {}",
+                schedule.image_len,
+                local.len()
+            ),
+        });
+    }
+    let codec = config.codec.build::<P>();
+
+    ctx.mark("compose:start");
+
+    // Deferred back accumulators, keyed by span start.
+    let mut back_acc: HashMap<usize, (Span, Vec<P>)> = HashMap::new();
+
+    for (k, step) in schedule.steps.iter().enumerate() {
+        // Ship all sends first (non-blocking), then consume receives: the
+        // pairwise exchanges of every method progress without deadlock.
+        for t in step.sends_of(me) {
+            let pixels = local.extract(t.span)?;
+            let encoded = codec.encode(&pixels);
+            if config.codec != CodecKind::Raw {
+                ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+            }
+            ctx.send(t.dst, tag(k, t.span.start), encoded.bytes)?;
+        }
+        for t in step.recvs_of(me) {
+            let bytes = ctx.recv(t.src, tag(k, t.span.start))?;
+            if config.codec != CodecKind::Raw {
+                ctx.compute(ComputeKind::Decode, (t.span.len * P::BYTES) as u64);
+            }
+            let pixels: Vec<P> = codec.decode(&bytes, t.span.len)?;
+            // Blank pixels are the identity of `over`; the structured
+            // codecs (TRLE templates, RLE runs, bounding intervals)
+            // identify blank regions during decode, so — as the paper
+            // argues in Section 1 — compression reduces the composition
+            // *computation* as well as the traffic. Raw buffers carry no
+            // such structure and are charged for the full span.
+            let over_units = if config.codec == CodecKind::Raw {
+                t.span.len
+            } else {
+                pixels.iter().filter(|p| !p.is_blank()).count()
+            };
+            ctx.compute(ComputeKind::Over, over_units as u64);
+            match t.dir {
+                MergeDir::Front => local.over_front(t.span, &pixels)?,
+                MergeDir::Back => local.over_back(t.span, &pixels)?,
+                MergeDir::BackDefer => match back_acc.entry(t.span.start) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((t.span, pixels));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (acc_span, acc) = e.get_mut();
+                        if *acc_span != t.span {
+                            return Err(CoreError::InvalidSchedule {
+                                why: format!(
+                                    "deferred-back span mismatch: {acc_span} vs {}",
+                                    t.span
+                                ),
+                            });
+                        }
+                        // Arriving pieces are deepest-first: the new piece
+                        // goes in front of the accumulated deeper ones.
+                        for (dst, f) in acc.iter_mut().zip(&pixels) {
+                            *dst = f.over(dst);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    // Flush deferred accumulators: local over deferred-back.
+    let mut flushes: Vec<(Span, Vec<P>)> = back_acc.into_values().collect();
+    flushes.sort_by_key(|(span, _)| span.start);
+    for (span, acc) in flushes {
+        ctx.compute(ComputeKind::Over, span.len as u64);
+        local.over_back(span, &acc)?;
+    }
+
+    ctx.mark("compose:end");
+
+    let mut owned_pixels = 0usize;
+    for (span, owner) in &schedule.final_owners {
+        if *owner == me {
+            owned_pixels += span.len;
+        }
+    }
+
+    if !config.gather {
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels,
+        });
+    }
+
+    // Gather: each owner ships ONE message carrying all its final spans
+    // concatenated in span order (the coalesced collection a real system
+    // would do with MPI_Gatherv), tagged past the last step.
+    let gather_step = schedule.steps.len();
+    let mut frame = (me == config.root).then(|| Image::blank(local.width(), local.height()));
+    // Spans per owner, in final_owners (span-start) order.
+    let mut spans_of = vec![Vec::<Span>::new(); schedule.p];
+    for (span, owner) in &schedule.final_owners {
+        if !span.is_empty() {
+            spans_of[*owner].push(*span);
+        }
+    }
+    if me != config.root && !spans_of[me].is_empty() {
+        let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
+        for span in &spans_of[me] {
+            pixels.extend(local.extract(*span)?);
+        }
+        let encoded = codec.encode(&pixels);
+        if config.codec != CodecKind::Raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        ctx.send(config.root, tag(gather_step, me), encoded.bytes)?;
+    }
+    if let Some(frame) = frame.as_mut() {
+        for (owner, owner_spans) in spans_of.iter().enumerate() {
+            if owner_spans.is_empty() {
+                continue;
+            }
+            let total: usize = owner_spans.iter().map(|s| s.len).sum();
+            let pixels: Vec<P> = if owner == me {
+                let mut pixels = Vec::with_capacity(total);
+                for span in owner_spans {
+                    pixels.extend(local.extract(*span)?);
+                }
+                pixels
+            } else {
+                let bytes = ctx.recv(owner, tag(gather_step, owner))?;
+                if config.codec != CodecKind::Raw {
+                    ctx.compute(ComputeKind::Decode, (total * P::BYTES) as u64);
+                }
+                codec.decode(&bytes, total)?
+            };
+            let mut at = 0usize;
+            for span in owner_spans {
+                frame.insert(*span, &pixels[at..at + span.len])?;
+                at += span.len;
+            }
+        }
+    }
+    ctx.mark("gather:end");
+
+    Ok(ComposeOutput {
+        frame,
+        owned_pixels,
+    })
+}
+
+/// Convenience harness: run `schedule` over a fresh multicomputer with the
+/// given per-rank partial images, returning per-rank outputs and the trace.
+///
+/// `partials[r]` is rank `r`'s rendered partial (rank order = depth order).
+pub fn run_composition<P: Pixel>(
+    schedule: &Schedule,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        schedule.p,
+        "one partial image per rank required"
+    );
+    let mc = Multicomputer::new(schedule.p);
+    let partials = std::sync::Mutex::new(
+        partials
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<Image<P>>>>(),
+    );
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap()[ctx.rank()]
+            .take()
+            .expect("each rank takes its partial exactly once");
+        compose(ctx, schedule, local, config)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Step, Transfer};
+    use rt_imaging::pixel::Provenance;
+
+    fn provenance_partials(p: usize, w: usize, h: usize) -> Vec<Image<Provenance>> {
+        (0..p)
+            .map(|r| Image::from_fn(w, h, |_, _| Provenance::rank(r as u16)))
+            .collect()
+    }
+
+    fn two_rank_swap(a: usize) -> Schedule {
+        let (first, second) = Span::whole(a).halve();
+        Schedule {
+            p: 2,
+            image_len: a,
+            steps: vec![Step {
+                transfers: vec![
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        span: first,
+                        dir: MergeDir::Back,
+                    },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        span: second,
+                        dir: MergeDir::Front,
+                    },
+                ],
+            }],
+            final_owners: vec![(first, 0), (second, 1)],
+            method: "swap2".into(),
+        }
+    }
+
+    #[test]
+    fn swap_produces_complete_frame_at_root() {
+        let schedule = two_rank_swap(24);
+        let partials = provenance_partials(2, 6, 4);
+        let (results, trace) = run_composition(&schedule, partials, &ComposeConfig::default());
+        let out0 = results[0].as_ref().unwrap();
+        let frame = out0.frame.as_ref().unwrap();
+        assert!(frame
+            .pixels()
+            .iter()
+            .all(|px| *px == Provenance::complete(2)));
+        assert!(results[1].as_ref().unwrap().frame.is_none());
+        // 2 swap messages + 1 gather message.
+        assert_eq!(trace.message_count(), 3);
+    }
+
+    #[test]
+    fn owned_pixels_reported() {
+        let schedule = two_rank_swap(25);
+        let partials = provenance_partials(2, 5, 5);
+        let (results, _) = run_composition(&schedule, partials, &ComposeConfig::default());
+        let owned: Vec<usize> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().owned_pixels)
+            .collect();
+        assert_eq!(owned.iter().sum::<usize>(), 25);
+        assert_eq!(owned, schedule.owned_pixels());
+    }
+
+    #[test]
+    fn no_gather_returns_no_frame() {
+        let schedule = two_rank_swap(24);
+        let partials = provenance_partials(2, 6, 4);
+        let config = ComposeConfig {
+            gather: false,
+            ..Default::default()
+        };
+        let (results, trace) = run_composition(&schedule, partials, &config);
+        assert!(results.iter().all(|r| r.as_ref().unwrap().frame.is_none()));
+        assert_eq!(trace.message_count(), 2);
+    }
+
+    #[test]
+    fn codecs_are_transparent() {
+        for codec in CodecKind::ALL {
+            let schedule = two_rank_swap(24);
+            let partials = provenance_partials(2, 6, 4);
+            let config = ComposeConfig {
+                codec,
+                ..Default::default()
+            };
+            let (results, _) = run_composition(&schedule, partials, &config);
+            let frame = results[0].as_ref().unwrap().frame.clone().unwrap();
+            assert!(
+                frame
+                    .pixels()
+                    .iter()
+                    .all(|px| *px == Provenance::complete(2)),
+                "codec {codec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_root_gather_target_works() {
+        let schedule = two_rank_swap(24);
+        let partials = provenance_partials(2, 6, 4);
+        let config = ComposeConfig {
+            root: 1,
+            ..Default::default()
+        };
+        let (results, _) = run_composition(&schedule, partials, &config);
+        assert!(results[0].as_ref().unwrap().frame.is_none());
+        let frame = results[1].as_ref().unwrap().frame.clone().unwrap();
+        assert!(frame
+            .pixels()
+            .iter()
+            .all(|px| *px == Provenance::complete(2)));
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let schedule = two_rank_swap(24);
+        let partials = provenance_partials(2, 5, 4); // 20 px, schedule wants 24
+        let (results, _) = run_composition(&schedule, partials, &ComposeConfig::default());
+        assert!(matches!(results[0], Err(CoreError::InvalidSchedule { .. })));
+    }
+
+    #[test]
+    fn marks_are_emitted() {
+        let schedule = two_rank_swap(24);
+        let partials = provenance_partials(2, 6, 4);
+        let (_, trace) = run_composition(&schedule, partials, &ComposeConfig::default());
+        let report = rt_comm::replay(&trace, &rt_comm::CostModel::PAPER_EXAMPLE).unwrap();
+        assert!(report.phase("compose:start", "compose:end").unwrap() > 0.0);
+        assert!(report.phase("compose:start", "gather:end").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The [`CompositionMethod`] trait and the [`Method`] selector enum.
+
+use crate::binary_swap::BinarySwap;
+use crate::direct::DirectSend;
+use crate::pipelined::ParallelPipelined;
+use crate::rotate::{RotateTiling, RtVariant};
+use crate::schedule::Schedule;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// A composition method: anything that can compile itself to a [`Schedule`]
+/// for a given machine size and frame size.
+pub trait CompositionMethod {
+    /// Display name (used in figures and walkthroughs).
+    fn name(&self) -> String;
+
+    /// Compile the schedule, or explain why the shape is unsupported.
+    fn build(&self, p: usize, image_len: usize) -> Result<Schedule, CoreError>;
+}
+
+/// Value-level method selector for benches, examples and config files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Binary-swap (power-of-two `P`).
+    BinarySwap,
+    /// Binary-swap with the fold prelude (any `P`; extension).
+    BinarySwapFold,
+    /// Parallel-pipelined (any `P`).
+    ParallelPipelined,
+    /// Direct-send (any `P`; extension).
+    DirectSend,
+    /// Rotate-tiling with the given variant and initial block count.
+    RotateTiling {
+        /// Admissibility variant.
+        variant: RtVariant,
+        /// Initial block count.
+        blocks: usize,
+    },
+}
+
+impl Method {
+    /// The paper's Figure 6/8 line-up: BS, PP, 2N_RT(4), N_RT(3).
+    pub fn figure6_lineup() -> Vec<Method> {
+        vec![
+            Method::BinarySwap,
+            Method::ParallelPipelined,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 4,
+            },
+            Method::RotateTiling {
+                variant: RtVariant::N,
+                blocks: 3,
+            },
+        ]
+    }
+}
+
+impl CompositionMethod for Method {
+    fn name(&self) -> String {
+        match self {
+            Method::BinarySwap => BinarySwap::new().name(),
+            Method::BinarySwapFold => BinarySwap::with_fold().name(),
+            Method::ParallelPipelined => ParallelPipelined::new().name(),
+            Method::DirectSend => DirectSend::new().name(),
+            Method::RotateTiling { variant, blocks } => match variant {
+                RtVariant::TwoN => RotateTiling::two_n(*blocks).name(),
+                RtVariant::N => RotateTiling::n(*blocks).name(),
+            },
+        }
+    }
+
+    fn build(&self, p: usize, image_len: usize) -> Result<Schedule, CoreError> {
+        match self {
+            Method::BinarySwap => BinarySwap::new().build(p, image_len),
+            Method::BinarySwapFold => BinarySwap::with_fold().build(p, image_len),
+            Method::ParallelPipelined => ParallelPipelined::new().build(p, image_len),
+            Method::DirectSend => DirectSend::new().build(p, image_len),
+            Method::RotateTiling { variant, blocks } => match variant {
+                RtVariant::TwoN => RotateTiling::two_n(*blocks).build(p, image_len),
+                RtVariant::N => RotateTiling::n(*blocks).build(p, image_len),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::verify_schedule;
+
+    #[test]
+    fn figure6_lineup_builds_for_32_ranks() {
+        for m in Method::figure6_lineup() {
+            let s = m.build(32, 512 * 512).unwrap();
+            verify_schedule(&s).unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        }
+    }
+
+    #[test]
+    fn names_are_the_paper_labels() {
+        let names: Vec<String> = Method::figure6_lineup().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["BS", "PP", "2N_RT(B=4)", "N_RT(B=3)"]);
+    }
+
+    #[test]
+    fn enum_dispatch_matches_structs() {
+        let via_enum = Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 4,
+        }
+        .build(6, 600)
+        .unwrap();
+        let via_struct = RotateTiling::two_n(4).build(6, 600).unwrap();
+        assert_eq!(via_enum, via_struct);
+    }
+}

@@ -1,0 +1,514 @@
+//! Composition schedules: the pure description every method compiles to.
+//!
+//! A [`Schedule`] lists, step by step, which rank ships which pixel [`Span`]
+//! to which rank and how the receiver merges it ([`MergeDir`]). The final
+//! ownership map says which rank holds each fully-composited piece of the
+//! frame before the gather.
+//!
+//! Schedules are *data*: they can be printed (the paper's Figure 1/2
+//! walkthroughs), statically costed, executed over the multicomputer, and —
+//! crucially — verified. [`verify_schedule`] replays a schedule symbolically
+//! over depth-rank intervals and proves that every pixel of the final image
+//! receives every rank's contribution exactly once, merged in depth order:
+//! the full correctness condition for compositing with the non-commutative
+//! `over` operator.
+
+use crate::CoreError;
+use rt_imaging::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a receiver merges an incoming partial into its accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeDir {
+    /// The incoming partial is nearer the viewer: `local = recv over local`.
+    Front,
+    /// The incoming partial is farther: `local = local over recv`.
+    Back,
+    /// The incoming partial is farther but not yet adjacent to the local
+    /// run; it is folded into a per-span deferred back accumulator
+    /// (`back = recv over back`) and applied after the last step. Used by
+    /// the pipelined method, whose far pieces arrive deepest-first.
+    BackDefer,
+}
+
+/// One point-to-point block transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sending rank (ships its current partial of `span`).
+    pub src: usize,
+    /// Receiving rank (merges per `dir`).
+    pub dst: usize,
+    /// The pixel range being shipped.
+    pub span: Span,
+    /// Merge direction at the receiver.
+    pub dir: MergeDir,
+}
+
+/// All transfers of one communication step (logically concurrent).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// The step's transfers, in deterministic schedule order.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Step {
+    /// Transfers sent by `rank`, in schedule order.
+    pub fn sends_of(&self, rank: usize) -> impl Iterator<Item = &Transfer> {
+        self.transfers.iter().filter(move |t| t.src == rank)
+    }
+
+    /// Transfers received by `rank`, in schedule order.
+    pub fn recvs_of(&self, rank: usize) -> impl Iterator<Item = &Transfer> {
+        self.transfers.iter().filter(move |t| t.dst == rank)
+    }
+}
+
+/// A complete composition schedule for `p` ranks over an `image_len`-pixel
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Number of ranks.
+    pub p: usize,
+    /// Frame size in pixels (`A` in the paper).
+    pub image_len: usize,
+    /// Communication steps, in order.
+    pub steps: Vec<Step>,
+    /// Final ownership: `(span, owner)` pairs tiling the frame, sorted by
+    /// span start. After the last step, `owner` holds the fully-composited
+    /// pixels of `span`.
+    pub final_owners: Vec<(Span, usize)>,
+    /// Method name for reports.
+    pub method: String,
+}
+
+impl Schedule {
+    /// Number of communication steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total messages across all steps.
+    pub fn message_count(&self) -> usize {
+        self.steps.iter().map(|s| s.transfers.len()).sum()
+    }
+
+    /// Total pixels shipped across all steps (excluding the gather).
+    pub fn pixels_shipped(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.transfers)
+            .map(|t| t.span.len)
+            .sum()
+    }
+
+    /// Largest number of messages any rank sends in any single step.
+    pub fn max_sends_per_rank_step(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| {
+                let mut counts = vec![0usize; self.p];
+                for t in &s.transfers {
+                    counts[t.src] += 1;
+                }
+                counts.into_iter().max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pixels finally owned by each rank (gather message sizes).
+    pub fn owned_pixels(&self) -> Vec<usize> {
+        let mut owned = vec![0usize; self.p];
+        for (span, owner) in &self.final_owners {
+            owned[*owner] += span.len;
+        }
+        owned
+    }
+
+    /// Human-readable walkthrough in the style of the paper's Figures 1–2.
+    pub fn walkthrough(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: P = {}, A = {} px, {} steps, {} messages",
+            self.method,
+            self.p,
+            self.image_len,
+            self.step_count(),
+            self.message_count()
+        );
+        for (k, step) in self.steps.iter().enumerate() {
+            let _ = writeln!(out, "step {}:", k + 1);
+            for t in &step.transfers {
+                let dir = match t.dir {
+                    MergeDir::Front => "front",
+                    MergeDir::Back => "back",
+                    MergeDir::BackDefer => "back*",
+                };
+                let _ = writeln!(
+                    out,
+                    "  P{} -> P{}  {}  ({} px, merge {})",
+                    t.src, t.dst, t.span, t.span.len, dir
+                );
+            }
+        }
+        let _ = writeln!(out, "final ownership:");
+        for (span, owner) in &self.final_owners {
+            let _ = writeln!(out, "  P{owner}  {span}  ({} px)", span.len);
+        }
+        out
+    }
+}
+
+/// A contiguous depth interval `[lo, hi)` of rank contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    lo: usize,
+    hi: usize,
+}
+
+/// Symbolic verifier state: what one rank currently holds, as disjoint
+/// `(span, run)` pieces sorted by span start.
+#[derive(Debug, Default, Clone)]
+struct Holding {
+    pieces: BTreeMap<usize, (Span, Run)>,
+    /// Deferred back accumulators, keyed by span start.
+    back: BTreeMap<usize, (Span, Run)>,
+}
+
+impl Holding {
+    /// Remove and return the run held over exactly `span`, splitting a
+    /// larger containing piece if needed.
+    fn take(&mut self, span: Span) -> Result<Run, String> {
+        // Find the piece containing span.start.
+        let (&start, &(piece_span, run)) = self
+            .pieces
+            .range(..=span.start)
+            .next_back()
+            .ok_or_else(|| format!("no piece covers {span}"))?;
+        if !piece_span.contains(&span) {
+            return Err(format!("piece {piece_span} does not contain {span}"));
+        }
+        self.pieces.remove(&start);
+        if piece_span.start < span.start {
+            let left = Span::new(piece_span.start, span.start - piece_span.start);
+            self.pieces.insert(left.start, (left, run));
+        }
+        if span.end() < piece_span.end() {
+            let right = Span::new(span.end(), piece_span.end() - span.end());
+            self.pieces.insert(right.start, (right, run));
+        }
+        Ok(run)
+    }
+
+    fn put(&mut self, span: Span, run: Run) {
+        self.pieces.insert(span.start, (span, run));
+    }
+}
+
+/// Symbolically execute `schedule` and prove it correct.
+///
+/// Checks, in order:
+/// 1. every transfer's source actually holds the span it ships, and every
+///    merge is depth-adjacent (the `over` contiguity requirement);
+/// 2. deferred back accumulators are completed and adjacent at flush time;
+/// 3. after the last step, the surviving pieces are exactly the
+///    `final_owners` map, every piece carrying the complete run `[0, P)`;
+/// 4. `final_owners` tiles the frame.
+pub fn verify_schedule(schedule: &Schedule) -> Result<(), CoreError> {
+    let p = schedule.p;
+    let a = schedule.image_len;
+    let bad = |why: String| CoreError::InvalidSchedule { why };
+
+    let mut holdings: Vec<Holding> = (0..p)
+        .map(|r| {
+            let mut h = Holding::default();
+            h.put(Span::whole(a), Run { lo: r, hi: r + 1 });
+            h
+        })
+        .collect();
+
+    for (k, step) in schedule.steps.iter().enumerate() {
+        for t in &step.transfers {
+            if t.src >= p || t.dst >= p {
+                return Err(bad(format!("step {k}: rank out of range in {t:?}")));
+            }
+            if t.src == t.dst {
+                return Err(bad(format!("step {k}: self transfer {t:?}")));
+            }
+            if t.span.end() > a || t.span.is_empty() && a > 0 {
+                // Empty spans are legal no-ops only when the frame is empty;
+                // schedules on degenerate frames may produce them.
+                if t.span.end() > a {
+                    return Err(bad(format!("step {k}: span out of frame in {t:?}")));
+                }
+            }
+            let sent = holdings[t.src]
+                .take(t.span)
+                .map_err(|e| bad(format!("step {k}: sender P{}: {e}", t.src)))?;
+            match t.dir {
+                MergeDir::Front => {
+                    let local = holdings[t.dst]
+                        .take(t.span)
+                        .map_err(|e| bad(format!("step {k}: receiver P{}: {e}", t.dst)))?;
+                    if sent.hi != local.lo {
+                        return Err(bad(format!(
+                            "step {k}: front merge not adjacent: recv [{},{}) vs local [{},{}) in {t:?}",
+                            sent.lo, sent.hi, local.lo, local.hi
+                        )));
+                    }
+                    holdings[t.dst].put(
+                        t.span,
+                        Run {
+                            lo: sent.lo,
+                            hi: local.hi,
+                        },
+                    );
+                }
+                MergeDir::Back => {
+                    let local = holdings[t.dst]
+                        .take(t.span)
+                        .map_err(|e| bad(format!("step {k}: receiver P{}: {e}", t.dst)))?;
+                    if local.hi != sent.lo {
+                        return Err(bad(format!(
+                            "step {k}: back merge not adjacent: local [{},{}) vs recv [{},{}) in {t:?}",
+                            local.lo, local.hi, sent.lo, sent.hi
+                        )));
+                    }
+                    holdings[t.dst].put(
+                        t.span,
+                        Run {
+                            lo: local.lo,
+                            hi: sent.hi,
+                        },
+                    );
+                }
+                MergeDir::BackDefer => {
+                    let entry = holdings[t.dst].back.get(&t.span.start).copied();
+                    match entry {
+                        None => {
+                            holdings[t.dst].back.insert(t.span.start, (t.span, sent));
+                        }
+                        Some((acc_span, acc)) => {
+                            if acc_span != t.span {
+                                return Err(bad(format!(
+                                    "step {k}: deferred-back span mismatch {acc_span} vs {}",
+                                    t.span
+                                )));
+                            }
+                            if sent.hi != acc.lo {
+                                return Err(bad(format!(
+                                    "step {k}: deferred back not deepest-first: recv [{},{}) vs acc [{},{})",
+                                    sent.lo, sent.hi, acc.lo, acc.hi
+                                )));
+                            }
+                            holdings[t.dst].back.insert(
+                                t.span.start,
+                                (
+                                    acc_span,
+                                    Run {
+                                        lo: sent.lo,
+                                        hi: acc.hi,
+                                    },
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Flush deferred back accumulators.
+    for (r, holding) in holdings.iter_mut().enumerate() {
+        let backs: Vec<(Span, Run)> = holding.back.values().copied().collect();
+        holding.back.clear();
+        for (span, acc) in backs {
+            let local = holding
+                .take(span)
+                .map_err(|e| bad(format!("flush: rank P{r}: {e}")))?;
+            if local.hi != acc.lo {
+                return Err(bad(format!(
+                    "flush: rank P{r}: local [{},{}) not adjacent to deferred [{},{})",
+                    local.lo, local.hi, acc.lo, acc.hi
+                )));
+            }
+            holding.put(
+                span,
+                Run {
+                    lo: local.lo,
+                    hi: acc.hi,
+                },
+            );
+        }
+    }
+
+    // final_owners must tile the frame (zero-pixel spans, which degenerate
+    // shapes produce, carry no pixels and are ignored).
+    let mut spans: Vec<Span> = schedule
+        .final_owners
+        .iter()
+        .map(|(s, _)| *s)
+        .filter(|s| !s.is_empty())
+        .collect();
+    spans.sort_by_key(|s| s.start);
+    if !rt_imaging::span::spans_tile(Span::whole(a), &spans) {
+        return Err(bad("final_owners do not tile the frame".to_string()));
+    }
+
+    // Each owner must hold the complete run on exactly its final spans.
+    for (span, owner) in &schedule.final_owners {
+        if *owner >= p {
+            return Err(bad(format!("final owner {owner} out of range")));
+        }
+        if span.is_empty() {
+            continue;
+        }
+        let run = holdings[*owner]
+            .take(*span)
+            .map_err(|e| bad(format!("final: owner P{owner}: {e}")))?;
+        if run.lo != 0 || run.hi != p {
+            return Err(bad(format!(
+                "final: owner P{owner} holds [{},{}) on {span}, expected [0,{p})",
+                run.lo, run.hi
+            )));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built two-rank swap: rank 0 keeps the first half (recv 1's
+    /// partial as back), rank 1 keeps the second half (recv 0's as front).
+    fn two_rank_swap(a: usize) -> Schedule {
+        let (first, second) = Span::whole(a).halve();
+        Schedule {
+            p: 2,
+            image_len: a,
+            steps: vec![Step {
+                transfers: vec![
+                    Transfer {
+                        src: 1,
+                        dst: 0,
+                        span: first,
+                        dir: MergeDir::Back,
+                    },
+                    Transfer {
+                        src: 0,
+                        dst: 1,
+                        span: second,
+                        dir: MergeDir::Front,
+                    },
+                ],
+            }],
+            final_owners: vec![(first, 0), (second, 1)],
+            method: "swap2".into(),
+        }
+    }
+
+    #[test]
+    fn two_rank_swap_verifies() {
+        verify_schedule(&two_rank_swap(100)).unwrap();
+    }
+
+    #[test]
+    fn wrong_direction_is_rejected() {
+        let mut s = two_rank_swap(100);
+        s.steps[0].transfers[0].dir = MergeDir::Front;
+        let err = verify_schedule(&s).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_transfer_leaves_incomplete_run() {
+        let mut s = two_rank_swap(100);
+        s.steps[0].transfers.pop();
+        let err = verify_schedule(&s).unwrap_err();
+        assert!(err.to_string().contains("expected [0,2)"), "{err}");
+    }
+
+    #[test]
+    fn double_send_of_same_span_is_rejected() {
+        let mut s = two_rank_swap(100);
+        let dup = s.steps[0].transfers[0];
+        s.steps[0].transfers.push(dup);
+        assert!(verify_schedule(&s).is_err());
+    }
+
+    #[test]
+    fn final_owner_gap_is_rejected() {
+        let mut s = two_rank_swap(100);
+        s.final_owners.remove(0);
+        let err = verify_schedule(&s).unwrap_err();
+        assert!(err.to_string().contains("tile"), "{err}");
+    }
+
+    #[test]
+    fn self_transfer_is_rejected() {
+        let mut s = two_rank_swap(100);
+        s.steps[0].transfers[0].dst = 1;
+        s.steps[0].transfers[0].src = 1;
+        assert!(verify_schedule(&s).is_err());
+    }
+
+    #[test]
+    fn deferred_back_deepest_first_enforced() {
+        // P = 3: rank 0 accumulates: own [0,1); recv 2 deferred; recv 1
+        // deferred (front of 2) — valid. Swapping arrival order must fail.
+        let span = Span::whole(10);
+        let good = Schedule {
+            p: 3,
+            image_len: 10,
+            steps: vec![
+                Step {
+                    transfers: vec![Transfer {
+                        src: 2,
+                        dst: 0,
+                        span,
+                        dir: MergeDir::BackDefer,
+                    }],
+                },
+                Step {
+                    transfers: vec![Transfer {
+                        src: 1,
+                        dst: 0,
+                        span,
+                        dir: MergeDir::BackDefer,
+                    }],
+                },
+            ],
+            final_owners: vec![(span, 0)],
+            method: "defer".into(),
+        };
+        verify_schedule(&good).unwrap();
+
+        let mut bad = good.clone();
+        bad.steps.swap(0, 1);
+        assert!(verify_schedule(&bad).is_err());
+    }
+
+    #[test]
+    fn walkthrough_mentions_every_transfer() {
+        let s = two_rank_swap(100);
+        let text = s.walkthrough();
+        assert!(text.contains("P1 -> P0"));
+        assert!(text.contains("P0 -> P1"));
+        assert!(text.contains("final ownership"));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = two_rank_swap(100);
+        assert_eq!(s.step_count(), 1);
+        assert_eq!(s.message_count(), 2);
+        assert_eq!(s.pixels_shipped(), 100);
+        assert_eq!(s.max_sends_per_rank_step(), 1);
+        assert_eq!(s.owned_pixels(), vec![50, 50]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Method auto-tuning: pick the best composition method for a machine.
+//!
+//! The paper's Section 2.3 derives the optimal block count analytically;
+//! with the static analyzer the same question — *which method, which
+//! parameters, for this `(P, A, cost)`?* — can be answered by exhaustive
+//! search over the (small) design space, using the exact same pricing the
+//! replay applies to real runs. [`choose`] returns the winner;
+//! [`sweep`] returns the whole ranked space for reports.
+
+use crate::analysis::{analyze, ScheduleCost};
+use crate::method::{CompositionMethod, Method};
+use crate::rotate::RtVariant;
+use crate::CoreError;
+use rt_comm::CostModel;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The method (with parameters).
+    pub method: Method,
+    /// Its statically predicted cost.
+    pub cost: ScheduleCost,
+}
+
+/// Search options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneOptions {
+    /// Largest rotate-tiling block count to consider.
+    pub max_blocks: usize,
+    /// Wire bytes per pixel.
+    pub bytes_per_pixel: usize,
+    /// Rank by time including the gather (`true`, the paper's composition
+    /// stage) or without it.
+    pub include_gather: bool,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            max_blocks: 12,
+            bytes_per_pixel: 2,
+            include_gather: true,
+        }
+    }
+}
+
+fn candidates(p: usize) -> Vec<Method> {
+    let mut out = vec![Method::ParallelPipelined, Method::DirectSend];
+    if p.is_power_of_two() {
+        out.push(Method::BinarySwap);
+    } else {
+        out.push(Method::BinarySwapFold);
+    }
+    out
+}
+
+/// Evaluate every applicable method (the four baselines plus rotate-tiling
+/// at every admissible block count up to `opts.max_blocks`), ranked best
+/// first.
+pub fn sweep(
+    p: usize,
+    image_len: usize,
+    cost: &CostModel,
+    opts: &TuneOptions,
+) -> Result<Vec<Candidate>, CoreError> {
+    let mut out = Vec::new();
+    let mut push = |method: Method| -> Result<(), CoreError> {
+        let schedule = method.build(p, image_len)?;
+        let sc = analyze(&schedule, cost, opts.bytes_per_pixel);
+        out.push(Candidate { method, cost: sc });
+        Ok(())
+    };
+    for m in candidates(p) {
+        push(m)?;
+    }
+    for b in 1..=opts.max_blocks {
+        if b % 2 == 0 {
+            push(Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: b,
+            })?;
+        } else if p.is_multiple_of(2) {
+            push(Method::RotateTiling {
+                variant: RtVariant::N,
+                blocks: b,
+            })?;
+        }
+    }
+    let key = |c: &Candidate| {
+        if opts.include_gather {
+            c.cost.makespan_with_gather
+        } else {
+            c.cost.makespan
+        }
+    };
+    out.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+    Ok(out)
+}
+
+/// The best method for `(p, image_len)` under `cost`.
+pub fn choose(
+    p: usize,
+    image_len: usize,
+    cost: &CostModel,
+    opts: &TuneOptions,
+) -> Result<Candidate, CoreError> {
+    Ok(sweep(p, image_len, cost, opts)?
+        .into_iter()
+        .next()
+        .expect("the sweep always evaluates at least PP"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> TuneOptions {
+        TuneOptions::default()
+    }
+
+    #[test]
+    fn sweep_covers_the_design_space() {
+        let cands = sweep(8, 4096, &CostModel::SP2, &opts()).unwrap();
+        // PP, DS, BS + 6 even 2N + 6 odd N (p even) = 15.
+        assert_eq!(cands.len(), 15);
+        // Ranked ascending.
+        for w in cands.windows(2) {
+            assert!(w[0].cost.makespan_with_gather <= w[1].cost.makespan_with_gather);
+        }
+    }
+
+    #[test]
+    fn winner_builds_and_verifies() {
+        for p in [3usize, 8, 12, 17] {
+            let best = choose(p, 4096, &CostModel::SP2, &opts()).unwrap();
+            let s = best.method.build(p, 4096).unwrap();
+            crate::schedule::verify_schedule(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn latency_bound_regime_prefers_log_step_methods() {
+        // Tiny frame, fat latency: P−1-step methods must lose.
+        let cost = CostModel::new(0.01, 1e-8, 1e-9);
+        let best = choose(24, 256, &cost, &opts()).unwrap();
+        let steps = best.cost.steps;
+        assert!(steps <= 6, "winner {:?} with {steps} steps", best.method);
+    }
+
+    #[test]
+    fn bandwidth_bound_regime_keeps_everyone_close() {
+        // Fat frame, negligible latency: top candidates within ~2x.
+        let cost = CostModel::new(1e-7, 1e-7, 0.0);
+        let cands = sweep(16, 1 << 18, &cost, &opts()).unwrap();
+        let best = cands[0].cost.makespan_with_gather;
+        let median = cands[cands.len() / 2].cost.makespan_with_gather;
+        assert!(median < 2.5 * best, "best {best} median {median}");
+    }
+
+    #[test]
+    fn odd_machines_never_pick_plain_binary_swap() {
+        let cands = sweep(9, 4096, &CostModel::SP2, &opts()).unwrap();
+        assert!(cands
+            .iter()
+            .all(|c| !matches!(c.method, Method::BinarySwap)));
+        assert!(cands
+            .iter()
+            .any(|c| matches!(c.method, Method::BinarySwapFold)));
+    }
+}

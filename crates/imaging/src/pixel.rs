@@ -1,0 +1,758 @@
+//! Pixel types and the Porter–Duff **over** operator.
+//!
+//! Image composition for volume rendering combines *depth-ordered* partial
+//! images with the non-commutative, associative `over` operator
+//! (Porter & Duff, SIGGRAPH'84). All color types here store **premultiplied
+//! alpha**, for which `over` is simply
+//!
+//! ```text
+//! out.color = front.color + (1 - front.alpha) * back.color
+//! out.alpha = front.alpha + (1 - front.alpha) * back.alpha
+//! ```
+//!
+//! Four pixel types are provided:
+//!
+//! * [`GrayAlpha`] — `f32` luminance + alpha, the workhorse of the paper's
+//!   grayscale 512×512 frames;
+//! * [`Rgba`] — `f32` RGBA for the color examples;
+//! * [`GrayAlpha8`] — 8-bit fixed-point gray+alpha, matching the wire format
+//!   a 2001-era renderer would actually ship (and what TRLE compresses best);
+//! * [`Provenance`] — an *exact* algebraic pixel used by tests: it records
+//!   which contiguous range of depth ranks has been composited and poisons
+//!   itself on any out-of-order merge. Composition algorithms are proven
+//!   correct by running them over `Provenance` images.
+
+use crate::ImagingError;
+
+/// A composable pixel.
+///
+/// `over` must satisfy, for all pixels `a`, `b`, `c` (exactly for
+/// [`Provenance`], within floating-point tolerance for the numeric types):
+///
+/// * associativity: `a.over(b.over(c)) == (a.over(b)).over(c)`;
+/// * identity: `blank().over(a) == a == a.over(blank())`.
+pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Exact number of bytes produced by [`Pixel::write_bytes`].
+    const BYTES: usize;
+
+    /// The fully transparent pixel (identity of `over`).
+    fn blank() -> Self;
+
+    /// True if this pixel is the identity (carries no contribution).
+    fn is_blank(&self) -> bool;
+
+    /// Porter–Duff *over*: `self` is in **front** of `back`.
+    fn over(&self, back: &Self) -> Self;
+
+    /// Append exactly [`Pixel::BYTES`] bytes encoding this pixel.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Decode a pixel from exactly [`Pixel::BYTES`] bytes.
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError>;
+
+    /// Approximate equality with absolute tolerance `tol` per channel.
+    ///
+    /// Exact types ignore `tol`.
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool;
+}
+
+fn f32_from(bytes: &[u8], at: usize) -> f32 {
+    f32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+}
+
+/// Premultiplied grayscale pixel: luminance `v` and coverage `a`, both in
+/// `[0, 1]` with `v <= a` for physically meaningful pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GrayAlpha {
+    /// Premultiplied luminance.
+    pub v: f32,
+    /// Alpha (opacity / coverage).
+    pub a: f32,
+}
+
+impl GrayAlpha {
+    /// Construct from premultiplied luminance and alpha.
+    #[inline]
+    pub fn new(v: f32, a: f32) -> Self {
+        Self { v, a }
+    }
+
+    /// Construct an opaque gray pixel of luminance `v`.
+    #[inline]
+    pub fn opaque(v: f32) -> Self {
+        Self { v, a: 1.0 }
+    }
+
+    /// Non-premultiplied ("straight") luminance, `0` if fully transparent.
+    #[inline]
+    pub fn straight(&self) -> f32 {
+        if self.a <= f32::EPSILON {
+            0.0
+        } else {
+            self.v / self.a
+        }
+    }
+
+    /// Quantize to an 8-bit display value (luminance against black).
+    #[inline]
+    pub fn to_u8(&self) -> u8 {
+        (self.v.clamp(0.0, 1.0) * 255.0).round() as u8
+    }
+}
+
+impl Pixel for GrayAlpha {
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn blank() -> Self {
+        Self { v: 0.0, a: 0.0 }
+    }
+
+    #[inline]
+    fn is_blank(&self) -> bool {
+        self.a == 0.0 && self.v == 0.0
+    }
+
+    #[inline]
+    fn over(&self, back: &Self) -> Self {
+        let t = 1.0 - self.a;
+        Self {
+            v: self.v + t * back.v,
+            a: self.a + t * back.a,
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.v.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError> {
+        if bytes.len() < Self::BYTES {
+            return Err(ImagingError::BadEncoding {
+                what: "GrayAlpha needs 8 bytes",
+            });
+        }
+        Ok(Self {
+            v: f32_from(bytes, 0),
+            a: f32_from(bytes, 4),
+        })
+    }
+
+    #[inline]
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        ((self.v - other.v).abs() as f64) <= tol && ((self.a - other.a).abs() as f64) <= tol
+    }
+}
+
+/// Premultiplied RGBA pixel with `f32` channels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rgba {
+    /// Premultiplied red.
+    pub r: f32,
+    /// Premultiplied green.
+    pub g: f32,
+    /// Premultiplied blue.
+    pub b: f32,
+    /// Alpha.
+    pub a: f32,
+}
+
+impl Rgba {
+    /// Construct from premultiplied channels.
+    #[inline]
+    pub fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Quantize to 8-bit RGB against a black background.
+    #[inline]
+    pub fn to_rgb8(&self) -> [u8; 3] {
+        [
+            (self.r.clamp(0.0, 1.0) * 255.0).round() as u8,
+            (self.g.clamp(0.0, 1.0) * 255.0).round() as u8,
+            (self.b.clamp(0.0, 1.0) * 255.0).round() as u8,
+        ]
+    }
+}
+
+impl Pixel for Rgba {
+    const BYTES: usize = 16;
+
+    #[inline]
+    fn blank() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn is_blank(&self) -> bool {
+        self.a == 0.0 && self.r == 0.0 && self.g == 0.0 && self.b == 0.0
+    }
+
+    #[inline]
+    fn over(&self, back: &Self) -> Self {
+        let t = 1.0 - self.a;
+        Self {
+            r: self.r + t * back.r,
+            g: self.g + t * back.g,
+            b: self.b + t * back.b,
+            a: self.a + t * back.a,
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.r.to_le_bytes());
+        out.extend_from_slice(&self.g.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError> {
+        if bytes.len() < Self::BYTES {
+            return Err(ImagingError::BadEncoding {
+                what: "Rgba needs 16 bytes",
+            });
+        }
+        Ok(Self {
+            r: f32_from(bytes, 0),
+            g: f32_from(bytes, 4),
+            b: f32_from(bytes, 8),
+            a: f32_from(bytes, 12),
+        })
+    }
+
+    #[inline]
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        ((self.r - other.r).abs() as f64) <= tol
+            && ((self.g - other.g).abs() as f64) <= tol
+            && ((self.b - other.b).abs() as f64) <= tol
+            && ((self.a - other.a).abs() as f64) <= tol
+    }
+}
+
+/// 8-bit fixed-point premultiplied gray+alpha pixel (2 bytes on the wire).
+///
+/// This is the format the paper's SP2 implementation would actually ship and
+/// the one the TRLE/RLE codecs were designed around: grayscale frames whose
+/// blank regions are exactly `(0, 0)`.
+///
+/// The `over` operator uses round-to-nearest fixed-point arithmetic
+/// (`x*y ≈ (x*y + 127) / 255`). It is *not* exactly associative (quantization
+/// error up to 1 ulp per merge), which is why correctness tests use
+/// [`Provenance`] and numeric comparisons use tolerances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GrayAlpha8 {
+    /// Premultiplied luminance in `[0, 255]`.
+    pub v: u8,
+    /// Alpha in `[0, 255]`.
+    pub a: u8,
+}
+
+#[inline]
+fn mul255(x: u16, y: u16) -> u16 {
+    (x * y + 127) / 255
+}
+
+impl GrayAlpha8 {
+    /// Construct from premultiplied 8-bit luminance and alpha.
+    #[inline]
+    pub fn new(v: u8, a: u8) -> Self {
+        Self { v, a }
+    }
+
+    /// Lossy conversion from the `f32` pixel.
+    #[inline]
+    pub fn from_f32(p: GrayAlpha) -> Self {
+        Self {
+            v: (p.v.clamp(0.0, 1.0) * 255.0).round() as u8,
+            a: (p.a.clamp(0.0, 1.0) * 255.0).round() as u8,
+        }
+    }
+
+    /// Widening conversion to the `f32` pixel.
+    #[inline]
+    pub fn to_f32(self) -> GrayAlpha {
+        GrayAlpha {
+            v: self.v as f32 / 255.0,
+            a: self.a as f32 / 255.0,
+        }
+    }
+}
+
+impl Pixel for GrayAlpha8 {
+    const BYTES: usize = 2;
+
+    #[inline]
+    fn blank() -> Self {
+        Self { v: 0, a: 0 }
+    }
+
+    #[inline]
+    fn is_blank(&self) -> bool {
+        self.v == 0 && self.a == 0
+    }
+
+    #[inline]
+    fn over(&self, back: &Self) -> Self {
+        let t = 255 - self.a as u16;
+        Self {
+            v: (self.v as u16 + mul255(t, back.v as u16)).min(255) as u8,
+            a: (self.a as u16 + mul255(t, back.a as u16)).min(255) as u8,
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(self.v);
+        out.push(self.a);
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError> {
+        if bytes.len() < Self::BYTES {
+            return Err(ImagingError::BadEncoding {
+                what: "GrayAlpha8 needs 2 bytes",
+            });
+        }
+        Ok(Self {
+            v: bytes[0],
+            a: bytes[1],
+        })
+    }
+
+    #[inline]
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        ((self.v as f64 - other.v as f64).abs()) <= tol * 255.0
+            && ((self.a as f64 - other.a as f64).abs()) <= tol * 255.0
+    }
+}
+
+/// Exact algebraic pixel recording *which depth ranks* have been composited.
+///
+/// A valid non-blank `Provenance` pixel holds a half-open contiguous rank
+/// range `[lo, hi)`. `front.over(back)` succeeds exactly when
+/// `front.hi == back.lo` (the merge is depth-adjacent and in order), yielding
+/// `[front.lo, back.hi)`; any other combination yields the poisoned
+/// [`Provenance::INVALID`] value, which propagates through further merges.
+///
+/// Running a composition algorithm over a `Provenance` image where rank `r`
+/// starts with `[r, r+1)` everywhere therefore proves, pixel by pixel, that
+/// the algorithm composites **every** contribution **exactly once** and **in
+/// depth order** — the full correctness condition for sort-last compositing
+/// with a non-commutative operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// Inclusive start of the composited rank range.
+    pub lo: u16,
+    /// Exclusive end of the composited rank range. `lo == hi` means blank.
+    pub hi: u16,
+}
+
+impl Provenance {
+    /// The poisoned value produced by an out-of-order merge.
+    pub const INVALID: Self = Self {
+        lo: u16::MAX,
+        hi: u16::MAX,
+    };
+
+    /// The single-rank contribution `[rank, rank+1)`.
+    #[inline]
+    pub fn rank(rank: u16) -> Self {
+        Self {
+            lo: rank,
+            hi: rank + 1,
+        }
+    }
+
+    /// The fully-composited range `[0, p)`.
+    #[inline]
+    pub fn complete(p: u16) -> Self {
+        Self { lo: 0, hi: p }
+    }
+
+    /// True if this pixel was poisoned by an out-of-order merge.
+    #[inline]
+    pub fn is_invalid(&self) -> bool {
+        *self == Self::INVALID
+    }
+}
+
+impl Pixel for Provenance {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn blank() -> Self {
+        Self { lo: 0, hi: 0 }
+    }
+
+    #[inline]
+    fn is_blank(&self) -> bool {
+        self.lo == self.hi && !self.is_invalid()
+    }
+
+    #[inline]
+    fn over(&self, back: &Self) -> Self {
+        if self.is_invalid() || back.is_invalid() {
+            return Self::INVALID;
+        }
+        if self.is_blank() {
+            return *back;
+        }
+        if back.is_blank() {
+            return *self;
+        }
+        if self.hi == back.lo {
+            Self {
+                lo: self.lo,
+                hi: back.hi,
+            }
+        } else {
+            Self::INVALID
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.lo.to_le_bytes());
+        out.extend_from_slice(&self.hi.to_le_bytes());
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError> {
+        if bytes.len() < Self::BYTES {
+            return Err(ImagingError::BadEncoding {
+                what: "Provenance needs 4 bytes",
+            });
+        }
+        Ok(Self {
+            lo: u16::from_le_bytes([bytes[0], bytes[1]]),
+            hi: u16::from_le_bytes([bytes[2], bytes[3]]),
+        })
+    }
+
+    #[inline]
+    fn approx_eq(&self, other: &Self, _tol: f64) -> bool {
+        self == other
+    }
+}
+
+/// Encode a pixel slice into a fresh byte vector (`pixels.len() * P::BYTES`).
+pub fn pixels_to_bytes<P: Pixel>(pixels: &[P]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pixels.len() * P::BYTES);
+    for p in pixels {
+        p.write_bytes(&mut out);
+    }
+    out
+}
+
+/// Decode a byte buffer produced by [`pixels_to_bytes`].
+pub fn pixels_from_bytes<P: Pixel>(bytes: &[u8]) -> Result<Vec<P>, ImagingError> {
+    if !bytes.len().is_multiple_of(P::BYTES) {
+        return Err(ImagingError::BadEncoding {
+            what: "byte length is not a multiple of the pixel size",
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / P::BYTES);
+    for chunk in bytes.chunks_exact(P::BYTES) {
+        out.push(P::read_bytes(chunk)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ga(v: f32, a: f32) -> GrayAlpha {
+        GrayAlpha::new(v, a)
+    }
+
+    #[test]
+    fn over_identity_blank() {
+        let p = ga(0.3, 0.5);
+        assert_eq!(GrayAlpha::blank().over(&p), p);
+        assert_eq!(p.over(&GrayAlpha::blank()), p);
+    }
+
+    #[test]
+    fn over_opaque_front_wins() {
+        let front = GrayAlpha::opaque(0.8);
+        let back = ga(0.2, 0.9);
+        assert_eq!(front.over(&back), front);
+    }
+
+    #[test]
+    fn over_is_not_commutative() {
+        let a = ga(0.5, 0.5);
+        let b = ga(0.1, 0.9);
+        assert_ne!(a.over(&b), b.over(&a));
+    }
+
+    #[test]
+    fn gray8_over_matches_float_within_quantization() {
+        let a = GrayAlpha8::new(100, 128);
+        let b = GrayAlpha8::new(30, 200);
+        let fixed = a.over(&b).to_f32();
+        let float = a.to_f32().over(&b.to_f32());
+        assert!(
+            fixed.approx_eq(&float, 1.5 / 255.0),
+            "{fixed:?} vs {float:?}"
+        );
+    }
+
+    #[test]
+    fn provenance_ordered_merge() {
+        let p01 = Provenance::rank(0).over(&Provenance::rank(1));
+        assert_eq!(p01, Provenance { lo: 0, hi: 2 });
+        let p = p01.over(&Provenance::rank(2));
+        assert_eq!(p, Provenance::complete(3));
+        assert!(!p.is_invalid());
+    }
+
+    #[test]
+    fn provenance_out_of_order_merge_poisons() {
+        let bad = Provenance::rank(0).over(&Provenance::rank(2));
+        assert!(bad.is_invalid());
+        // The poison propagates through later, otherwise-legal merges.
+        assert!(bad.over(&Provenance::rank(3)).is_invalid());
+        assert!(Provenance::rank(1).over(&bad).is_invalid());
+    }
+
+    #[test]
+    fn provenance_wrong_direction_poisons() {
+        // back-to-front application must be caught
+        assert!(Provenance::rank(1).over(&Provenance::rank(0)).is_invalid());
+    }
+
+    #[test]
+    fn roundtrip_bytes_all_types() {
+        let g = ga(0.25, 0.75);
+        let mut buf = Vec::new();
+        g.write_bytes(&mut buf);
+        assert_eq!(buf.len(), GrayAlpha::BYTES);
+        assert_eq!(GrayAlpha::read_bytes(&buf).unwrap(), g);
+
+        let c = Rgba::new(0.1, 0.2, 0.3, 0.4);
+        let mut buf = Vec::new();
+        c.write_bytes(&mut buf);
+        assert_eq!(Rgba::read_bytes(&buf).unwrap(), c);
+
+        let q = GrayAlpha8::new(17, 200);
+        let mut buf = Vec::new();
+        q.write_bytes(&mut buf);
+        assert_eq!(GrayAlpha8::read_bytes(&buf).unwrap(), q);
+
+        let v = Provenance::rank(7);
+        let mut buf = Vec::new();
+        v.write_bytes(&mut buf);
+        assert_eq!(Provenance::read_bytes(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn short_buffers_are_rejected() {
+        assert!(GrayAlpha::read_bytes(&[0; 7]).is_err());
+        assert!(Rgba::read_bytes(&[0; 15]).is_err());
+        assert!(GrayAlpha8::read_bytes(&[0; 1]).is_err());
+        assert!(Provenance::read_bytes(&[0; 3]).is_err());
+    }
+
+    #[test]
+    fn pixel_vec_roundtrip() {
+        let pixels = vec![ga(0.0, 0.0), ga(0.5, 0.5), ga(1.0, 1.0)];
+        let bytes = pixels_to_bytes(&pixels);
+        assert_eq!(bytes.len(), 3 * GrayAlpha::BYTES);
+        let back: Vec<GrayAlpha> = pixels_from_bytes(&bytes).unwrap();
+        assert_eq!(back, pixels);
+    }
+
+    #[test]
+    fn pixel_vec_bad_length_rejected() {
+        let err = pixels_from_bytes::<GrayAlpha>(&[0u8; 9]);
+        assert!(err.is_err());
+    }
+
+    prop_compose! {
+        fn arb_ga()(a in 0.0f32..=1.0, s in 0.0f32..=1.0) -> GrayAlpha {
+            // premultiplied: v <= a
+            GrayAlpha::new(a * s, a)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn over_associative_within_tolerance(a in arb_ga(), b in arb_ga(), c in arb_ga()) {
+            let left = a.over(&b).over(&c);
+            let right = a.over(&b.over(&c));
+            prop_assert!(left.approx_eq(&right, 1e-5), "{left:?} vs {right:?}");
+        }
+
+        #[test]
+        fn over_keeps_premultiplied_invariant(a in arb_ga(), b in arb_ga()) {
+            let out = a.over(&b);
+            prop_assert!(out.v <= out.a + 1e-6);
+            prop_assert!(out.a <= 1.0 + 1e-6);
+        }
+
+        #[test]
+        fn provenance_chain_of_adjacent_ranks_is_complete(p in 1u16..64) {
+            let mut acc = Provenance::blank();
+            for r in 0..p {
+                acc = acc.over(&Provenance::rank(r));
+            }
+            prop_assert_eq!(acc, Provenance::complete(p));
+        }
+
+        #[test]
+        fn provenance_associative(a in 0u16..8, b in 0u16..8, c in 0u16..8) {
+            // arbitrary single ranks: both association orders must agree,
+            // including in how they poison.
+            let (pa, pb, pc) = (Provenance::rank(a), Provenance::rank(b), Provenance::rank(c));
+            let left = pa.over(&pb).over(&pc);
+            let right = pa.over(&pb.over(&pc));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn gray8_roundtrip(v in 0u8..=255, a in 0u8..=255) {
+            let p = GrayAlpha8::new(v, a);
+            let mut buf = Vec::new();
+            p.write_bytes(&mut buf);
+            prop_assert_eq!(GrayAlpha8::read_bytes(&buf).unwrap(), p);
+        }
+    }
+}
+
+/// 8-bit fixed-point premultiplied RGBA pixel (4 bytes on the wire) — the
+/// color analog of [`GrayAlpha8`], for shipping shaded color frames through
+/// the composition stage at wire-realistic sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rgba8 {
+    /// Premultiplied red.
+    pub r: u8,
+    /// Premultiplied green.
+    pub g: u8,
+    /// Premultiplied blue.
+    pub b: u8,
+    /// Alpha.
+    pub a: u8,
+}
+
+impl Rgba8 {
+    /// Construct from premultiplied 8-bit channels.
+    #[inline]
+    pub fn new(r: u8, g: u8, b: u8, a: u8) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Lossy conversion from the `f32` color pixel.
+    #[inline]
+    pub fn from_f32(p: Rgba) -> Self {
+        let q = |v: f32| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+        Self {
+            r: q(p.r),
+            g: q(p.g),
+            b: q(p.b),
+            a: q(p.a),
+        }
+    }
+
+    /// Widening conversion to the `f32` color pixel.
+    #[inline]
+    pub fn to_f32(self) -> Rgba {
+        Rgba {
+            r: self.r as f32 / 255.0,
+            g: self.g as f32 / 255.0,
+            b: self.b as f32 / 255.0,
+            a: self.a as f32 / 255.0,
+        }
+    }
+}
+
+impl Pixel for Rgba8 {
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn blank() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn is_blank(&self) -> bool {
+        self.r == 0 && self.g == 0 && self.b == 0 && self.a == 0
+    }
+
+    #[inline]
+    fn over(&self, back: &Self) -> Self {
+        let t = 255 - self.a as u16;
+        let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
+        Self {
+            r: ch(self.r, back.r),
+            g: ch(self.g, back.g),
+            b: ch(self.b, back.b),
+            a: ch(self.a, back.a),
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&[self.r, self.g, self.b, self.a]);
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError> {
+        if bytes.len() < Self::BYTES {
+            return Err(ImagingError::BadEncoding {
+                what: "Rgba8 needs 4 bytes",
+            });
+        }
+        Ok(Self {
+            r: bytes[0],
+            g: bytes[1],
+            b: bytes[2],
+            a: bytes[3],
+        })
+    }
+
+    #[inline]
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        let t = tol * 255.0;
+        ((self.r as f64 - other.r as f64).abs()) <= t
+            && ((self.g as f64 - other.g as f64).abs()) <= t
+            && ((self.b as f64 - other.b as f64).abs()) <= t
+            && ((self.a as f64 - other.a as f64).abs()) <= t
+    }
+}
+
+#[cfg(test)]
+mod rgba8_tests {
+    use super::*;
+
+    #[test]
+    fn over_matches_float_within_quantization() {
+        let a = Rgba8::new(90, 40, 20, 128);
+        let b = Rgba8::new(10, 60, 90, 220);
+        let fixed = a.over(&b).to_f32();
+        let float = a.to_f32().over(&b.to_f32());
+        assert!(fixed.approx_eq(&float, 1.5 / 255.0), "{fixed:?} vs {float:?}");
+    }
+
+    #[test]
+    fn blank_is_identity() {
+        let p = Rgba8::new(10, 20, 30, 200);
+        assert_eq!(Rgba8::blank().over(&p), p);
+        assert_eq!(p.over(&Rgba8::blank()), p);
+        assert!(Rgba8::blank().is_blank());
+        assert!(!p.is_blank());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let p = Rgba8::new(1, 2, 3, 4);
+        let mut buf = Vec::new();
+        p.write_bytes(&mut buf);
+        assert_eq!(buf.len(), Rgba8::BYTES);
+        assert_eq!(Rgba8::read_bytes(&buf).unwrap(), p);
+        assert!(Rgba8::read_bytes(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn conversion_roundtrip_is_tight() {
+        let p = Rgba8::new(17, 99, 201, 255);
+        assert_eq!(Rgba8::from_f32(p.to_f32()), p);
+    }
+}

@@ -1,0 +1,203 @@
+//! Contiguous pixel ranges ("blocks" in the paper's terminology).
+//!
+//! The composition methods all operate on *contiguous ranges of the flat
+//! row-major pixel buffer*: the paper partitions each 512×512 sub-image into
+//! `N` equal blocks and then repeatedly "divides each block into two equal
+//! halves". A [`Span`] names such a range; [`Span::split_even`] performs the
+//! initial partitioning and [`Span::halve`] the per-step subdivision.
+//!
+//! When the pixel count does not divide evenly the leading parts receive one
+//! extra pixel, so all ranks derive the identical partition from `(A, N)`
+//! without communication.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open contiguous range `[start, start + len)` of flat pixel indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// First pixel index covered by the span.
+    pub start: usize,
+    /// Number of pixels covered.
+    pub len: usize,
+}
+
+impl Span {
+    /// Create a span covering `[start, start + len)`.
+    #[inline]
+    pub fn new(start: usize, len: usize) -> Self {
+        Self { start, len }
+    }
+
+    /// The span covering an entire image of `len` pixels.
+    #[inline]
+    pub fn whole(len: usize) -> Self {
+        Self { start: 0, len }
+    }
+
+    /// Exclusive end index.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// True if the span covers no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `std::ops::Range` equivalent, for slicing buffers.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end()
+    }
+
+    /// Split into `n` consecutive parts whose sizes differ by at most one
+    /// pixel (leading parts take the remainder). Empty parts are produced if
+    /// `n > len`, keeping the part count exact — callers rely on that when
+    /// mapping block indices across ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn split_even(&self, n: usize) -> Vec<Span> {
+        assert!(n > 0, "cannot split a span into zero parts");
+        let base = self.len / n;
+        let extra = self.len % n;
+        let mut parts = Vec::with_capacity(n);
+        let mut at = self.start;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            parts.push(Span::new(at, len));
+            at += len;
+        }
+        debug_assert_eq!(at, self.end());
+        parts
+    }
+
+    /// Split into two halves (`split_even(2)`), the paper's per-step
+    /// "divide each block into two equal halves".
+    #[inline]
+    pub fn halve(&self) -> (Span, Span) {
+        let first = self.len - self.len / 2;
+        (
+            Span::new(self.start, first),
+            Span::new(self.start + first, self.len / 2),
+        )
+    }
+
+    /// True if `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains(&self, other: &Span) -> bool {
+        other.start >= self.start && other.end() <= self.end()
+    }
+
+    /// Intersection of two spans, if non-empty.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        let start = self.start.max(other.start);
+        let end = self.end().min(other.end());
+        (start < end).then(|| Span::new(start, end - start))
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+/// Verify that `spans` exactly tile `whole` (consecutive, gap-free, in
+/// order). Used by schedule validators and tests.
+pub fn spans_tile(whole: Span, spans: &[Span]) -> bool {
+    let mut at = whole.start;
+    for s in spans {
+        if s.start != at {
+            return false;
+        }
+        at = s.end();
+    }
+    at == whole.end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_even_exact() {
+        let parts = Span::whole(12).split_even(4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len == 3));
+        assert!(spans_tile(Span::whole(12), &parts));
+    }
+
+    #[test]
+    fn split_even_with_remainder_front_loads() {
+        let parts = Span::whole(10).split_even(4);
+        assert_eq!(
+            parts.iter().map(|p| p.len).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
+        assert!(spans_tile(Span::whole(10), &parts));
+    }
+
+    #[test]
+    fn split_more_parts_than_pixels_keeps_count() {
+        let parts = Span::whole(2).split_even(5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(|p| p.len).sum::<usize>(), 2);
+        assert!(spans_tile(Span::whole(2), &parts));
+    }
+
+    #[test]
+    fn halve_matches_split_even() {
+        let s = Span::new(3, 9);
+        let (a, b) = s.halve();
+        let parts = s.split_even(2);
+        assert_eq!(parts, vec![a, b]);
+        assert_eq!(a.len + b.len, 9);
+    }
+
+    #[test]
+    fn contains_and_intersect() {
+        let big = Span::new(10, 20);
+        let inside = Span::new(15, 5);
+        let overlapping = Span::new(25, 10);
+        let disjoint = Span::new(40, 5);
+        assert!(big.contains(&inside));
+        assert!(!big.contains(&overlapping));
+        assert_eq!(big.intersect(&overlapping), Some(Span::new(25, 5)));
+        assert_eq!(big.intersect(&disjoint), None);
+        assert_eq!(big.intersect(&inside), Some(inside));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_zero_panics() {
+        Span::whole(4).split_even(0);
+    }
+
+    proptest! {
+        #[test]
+        fn split_even_tiles_and_balances(len in 0usize..10_000, n in 1usize..64) {
+            let parts = Span::whole(len).split_even(n);
+            prop_assert_eq!(parts.len(), n);
+            prop_assert!(spans_tile(Span::whole(len), &parts));
+            let max = parts.iter().map(|p| p.len).max().unwrap();
+            let min = parts.iter().map(|p| p.len).min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+
+        #[test]
+        fn repeated_halving_never_loses_pixels(len in 1usize..5_000, steps in 0usize..6) {
+            let mut spans = vec![Span::whole(len)];
+            for _ in 0..steps {
+                spans = spans.iter().flat_map(|s| {
+                    let (a, b) = s.halve();
+                    [a, b]
+                }).collect();
+            }
+            prop_assert!(spans_tile(Span::whole(len), &spans));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # rt-pvr — the end-to-end parallel volume rendering system
+//!
+//! Ties the substrates together into the paper's three-stage pipeline:
+//!
+//! 1. **data partitioning** — the volume is cut into per-rank subvolumes
+//!    (1-D slabs along the view's principal axis by default);
+//! 2. **rendering** — every rank shear-warps its subvolume into a partial
+//!    intermediate image in full-frame coordinates;
+//! 3. **image composition** — the partials are combined with any
+//!    [`rt_core`] method/codec over the [`rt_comm`] multicomputer, and the
+//!    root warps the composited intermediate image to the screen.
+//!
+//! Two entry points:
+//!
+//! * [`scene::prepare_scene`] + [`scene::compose_scene`] — render the
+//!   partials once, then benchmark many method/codec combinations against
+//!   the same inputs (what the figure harness uses);
+//! * [`pipeline::render_frame`] — the full pipeline including the
+//!   view-dependent depth permutation of ranks, as a production renderer
+//!   would run it per frame.
+
+#![warn(missing_docs)]
+
+pub mod animate;
+pub mod permute;
+pub mod pipeline;
+pub mod scene;
+
+pub use animate::{render_orbit, FrameStats, OrbitConfig};
+pub use permute::permute_schedule;
+pub use pipeline::{render_frame, PipelineConfig, PipelineOutput};
+pub use scene::{compose_scene, prepare_scene, Scene};
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PvrError {
+    /// The composition stage failed.
+    Core(rt_core::CoreError),
+    /// The rendering stage failed.
+    Render(rt_render::RenderError),
+    /// Pipeline-level misconfiguration.
+    Config {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for PvrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PvrError::Core(e) => write!(f, "composition: {e}"),
+            PvrError::Render(e) => write!(f, "rendering: {e}"),
+            PvrError::Config { what } => write!(f, "pipeline config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PvrError {}
+
+impl From<rt_core::CoreError> for PvrError {
+    fn from(e: rt_core::CoreError) -> Self {
+        PvrError::Core(e)
+    }
+}
+
+impl From<rt_render::RenderError> for PvrError {
+    fn from(e: rt_render::RenderError) -> Self {
+        PvrError::Render(e)
+    }
+}

@@ -1,0 +1,89 @@
+//! Rank permutation: adapting depth-indexed schedules to physical ranks.
+//!
+//! Every [`rt_core`] schedule is built in *depth coordinates*: index 0 is
+//! the partial nearest the viewer. On a real machine, ranks own fixed
+//! subvolumes and the view changes per frame, so the depth order is a
+//! permutation of the physical ranks. [`permute_schedule`] relabels a
+//! verified depth-indexed schedule onto physical ranks; merge directions
+//! stay baked in depth terms, so correctness is preserved by construction
+//! (and re-checked end-to-end by the pipeline tests).
+
+use rt_core::schedule::Schedule;
+
+/// Relabel `schedule` (depth-indexed) onto physical ranks:
+/// `rank_of_depth[d]` is the physical rank whose partial sits at depth
+/// position `d` (0 = nearest).
+///
+/// # Panics
+/// Panics if `rank_of_depth` is not a permutation of `0..schedule.p`.
+pub fn permute_schedule(schedule: &Schedule, rank_of_depth: &[usize]) -> Schedule {
+    let p = schedule.p;
+    assert_eq!(rank_of_depth.len(), p, "permutation size mismatch");
+    let mut seen = vec![false; p];
+    for &r in rank_of_depth {
+        assert!(r < p && !seen[r], "rank_of_depth is not a permutation");
+        seen[r] = true;
+    }
+    let mut out = schedule.clone();
+    for step in &mut out.steps {
+        for t in &mut step.transfers {
+            t.src = rank_of_depth[t.src];
+            t.dst = rank_of_depth[t.dst];
+        }
+    }
+    for (_, owner) in &mut out.final_owners {
+        *owner = rank_of_depth[*owner];
+    }
+    out.method = format!("{}∘π", schedule.method);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::method::CompositionMethod;
+    use rt_core::{BinarySwap, ParallelPipelined};
+
+    #[test]
+    fn identity_permutation_changes_only_the_label() {
+        let s = ParallelPipelined::new().build(4, 400).unwrap();
+        let q = permute_schedule(&s, &[0, 1, 2, 3]);
+        assert_eq!(s.steps, q.steps);
+        assert_eq!(s.final_owners, q.final_owners);
+    }
+
+    #[test]
+    fn permutation_relabels_every_endpoint() {
+        let s = BinarySwap::new().build(4, 400).unwrap();
+        let perm = [2, 0, 3, 1];
+        let q = permute_schedule(&s, &perm);
+        for (a, b) in s
+            .steps
+            .iter()
+            .flat_map(|st| &st.transfers)
+            .zip(q.steps.iter().flat_map(|st| &st.transfers))
+        {
+            assert_eq!(b.src, perm[a.src]);
+            assert_eq!(b.dst, perm[a.dst]);
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.dir, b.dir);
+        }
+        for ((_, a), (_, b)) in s.final_owners.iter().zip(&q.final_owners) {
+            assert_eq!(*b, perm[*a]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_panics() {
+        let s = BinarySwap::new().build(4, 400).unwrap();
+        permute_schedule(&s, &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let s = BinarySwap::new().build(4, 400).unwrap();
+        permute_schedule(&s, &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,235 @@
+//! The full per-frame pipeline: partition → render → composite → warp.
+//!
+//! Unlike [`crate::scene`], this runs *inside* the multicomputer: every rank
+//! renders its own fixed subvolume (rendering work is charged to the trace
+//! under [`rt_comm::ComputeKind::Render`]), the depth-indexed schedule is
+//! permuted onto the physical ranks for the current view, and the root
+//! finishes with the 2-D warp — the complete system of the paper.
+
+use crate::permute::permute_schedule;
+use crate::PvrError;
+use rt_comm::{ComputeKind, Multicomputer, Trace};
+use rt_compress::CodecKind;
+use rt_core::exec::{compose, ComposeConfig};
+use rt_core::method::{CompositionMethod, Method};
+use rt_core::schedule::verify_schedule;
+use rt_imaging::{GrayAlpha, Image};
+use rt_render::camera::Camera;
+use rt_render::datasets::Dataset;
+use rt_render::partition::{depth_order, partition_1d, Subvolume};
+use rt_render::shearwarp::{render_intermediate, warp_to_screen, RenderOptions};
+
+/// Configuration of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Which dataset to volume-render.
+    pub dataset: Dataset,
+    /// Cubic volume resolution.
+    pub volume_size: usize,
+    /// Dataset noise seed.
+    pub seed: u64,
+    /// The view.
+    pub camera: Camera,
+    /// Frame options.
+    pub render: RenderOptions,
+    /// Composition method.
+    pub method: Method,
+    /// Message codec.
+    pub codec: CodecKind,
+    /// Rank that assembles and warps the final frame.
+    pub root: usize,
+}
+
+impl PipelineConfig {
+    /// A small, fast default for tests and the quickstart example.
+    pub fn small(method: Method) -> Self {
+        Self {
+            dataset: Dataset::Engine,
+            volume_size: 24,
+            seed: 7,
+            camera: Camera::yaw_pitch(0.3, 0.15),
+            render: RenderOptions {
+                width: 64,
+                height: 64,
+                early_termination: 1.0,
+            },
+            method,
+            codec: CodecKind::Trle,
+            root: 0,
+        }
+    }
+}
+
+/// The result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The final screen frame (assembled and warped at the root).
+    pub frame: Image<GrayAlpha>,
+    /// Event trace of the whole run (render + composite + gather + warp).
+    pub trace: Trace,
+    /// Physical rank at each depth position for this view (0 = nearest).
+    pub rank_of_depth: Vec<usize>,
+    /// The executed (depth-indexed) schedule's name.
+    pub method_name: String,
+}
+
+/// Run the full pipeline on `p` ranks.
+pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput, PvrError> {
+    // Data partitioning stage (host side, as the paper's stage 1): rank r
+    // owns slab r along the view's principal axis.
+    let volume = config.dataset.generate(config.volume_size, config.seed);
+    let tf = config.dataset.transfer_function();
+    let probe = Subvolume::whole(volume.clone());
+    let (_, f) = render_intermediate(
+        &probe,
+        &tf,
+        &config.camera,
+        &RenderOptions {
+            early_termination: 1.0,
+            ..config.render
+        },
+    );
+    let parts = partition_1d(&volume, p, f.axis)?;
+    let rank_of_depth = depth_order(&parts, &f);
+    let image_len = f.inter_size.0 * f.inter_size.1;
+
+    // Compile and verify the schedule in depth coordinates, then relabel
+    // onto the physical ranks for this view.
+    let depth_schedule = config.method.build(p, image_len)?;
+    verify_schedule(&depth_schedule)?;
+    let schedule = permute_schedule(&depth_schedule, &rank_of_depth);
+    let method_name = depth_schedule.method.clone();
+
+    let compose_config = ComposeConfig {
+        codec: config.codec,
+        root: config.root,
+        gather: true,
+    };
+
+    let parts_cell = std::sync::Mutex::new(parts.into_iter().map(Some).collect::<Vec<_>>());
+    let mc = Multicomputer::new(p);
+    let (results, trace) = mc.run(|ctx| -> Result<Option<Image<GrayAlpha>>, PvrError> {
+        let sub = parts_cell.lock().unwrap()[ctx.rank()]
+            .take()
+            .expect("each rank takes its subvolume once");
+        ctx.mark("render:start");
+        let (partial, _) = render_intermediate(&sub, &tf, &config.camera, &config.render);
+        ctx.compute(ComputeKind::Render, sub.vol.len() as u64);
+        ctx.mark("render:end");
+        ctx.barrier();
+        let out = compose(ctx, &schedule, partial, &compose_config)?;
+        if let Some(inter) = out.frame {
+            ctx.compute(
+                ComputeKind::Render,
+                (config.render.width * config.render.height) as u64,
+            );
+            let screen = warp_to_screen(&inter, &f, &config.render);
+            ctx.mark("warp:end");
+            Ok(Some(screen))
+        } else {
+            Ok(None)
+        }
+    });
+
+    let mut frame = None;
+    for r in results {
+        if let Some(img) = r? {
+            frame = Some(img);
+        }
+    }
+    let frame = frame.ok_or_else(|| PvrError::Config {
+        what: "no rank produced the final frame".into(),
+    })?;
+    Ok(PipelineOutput {
+        frame,
+        trace,
+        rank_of_depth,
+        method_name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::rotate::RtVariant;
+    use rt_render::shearwarp::render;
+
+    fn reference_frame(config: &PipelineConfig) -> Image<GrayAlpha> {
+        let volume = config.dataset.generate(config.volume_size, config.seed);
+        render(
+            &Subvolume::whole(volume),
+            &config.dataset.transfer_function(),
+            &config.camera,
+            &config.render,
+        )
+    }
+
+    #[test]
+    fn pipeline_matches_the_sequential_renderer() {
+        for method in [
+            Method::BinarySwap,
+            Method::ParallelPipelined,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 4,
+            },
+        ] {
+            let config = PipelineConfig::small(method);
+            let out = render_frame(4, &config).unwrap();
+            let want = reference_frame(&config);
+            assert!(
+                out.frame.approx_eq(&want, 1e-3),
+                "{}: {:?}",
+                out.method_name,
+                out.frame.first_mismatch(&want, 1e-3)
+            );
+        }
+    }
+
+    #[test]
+    fn reversed_view_permutes_depth_order() {
+        let mut config = PipelineConfig::small(Method::ParallelPipelined);
+        config.camera = Camera::front();
+        let front = render_frame(3, &config).unwrap();
+        assert_eq!(front.rank_of_depth, vec![0, 1, 2]);
+
+        config.camera = Camera::yaw_pitch(std::f64::consts::PI, 0.0);
+        let back = render_frame(3, &config).unwrap();
+        assert_eq!(back.rank_of_depth, vec![2, 1, 0]);
+        let want = reference_frame(&config);
+        assert!(back.frame.approx_eq(&want, 1e-3));
+    }
+
+    #[test]
+    fn trace_contains_all_pipeline_phases() {
+        let config = PipelineConfig::small(Method::BinarySwap);
+        let out = render_frame(4, &config).unwrap();
+        let report = rt_comm::replay(&out.trace, &rt_comm::CostModel::PAPER_EXAMPLE).unwrap();
+        assert!(report.phase("render:start", "render:end").unwrap() >= 0.0);
+        assert!(report.phase("compose:start", "compose:end").unwrap() > 0.0);
+        assert!(report.marks.contains_key("warp:end"));
+    }
+
+    #[test]
+    fn odd_rank_counts_work_with_rt_and_pp() {
+        for method in [
+            Method::ParallelPipelined,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 2,
+            },
+        ] {
+            let config = PipelineConfig::small(method);
+            let out = render_frame(5, &config).unwrap();
+            let want = reference_frame(&config);
+            assert!(out.frame.approx_eq(&want, 1e-3), "{}", out.method_name);
+        }
+    }
+
+    #[test]
+    fn binary_swap_rejects_odd_rank_counts() {
+        let config = PipelineConfig::small(Method::BinarySwap);
+        let err = render_frame(5, &config).unwrap_err();
+        assert!(matches!(err, PvrError::Core(_)), "{err}");
+    }
+}

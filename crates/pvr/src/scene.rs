@@ -1,0 +1,272 @@
+//! Scenes: pre-rendered, depth-ordered composition inputs.
+//!
+//! The figure harness sweeps dozens of method/codec combinations over the
+//! *same* rendered partials; a [`Scene`] renders them once (sequentially —
+//! the rendering stage is not what the figures measure) and
+//! [`compose_scene`] replays the composition stage over the multicomputer
+//! for each combination.
+
+use crate::PvrError;
+use rt_comm::Trace;
+use rt_compress::CodecKind;
+use rt_core::exec::{run_composition, ComposeConfig};
+use rt_core::method::CompositionMethod;
+use rt_core::schedule::verify_schedule;
+use rt_imaging::{GrayAlpha, Image};
+use rt_render::camera::{Camera, Factorization};
+use rt_render::datasets::Dataset;
+use rt_render::partition::{depth_order, partition_1d, Subvolume};
+use rt_render::shearwarp::{render_intermediate, RenderOptions};
+
+/// Pre-rendered composition inputs: `partials[d]` is the partial
+/// intermediate image at depth position `d` (0 = nearest the viewer).
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Depth-ordered partial intermediate images.
+    pub partials: Vec<Image<GrayAlpha>>,
+    /// The view factorization shared by all partials.
+    pub factorization: Factorization,
+    /// Frame options used to render.
+    pub opts: RenderOptions,
+    /// Dataset the scene came from.
+    pub dataset: Dataset,
+}
+
+impl Scene {
+    /// Number of ranks.
+    pub fn p(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Pixels per partial image (the composition's `A`).
+    pub fn image_len(&self) -> usize {
+        self.partials[0].len()
+    }
+
+    /// The sequential depth-ordered composite (correctness reference).
+    pub fn reference(&self) -> Image<GrayAlpha> {
+        rt_imaging::image::reference_composite(&self.partials)
+            .expect("scene always has at least one partial")
+    }
+
+    /// Mean fraction of blank pixels across the partials — the sparsity
+    /// the compression codecs exploit.
+    pub fn mean_blank_fraction(&self) -> f64 {
+        let total: f64 = self
+            .partials
+            .iter()
+            .map(|img| 1.0 - img.count_non_blank() as f64 / img.len() as f64)
+            .sum();
+        total / self.partials.len() as f64
+    }
+}
+
+/// Render a scene: generate the dataset, slab-partition it along the view's
+/// principal axis, shear-warp each slab, and sort the partials by depth.
+pub fn prepare_scene(
+    p: usize,
+    dataset: Dataset,
+    volume_size: usize,
+    seed: u64,
+    camera: &Camera,
+    opts: &RenderOptions,
+) -> Result<Scene, PvrError> {
+    let volume = dataset.generate(volume_size, seed);
+    // Factorize once to learn the principal axis, then partition along it
+    // so slabs stack in depth.
+    let probe = Subvolume::whole(volume.clone());
+    let (_, f) = render_intermediate(
+        &probe,
+        &dataset.transfer_function(),
+        camera,
+        &RenderOptions {
+            width: opts.width,
+            height: opts.height,
+            early_termination: 1.0,
+        },
+    );
+    let parts = partition_1d(&volume, p, f.axis)?;
+    let order = depth_order(&parts, &f);
+    let tf = dataset.transfer_function();
+    // Slabs render independently — the embarrassingly parallel stage the
+    // multicomputer distributes; on the host we hand it to rayon.
+    let partials: Vec<_> = {
+        use rayon::prelude::*;
+        order
+            .par_iter()
+            .map(|&i| render_intermediate(&parts[i], &tf, camera, opts).0)
+            .collect()
+    };
+    Ok(Scene {
+        partials,
+        factorization: f,
+        opts: *opts,
+        dataset,
+    })
+}
+
+/// Render a *screen-space* scene: like [`prepare_scene`], but each slab's
+/// intermediate image is warped to the final frame before composition, so
+/// the partials have the paper's full 512×512 (or chosen) resolution
+/// regardless of volume size.
+///
+/// Compositing individually-warped partials is the classic sort-last
+/// arrangement (each rank produces a full-resolution screen-space partial).
+/// It differs from warp-after-composite by at most the bilinear resampling
+/// of semi-transparent boundaries; the figure harness uses it because the
+/// paper's composition stage operates on 512×512 frames.
+pub fn prepare_scene_screen(
+    p: usize,
+    dataset: Dataset,
+    volume_size: usize,
+    seed: u64,
+    camera: &Camera,
+    opts: &RenderOptions,
+) -> Result<Scene, PvrError> {
+    let scene = prepare_scene(p, dataset, volume_size, seed, camera, opts)?;
+    let f = scene.factorization.clone();
+    let partials = scene
+        .partials
+        .iter()
+        .map(|inter| rt_render::shearwarp::warp_to_screen(inter, &f, opts))
+        .collect();
+    Ok(Scene {
+        partials,
+        factorization: f,
+        opts: *opts,
+        dataset,
+    })
+}
+
+/// Run one composition over the multicomputer: returns the gathered frame
+/// (from the root) and the event trace for cost replay.
+///
+/// The schedule is verified before execution — a failure here is a bug in
+/// the method, not in the caller.
+pub fn compose_scene(
+    scene: &Scene,
+    method: &dyn CompositionMethod,
+    codec: CodecKind,
+    gather: bool,
+) -> Result<(Option<Image<GrayAlpha>>, Trace), PvrError> {
+    let schedule = method.build(scene.p(), scene.image_len())?;
+    verify_schedule(&schedule)?;
+    let config = ComposeConfig {
+        codec,
+        root: 0,
+        gather,
+    };
+    let (results, trace) = run_composition(&schedule, scene.partials.clone(), &config);
+    let mut frame = None;
+    for r in results {
+        let out = r?;
+        if out.frame.is_some() {
+            frame = out.frame;
+        }
+    }
+    Ok((frame, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::{BinarySwap, DirectSend, ParallelPipelined, RotateTiling};
+
+    fn small_scene(p: usize) -> Scene {
+        prepare_scene(
+            p,
+            Dataset::Engine,
+            20,
+            7,
+            &Camera::yaw_pitch(0.3, 0.15),
+            &RenderOptions {
+                width: 48,
+                height: 48,
+                early_termination: 1.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scene_partials_are_depth_ordered_and_sparse() {
+        let scene = small_scene(4);
+        assert_eq!(scene.p(), 4);
+        assert!(scene.mean_blank_fraction() > 0.2);
+    }
+
+    #[test]
+    fn every_method_matches_the_sequential_reference() {
+        let scene = small_scene(4);
+        let want = scene.reference();
+        let methods: Vec<Box<dyn CompositionMethod>> = vec![
+            Box::new(BinarySwap::new()),
+            Box::new(ParallelPipelined::new()),
+            Box::new(DirectSend::new()),
+            Box::new(RotateTiling::two_n(4)),
+            Box::new(RotateTiling::n(3)),
+        ];
+        for m in &methods {
+            let (frame, _) = compose_scene(&scene, m.as_ref(), CodecKind::Raw, true).unwrap();
+            let frame = frame.expect("root gathers the frame");
+            assert!(
+                frame.approx_eq(&want, 1e-4),
+                "{} diverges: {:?}",
+                m.name(),
+                frame.first_mismatch(&want, 1e-4)
+            );
+        }
+    }
+
+    #[test]
+    fn codecs_do_not_change_the_frame() {
+        let scene = small_scene(3);
+        let want = scene.reference();
+        for codec in CodecKind::ALL {
+            let (frame, _) = compose_scene(&scene, &RotateTiling::two_n(2), codec, true).unwrap();
+            assert!(
+                frame.unwrap().approx_eq(&want, 1e-4),
+                "codec {codec:?} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn screen_scene_has_frame_resolution_partials() {
+        let scene = prepare_scene_screen(
+            3,
+            Dataset::Engine,
+            16,
+            7,
+            &Camera::front(),
+            &RenderOptions {
+                width: 80,
+                height: 60,
+                early_termination: 1.0,
+            },
+        )
+        .unwrap();
+        for img in &scene.partials {
+            assert_eq!((img.width(), img.height()), (80, 60));
+        }
+        assert!(scene.mean_blank_fraction() > 0.2);
+        // Composition still matches its own reference exactly.
+        let want = scene.reference();
+        let (frame, _) =
+            compose_scene(&scene, &RotateTiling::two_n(4), CodecKind::Raw, true).unwrap();
+        assert!(frame.unwrap().approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn traces_show_codec_savings_on_sparse_scenes() {
+        let scene = small_scene(4);
+        let (_, raw) = compose_scene(&scene, &BinarySwap::new(), CodecKind::Raw, true).unwrap();
+        let (_, trle) = compose_scene(&scene, &BinarySwap::new(), CodecKind::Trle, true).unwrap();
+        assert!(
+            trle.bytes_sent() < raw.bytes_sent(),
+            "TRLE {} vs raw {}",
+            trle.bytes_sent(),
+            raw.bytes_sent()
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! The shear-warp factorization renderer (Lacroute & Levoy).
+//!
+//! Slices perpendicular to the principal axis are resampled (bilinear
+//! gather) into the intermediate image and composited front-to-back with
+//! early termination; one 2-D warp then produces the screen frame.
+//!
+//! [`render_intermediate`] renders a [`Subvolume`] into *full-frame
+//! intermediate coordinates*: a rank rendering only its slab produces a
+//! partial intermediate image that is blank outside the slab's sheared
+//! footprint — exactly the input of the paper's composition stage. The
+//! parallel pipeline composites intermediate images and warps once at the
+//! root ([`warp_to_screen`]), which is how parallel shear-warp systems
+//! (including the paper's) are organized.
+
+use crate::accel::SliceBounds;
+use crate::camera::{factorize, Camera, Factorization};
+use crate::partition::Subvolume;
+use crate::tf::TransferFunction;
+use rt_imaging::{GrayAlpha, Image, Pixel};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output frame width (pixels).
+    pub width: usize,
+    /// Output frame height (pixels).
+    pub height: usize,
+    /// Early-ray-termination opacity threshold (1.0 disables).
+    pub early_termination: f32,
+}
+
+impl RenderOptions {
+    /// The paper's 512×512 frames.
+    pub fn paper() -> Self {
+        Self {
+            width: 512,
+            height: 512,
+            early_termination: 0.98,
+        }
+    }
+
+    /// Square frame of the given size.
+    pub fn square(n: usize) -> Self {
+        Self {
+            width: n,
+            height: n,
+            early_termination: 0.98,
+        }
+    }
+}
+
+/// Bilinear scalar sample of slice `k` (global principal-axis index) at
+/// global in-slice coordinates `(gi, gj)`, reading 0 outside the subvolume.
+#[inline]
+fn slice_sample(sub: &Subvolume, f: &Factorization, gi: f64, gj: f64, k: usize) -> f64 {
+    let off = [sub.offset.0, sub.offset.1, sub.offset.2];
+    let li = gi - off[f.plane.0] as f64;
+    let lj = gj - off[f.plane.1] as f64;
+    let lk = k as isize - off[f.axis] as isize;
+    let (i0, j0) = (li.floor(), lj.floor());
+    let (fi, fj) = (li - i0, lj - j0);
+    let (i0, j0) = (i0 as isize, j0 as isize);
+    let mut acc = 0.0;
+    for dj in 0..2 {
+        for di in 0..2 {
+            let w = (if di == 0 { 1.0 - fi } else { fi }) * (if dj == 0 { 1.0 - fj } else { fj });
+            if w > 0.0 {
+                let mut c = [0isize; 3];
+                c[f.plane.0] = i0 + di;
+                c[f.plane.1] = j0 + dj;
+                c[f.axis] = lk;
+                acc += w * sub.vol.at_or_zero(c[0], c[1], c[2]) as f64;
+            }
+        }
+    }
+    acc
+}
+
+/// Render a subvolume into the full-frame intermediate image.
+///
+/// Returns the intermediate image and the factorization (needed for the
+/// final warp and for depth ordering). All ranks of a partitioned volume
+/// produce images of identical shape for the same camera/options, because
+/// the factorization depends only on `sub.full`.
+pub fn render_intermediate(
+    sub: &Subvolume,
+    tf: &TransferFunction,
+    camera: &Camera,
+    opts: &RenderOptions,
+) -> (Image<GrayAlpha>, Factorization) {
+    render_intermediate_impl(sub, tf, camera, opts, None)
+}
+
+/// Like [`render_intermediate`], but skipping fully transparent scanline
+/// regions via precomputed [`SliceBounds`] — Lacroute's coherence
+/// acceleration at scanline granularity. Output is identical to the
+/// unaccelerated render (asserted by tests); the transfer function's
+/// transparent scalars must form one interval (all presets do — see
+/// [`TransferFunction::transparent_is_interval`]).
+pub fn render_intermediate_accel(
+    sub: &Subvolume,
+    tf: &TransferFunction,
+    camera: &Camera,
+    opts: &RenderOptions,
+    bounds: &SliceBounds,
+) -> (Image<GrayAlpha>, Factorization) {
+    assert!(
+        tf.transparent_is_interval(),
+        "scanline-bounds acceleration requires an interval transparent set"
+    );
+    render_intermediate_impl(sub, tf, camera, opts, Some(bounds))
+}
+
+fn render_intermediate_impl(
+    sub: &Subvolume,
+    tf: &TransferFunction,
+    camera: &Camera,
+    opts: &RenderOptions,
+    bounds: Option<&SliceBounds>,
+) -> (Image<GrayAlpha>, Factorization) {
+    let f = factorize(camera, sub.full, opts.width, opts.height);
+    let mut inter: Image<GrayAlpha> = Image::blank(f.inter_size.0, f.inter_size.1);
+    let (k_lo, k_hi) = sub.extent(f.axis);
+    let (i_lo, i_hi) = sub.extent(f.plane.0);
+    let (j_lo, j_hi) = sub.extent(f.plane.1);
+    let w = inter.width();
+    if let Some(b) = bounds {
+        debug_assert_eq!(b.axis, f.axis, "bounds built for a different axis");
+    }
+
+    for k in f.slice_order() {
+        if k < k_lo || k >= k_hi {
+            continue;
+        }
+        let kf = k as f64;
+        let u_off = f.origin.0 + f.shear.0 * kf;
+        let v_off = f.origin.1 + f.shear.1 * kf;
+        // Intermediate pixels whose pre-image lies inside this slice's
+        // in-slice extent.
+        let iu0 = (i_lo as f64 + u_off).floor().max(0.0) as usize;
+        let iu1 = ((i_hi as f64 + u_off).ceil() as usize).min(inter.width().saturating_sub(1));
+        let iv0 = (j_lo as f64 + v_off).floor().max(0.0) as usize;
+        let iv1 = ((j_hi as f64 + v_off).ceil() as usize).min(inter.height().saturating_sub(1));
+        let pixels = inter.pixels_mut();
+        for iv in iv0..=iv1 {
+            let gj = iv as f64 - v_off;
+            let row = iv * w;
+            // With bounds: narrow the pixel run to the opaque interval of
+            // the two voxel rows this image row samples (conservative,
+            // hence pixel-exact).
+            let (riu0, riu1) = match bounds {
+                None => (iu0, iu1),
+                Some(b) => {
+                    let rb = b.row_bound(k, gj.floor() as isize);
+                    if rb.is_empty() {
+                        continue;
+                    }
+                    let lo = ((rb.lo as f64 + u_off).floor().max(iu0 as f64)) as usize;
+                    let hi = (((rb.hi as f64 + u_off).ceil()) as usize).min(iu1);
+                    if lo > hi {
+                        continue;
+                    }
+                    (lo, hi)
+                }
+            };
+            for iu in riu0..=riu1 {
+                let acc = &mut pixels[row + iu];
+                if acc.a >= opts.early_termination {
+                    continue;
+                }
+                let gi = iu as f64 - u_off;
+                let scalar = slice_sample(sub, &f, gi, gj, k);
+                let s8 = scalar.round().clamp(0.0, 255.0) as u8;
+                if tf.is_transparent(s8) {
+                    continue;
+                }
+                let sample = tf.classify_premultiplied(s8);
+                // Front-to-back: the accumulated pixel is nearer.
+                *acc = acc.over(&sample);
+            }
+        }
+    }
+    (inter, f)
+}
+
+/// Bilinear sample of a premultiplied gray image at continuous coordinates
+/// (blank outside).
+fn image_sample(img: &Image<GrayAlpha>, u: f64, v: f64) -> GrayAlpha {
+    let (u0, v0) = (u.floor(), v.floor());
+    let (fu, fv) = ((u - u0) as f32, (v - v0) as f32);
+    let (u0, v0) = (u0 as isize, v0 as isize);
+    let mut out = GrayAlpha::new(0.0, 0.0);
+    for dv in 0..2isize {
+        for du in 0..2isize {
+            let w = (if du == 0 { 1.0 - fu } else { fu }) * (if dv == 0 { 1.0 - fv } else { fv });
+            if w <= 0.0 {
+                continue;
+            }
+            let (x, y) = (u0 + du, v0 + dv);
+            if x < 0 || y < 0 || x as usize >= img.width() || y as usize >= img.height() {
+                continue;
+            }
+            let p = img.get(x as usize, y as usize);
+            out.v += w * p.v;
+            out.a += w * p.a;
+        }
+    }
+    out
+}
+
+/// Warp a composited intermediate image to the screen frame.
+pub fn warp_to_screen(
+    inter: &Image<GrayAlpha>,
+    f: &Factorization,
+    opts: &RenderOptions,
+) -> Image<GrayAlpha> {
+    let inv = f
+        .warp
+        .inverse()
+        .expect("the warp of a rotation view is invertible");
+    Image::from_fn(opts.width, opts.height, |x, y| {
+        let (u, v) = inv.apply(x as f64, y as f64);
+        image_sample(inter, u, v)
+    })
+}
+
+/// Render a subvolume straight to the screen: intermediate pass + warp.
+pub fn render(
+    sub: &Subvolume,
+    tf: &TransferFunction,
+    camera: &Camera,
+    opts: &RenderOptions,
+) -> Image<GrayAlpha> {
+    let (inter, f) = render_intermediate(sub, tf, camera, opts);
+    warp_to_screen(&inter, &f, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use crate::partition::{depth_order, partition_1d};
+    use rt_imaging::image::reference_composite;
+
+    fn mean_abs_diff(a: &Image<GrayAlpha>, b: &Image<GrayAlpha>) -> f64 {
+        assert_eq!(a.len(), b.len());
+        let sum: f64 = a
+            .pixels()
+            .iter()
+            .zip(b.pixels())
+            .map(|(p, q)| ((p.v - q.v).abs() + (p.a - q.a).abs()) as f64)
+            .sum();
+        sum / a.len() as f64
+    }
+
+    #[test]
+    fn blank_volume_renders_blank() {
+        let sub = Subvolume::whole(crate::volume::Volume::zeros(8, 8, 8));
+        let tf = TransferFunction::ramp(1, 255, 0.5);
+        let img = render(&sub, &tf, &Camera::front(), &RenderOptions::square(32));
+        assert_eq!(img.count_non_blank(), 0);
+    }
+
+    #[test]
+    fn sphere_renders_centered_blob() {
+        let sub = Subvolume::whole(Dataset::Sphere.generate(32, 0));
+        let tf = Dataset::Sphere.transfer_function();
+        let opts = RenderOptions::square(96);
+        let img = render(&sub, &tf, &Camera::front(), &opts);
+        // Content near the center, blank at the corners.
+        assert!(img.get(48, 48).a > 0.3, "{:?}", img.get(48, 48));
+        assert!(img.get(2, 2).is_blank());
+        assert!(img.get(93, 93).is_blank());
+        // Roughly symmetric.
+        let l = img.get(30, 48).a;
+        let r = img.get(66, 48).a;
+        assert!((l - r).abs() < 0.15, "{l} vs {r}");
+    }
+
+    #[test]
+    fn partials_composite_to_the_full_intermediate() {
+        // The fundamental parallel-rendering identity: the depth-ordered
+        // over-composite of the slab partials equals the full render.
+        let vol = Dataset::Engine.generate(24, 3);
+        let tf = Dataset::Engine.transfer_function();
+        let opts = RenderOptions {
+            early_termination: 1.0, // exact associativity check
+            ..RenderOptions::square(64)
+        };
+        for camera in [
+            Camera::front(),
+            Camera::yaw_pitch(0.4, 0.2),
+            Camera::yaw_pitch(std::f64::consts::PI - 0.3, -0.5),
+        ] {
+            let full = Subvolume::whole(vol.clone());
+            let (want, f) = render_intermediate(&full, &tf, &camera, &opts);
+            let parts = partition_1d(&vol, 3, f.axis).unwrap();
+            let order = depth_order(&parts, &f);
+            let partials: Vec<Image<GrayAlpha>> = order
+                .iter()
+                .map(|&i| render_intermediate(&parts[i], &tf, &camera, &opts).0)
+                .collect();
+            let got = reference_composite(&partials).unwrap();
+            let diff = mean_abs_diff(&want, &got);
+            assert!(diff < 1e-4, "camera {camera:?}: mean abs diff {diff}");
+        }
+    }
+
+    #[test]
+    fn early_termination_changes_little() {
+        let vol = Dataset::Head.generate(24, 3);
+        let tf = Dataset::Head.transfer_function();
+        let sub = Subvolume::whole(vol);
+        let exact = RenderOptions {
+            early_termination: 1.0,
+            ..RenderOptions::square(64)
+        };
+        let fast = RenderOptions::square(64);
+        let a = render(&sub, &tf, &Camera::yaw_pitch(0.3, 0.1), &exact);
+        let b = render(&sub, &tf, &Camera::yaw_pitch(0.3, 0.1), &fast);
+        assert!(mean_abs_diff(&a, &b) < 0.01);
+    }
+
+    #[test]
+    fn rotated_views_move_content() {
+        let vol = Dataset::Engine.generate(24, 3);
+        let tf = Dataset::Engine.transfer_function();
+        let sub = Subvolume::whole(vol);
+        let opts = RenderOptions::square(64);
+        let a = render(&sub, &tf, &Camera::front(), &opts);
+        let b = render(&sub, &tf, &Camera::yaw_pitch(0.7, 0.0), &opts);
+        assert!(a.count_non_blank() > 0);
+        assert!(b.count_non_blank() > 0);
+        assert!(mean_abs_diff(&a, &b) > 1e-3, "different views must differ");
+    }
+
+    #[test]
+    fn partial_images_have_blank_margins() {
+        // Each slab's partial must be mostly blank — the property TRLE and
+        // the bounding codecs exploit.
+        let vol = Dataset::Brain.generate(24, 3);
+        let tf = Dataset::Brain.transfer_function();
+        let parts = partition_1d(&vol, 4, 2).unwrap();
+        let opts = RenderOptions::square(64);
+        for part in &parts {
+            let (img, _) = render_intermediate(part, &tf, &Camera::front(), &opts);
+            let blank = 1.0 - img.count_non_blank() as f64 / img.len() as f64;
+            assert!(blank > 0.3, "blank fraction {blank}");
+        }
+    }
+
+    #[test]
+    fn warp_preserves_total_presence_roughly() {
+        // The warp resamples but must neither invent nor lose most alpha
+        // mass for a front view at moderate scale.
+        let vol = Dataset::Sphere.generate(24, 0);
+        let tf = Dataset::Sphere.transfer_function();
+        let sub = Subvolume::whole(vol);
+        let opts = RenderOptions::square(96);
+        let (inter, f) = render_intermediate(&sub, &tf, &Camera::front(), &opts);
+        let screen = warp_to_screen(&inter, &f, &opts);
+        let mass =
+            |img: &Image<GrayAlpha>| -> f64 { img.pixels().iter().map(|p| p.a as f64).sum() };
+        let scale = Camera::front().effective_scale((24, 24, 24), 96, 96);
+        let expected = mass(&inter) * scale * scale;
+        let got = mass(&screen);
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "inter mass {} × {scale}² vs screen {got}",
+            mass(&inter)
+        );
+    }
+}
+
+#[cfg(test)]
+mod accel_tests {
+    use super::*;
+    use crate::accel::SliceBounds;
+    use crate::datasets::Dataset;
+    use crate::partition::partition_1d;
+
+    #[test]
+    fn accelerated_render_is_pixel_exact() {
+        for dataset in [Dataset::Engine, Dataset::Brain, Dataset::Head] {
+            let vol = dataset.generate(24, 5);
+            let tf = dataset.transfer_function();
+            assert!(tf.transparent_is_interval());
+            let sub = Subvolume::whole(vol);
+            for camera in [Camera::front(), Camera::yaw_pitch(0.4, -0.3)] {
+                let opts = RenderOptions::square(72);
+                let (plain, f) = render_intermediate(&sub, &tf, &camera, &opts);
+                let bounds = SliceBounds::build(&sub, &tf, &f);
+                let (fast, _) = render_intermediate_accel(&sub, &tf, &camera, &opts, &bounds);
+                assert_eq!(plain, fast, "{:?} {camera:?}", dataset.name());
+            }
+        }
+    }
+
+    #[test]
+    fn accelerated_render_is_exact_on_slabs() {
+        let vol = Dataset::Engine.generate(24, 5);
+        let tf = Dataset::Engine.transfer_function();
+        let camera = Camera::yaw_pitch(0.3, 0.15);
+        let opts = RenderOptions {
+            early_termination: 1.0,
+            ..RenderOptions::square(64)
+        };
+        let probe = Subvolume::whole(vol.clone());
+        let (_, f) = render_intermediate(&probe, &tf, &camera, &opts);
+        for part in partition_1d(&vol, 3, f.axis).unwrap() {
+            let (plain, _) = render_intermediate(&part, &tf, &camera, &opts);
+            let bounds = SliceBounds::build(&part, &tf, &f);
+            let (fast, _) = render_intermediate_accel(&part, &tf, &camera, &opts, &bounds);
+            assert_eq!(plain, fast);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval transparent set")]
+    fn non_interval_tf_is_rejected() {
+        // Transparent at zero AND in a mid-range window: two disjoint
+        // transparent runs.
+        let tf = TransferFunction::from_points(&[
+            (0, 0.0, 0.0),
+            (50, 0.3, 0.4),
+            (100, 0.5, 0.0),
+            (120, 0.5, 0.0),
+            (200, 0.5, 0.5),
+        ]);
+        assert!(!tf.transparent_is_interval());
+        let sub = Subvolume::whole(crate::volume::Volume::zeros(4, 4, 4));
+        let opts = RenderOptions::square(16);
+        let f = factorize(&Camera::front(), sub.full, 16, 16);
+        let bounds = SliceBounds::build(&sub, &tf, &f);
+        render_intermediate_accel(&sub, &tf, &Camera::front(), &opts, &bounds);
+    }
+}

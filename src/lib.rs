@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the rotate-tiling reproduction workspace.
+//!
+//! See the individual crates for full documentation:
+//! [`rt_core`] (composition methods & theory), [`rt_comm`] (multicomputer
+//! substrate), [`rt_imaging`], [`rt_compress`], [`rt_render`], [`rt_pvr`].
+
+pub use rt_comm as comm;
+pub use rt_compress as compress;
+pub use rt_core as core;
+pub use rt_imaging as imaging;
+pub use rt_pvr as pvr;
+pub use rt_render as render;

@@ -1,0 +1,148 @@
+//! End-to-end pipeline tests: the parallel system's frames must match the
+//! sequential shear-warp renderer for every dataset, method and view.
+
+use rotate_tiling::compress::CodecKind;
+use rotate_tiling::core::method::Method;
+use rotate_tiling::core::rotate::RtVariant;
+use rotate_tiling::imaging::{GrayAlpha, Image};
+use rotate_tiling::pvr::pipeline::{render_frame, PipelineConfig};
+use rotate_tiling::render::camera::Camera;
+use rotate_tiling::render::datasets::Dataset;
+use rotate_tiling::render::partition::Subvolume;
+use rotate_tiling::render::shearwarp::{render, RenderOptions};
+
+fn config(dataset: Dataset, method: Method, camera: Camera) -> PipelineConfig {
+    PipelineConfig {
+        dataset,
+        volume_size: 24,
+        seed: 11,
+        camera,
+        render: RenderOptions {
+            width: 72,
+            height: 72,
+            early_termination: 1.0,
+        },
+        method,
+        codec: CodecKind::Trle,
+        root: 0,
+    }
+}
+
+fn reference(c: &PipelineConfig) -> Image<GrayAlpha> {
+    let volume = c.dataset.generate(c.volume_size, c.seed);
+    render(
+        &Subvolume::whole(volume),
+        &c.dataset.transfer_function(),
+        &c.camera,
+        &c.render,
+    )
+}
+
+#[test]
+fn every_dataset_matches_the_sequential_renderer() {
+    for dataset in [
+        Dataset::Engine,
+        Dataset::Brain,
+        Dataset::Head,
+        Dataset::Sphere,
+    ] {
+        let c = config(
+            dataset,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 4,
+            },
+            Camera::yaw_pitch(0.3, 0.2),
+        );
+        let out = render_frame(4, &c).unwrap();
+        let want = reference(&c);
+        assert!(
+            out.frame.approx_eq(&want, 1e-3),
+            "{}: {:?}",
+            dataset.name(),
+            out.frame.first_mismatch(&want, 1e-3)
+        );
+    }
+}
+
+#[test]
+fn every_method_matches_on_the_engine() {
+    for method in [
+        Method::BinarySwap,
+        Method::BinarySwapFold,
+        Method::ParallelPipelined,
+        Method::DirectSend,
+        Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 2,
+        },
+        Method::RotateTiling {
+            variant: RtVariant::N,
+            blocks: 3,
+        },
+    ] {
+        let c = config(Dataset::Engine, method, Camera::yaw_pitch(0.25, 0.1));
+        let out = render_frame(4, &c).unwrap();
+        let want = reference(&c);
+        assert!(out.frame.approx_eq(&want, 1e-3), "{}", out.method_name);
+    }
+}
+
+#[test]
+fn view_sweep_exercises_all_principal_axes() {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    let cams = [
+        Camera::front(),                    // +z
+        Camera::yaw_pitch(PI, 0.0),         // -z (flip)
+        Camera::yaw_pitch(FRAC_PI_2, 0.0),  // +x
+        Camera::yaw_pitch(-FRAC_PI_2, 0.0), // -x
+        Camera::yaw_pitch(0.0, FRAC_PI_2),  // y
+        Camera::yaw_pitch(0.8, -0.6),       // oblique
+    ];
+    for camera in cams {
+        let c = config(
+            Dataset::Head,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 4,
+            },
+            camera,
+        );
+        let out = render_frame(3, &c).unwrap();
+        let want = reference(&c);
+        assert!(
+            out.frame.approx_eq(&want, 1e-3),
+            "camera {camera:?}: {:?}",
+            out.frame.first_mismatch(&want, 1e-3)
+        );
+    }
+}
+
+#[test]
+fn rank_counts_from_two_to_nine() {
+    for p in 2..=9usize {
+        let c = config(
+            Dataset::Brain,
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 2,
+            },
+            Camera::yaw_pitch(0.3, 0.2),
+        );
+        let out = render_frame(p, &c).unwrap();
+        let want = reference(&c);
+        assert!(out.frame.approx_eq(&want, 1e-3), "p = {p}");
+    }
+}
+
+#[test]
+fn pipeline_depth_order_is_view_dependent() {
+    let c = config(Dataset::Engine, Method::ParallelPipelined, Camera::front());
+    let front = render_frame(4, &c).unwrap();
+    assert_eq!(front.rank_of_depth, vec![0, 1, 2, 3]);
+
+    let mut c2 = c;
+    c2.camera = Camera::yaw_pitch(std::f64::consts::PI, 0.0);
+    let back = render_frame(4, &c2).unwrap();
+    assert_eq!(back.rank_of_depth, vec![3, 2, 1, 0]);
+}
