@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally: `./ci.sh`
+#
+# Mirrors .github/workflows/ci.yml. The chaos property tests are bounded
+# via PROPTEST_CASES so the gate stays fast; raise it locally to stress
+# the fault-tolerance machinery harder.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+: "${PROPTEST_CASES:=32}"
+export PROPTEST_CASES
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (PROPTEST_CASES=$PROPTEST_CASES) =="
+cargo test --workspace -q
+
+echo "== chaos smoke =="
+# One tiny fault-tolerance sweep end to end: must print only bit-exact
+# frames and a degradation report, and must be deterministic across reruns.
+out1=$(cargo run -q --release -p rt-bench --bin chaos -- --p 4 --volume 16 --frame 48)
+out2=$(cargo run -q --release -p rt-bench --bin chaos -- --p 4 --volume 16 --frame 48)
+if grep -q DIVERGED <<<"$out1"; then
+    echo "chaos sweep produced a diverged frame:" >&2
+    grep DIVERGED <<<"$out1" >&2
+    exit 1
+fi
+if [ "$out1" != "$out2" ]; then
+    echo "chaos sweep is not deterministic across reruns" >&2
+    exit 1
+fi
+
+echo "CI gate passed."

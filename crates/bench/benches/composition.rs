@@ -46,6 +46,7 @@ fn bench_methods(c: &mut Criterion) {
                 codec,
                 root: 0,
                 gather: true,
+                ..Default::default()
             };
             group.bench_with_input(
                 BenchmarkId::new(*name, codec.name()),

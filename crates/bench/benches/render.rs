@@ -2,12 +2,12 @@
 //! plus the warp and the synthetic dataset generators.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rt_render::camera::Camera;
-use rt_render::datasets::Dataset;
-use rt_render::partition::Subvolume;
 use rt_render::accel::SliceBounds;
 use rt_render::camera::factorize;
+use rt_render::camera::Camera;
+use rt_render::datasets::Dataset;
 use rt_render::octree::MinMaxOctree;
+use rt_render::partition::Subvolume;
 use rt_render::raycast::{render_raycast, render_raycast_accel, RaycastOptions};
 use rt_render::shearwarp::{
     render, render_intermediate, render_intermediate_accel, warp_to_screen, RenderOptions,

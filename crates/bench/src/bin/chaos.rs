@@ -1,0 +1,205 @@
+//! **Extension experiment E4 — chaos sweep**: composition under seeded
+//! message faults and rank crashes.
+//!
+//! Three tables:
+//!
+//! * E4a — drop/corruption-rate sweep for every method: retransmissions,
+//!   virtual-time overhead vs the clean run, and whether the frame stayed
+//!   bit-exact (it must — reliable delivery absorbs message faults).
+//! * E4b — codec sensitivity under a fixed fault rate (compressed frames
+//!   are smaller, but every retransmission re-ships the encoded body).
+//! * E4c — rank-crash degradation: crash one rank at each step and report
+//!   the lost contributions/pixels from [`rt_core::repair::DegradedInfo`].
+//!
+//! Everything is seeded and virtual-clock priced, so every row reproduces
+//! exactly on rerun.
+//!
+//! Usage:
+//! `cargo run -p rt-bench --release --bin chaos -- [--p 8] [--dataset engine] [--cost paper|sp2]`
+
+use rt_bench::harness::{price, print_table, secs, Args, ScreenScene};
+use rt_comm::FaultPlan;
+use rt_compress::CodecKind;
+use rt_core::exec::{run_composition_faulty, ComposeConfig, ComposeOutput};
+use rt_core::method::CompositionMethod;
+use rt_core::CoreError;
+use rt_core::{BinarySwap, DirectSend, ParallelPipelined, RotateTiling};
+use rt_imaging::pixel::GrayAlpha8;
+use rt_imaging::Image;
+
+fn methods(p: usize) -> Vec<Box<dyn CompositionMethod>> {
+    let mut out: Vec<Box<dyn CompositionMethod>> = vec![
+        Box::new(ParallelPipelined::new()),
+        Box::new(DirectSend::new()),
+        Box::new(RotateTiling::two_n(4)),
+    ];
+    if p.is_power_of_two() {
+        out.insert(0, Box::new(BinarySwap::new()));
+    }
+    out
+}
+
+/// Run one faulty composition and pull out the root frame.
+fn run(
+    scene: &ScreenScene,
+    method: &dyn CompositionMethod,
+    codec: CodecKind,
+    faults: FaultPlan,
+) -> (
+    Vec<Result<ComposeOutput<GrayAlpha8>, CoreError>>,
+    rt_comm::Trace,
+) {
+    let schedule = method
+        .build(scene.p(), scene.image_len())
+        .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+    let config = ComposeConfig::default()
+        .with_codec(codec)
+        .resilient(!faults.is_none());
+    run_composition_faulty(&schedule, scene.partials.clone(), &config, faults)
+}
+
+fn frame_of(results: &[Result<ComposeOutput<GrayAlpha8>, CoreError>]) -> Image<GrayAlpha8> {
+    results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .find_map(|o| o.frame.clone())
+        .expect("some rank gathered the frame")
+}
+
+fn main() {
+    let mut args = Args::parse();
+    // The default figure shape (P = 32) is bigger than chaos needs; sweep a
+    // modest machine unless the caller asked for a specific size.
+    if args.p == 32 {
+        args.p = 8;
+    }
+    if args.p < 2 {
+        eprintln!("chaos: --p must be at least 2 (composition needs multiple ranks)");
+        std::process::exit(2);
+    }
+    let cost = args.cost();
+    let dataset = args.dataset;
+    let scene = ScreenScene::prepare(&args, dataset);
+
+    // E4a — fault-rate sweep, raw codec.
+    {
+        let mut rows = Vec::new();
+        for m in methods(args.p) {
+            let (clean_results, clean_trace) =
+                run(&scene, m.as_ref(), CodecKind::Raw, FaultPlan::none());
+            let clean_frame = frame_of(&clean_results);
+            let clean_time = price(&clean_trace, &cost, m.name(), CodecKind::Raw).total_time;
+            for rate in [0.01, 0.05, 0.10] {
+                let faults = FaultPlan::none()
+                    .with_seed(args.seed)
+                    .drop_rate(rate)
+                    .corrupt_rate(rate / 2.0);
+                let (results, trace) = run(&scene, m.as_ref(), CodecKind::Raw, faults);
+                let frame = frame_of(&results);
+                let degraded = results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .any(|o| o.degraded.is_some());
+                let meas = price(&trace, &cost, m.name(), CodecKind::Raw);
+                rows.push(vec![
+                    m.name(),
+                    format!("{:.0}%/{:.1}%", rate * 100.0, rate * 50.0),
+                    trace.retransmit_count().to_string(),
+                    secs(meas.total_time),
+                    format!("{:+.1}%", 100.0 * (meas.total_time / clean_time - 1.0)),
+                    if frame.pixels() == clean_frame.pixels() && !degraded {
+                        "bit-exact".into()
+                    } else {
+                        "DIVERGED".into()
+                    },
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "E4a — reliable delivery under drop/corrupt rates, P = {}, {}",
+                args.p,
+                dataset.name()
+            ),
+            &[
+                "method",
+                "drop/corrupt",
+                "retx",
+                "sim(+gather)",
+                "overhead",
+                "frame",
+            ],
+            &rows,
+        );
+    }
+
+    // E4b — codec sensitivity at a fixed fault rate.
+    {
+        let mut rows = Vec::new();
+        let m = RotateTiling::two_n(4);
+        for codec in CodecKind::ALL {
+            let faults = FaultPlan::none()
+                .with_seed(args.seed)
+                .drop_rate(0.05)
+                .corrupt_rate(0.02);
+            let (_, trace) = run(&scene, &m, codec, faults);
+            let meas = price(&trace, &cost, m.name(), codec);
+            rows.push(vec![
+                format!("{codec:?}"),
+                trace.retransmit_count().to_string(),
+                meas.bytes.to_string(),
+                secs(meas.total_time),
+            ]);
+        }
+        print_table(
+            &format!(
+                "E4b — codecs under 5%/2% faults, 2N_RT(4), P = {}, {}",
+                args.p,
+                dataset.name()
+            ),
+            &["codec", "retx", "bytes", "sim(+gather)"],
+            &rows,
+        );
+    }
+
+    // E4c — single-rank crash at each step: graceful degradation.
+    {
+        let mut rows = Vec::new();
+        let m = RotateTiling::two_n(4);
+        let schedule = m.build(args.p, scene.image_len()).unwrap();
+        let steps = schedule.steps.len();
+        let crash_rank = args.p - 1; // deepest rank: survivors stay contiguous
+        for step in [0, steps / 2, steps] {
+            let faults = FaultPlan::none().crash_rank_at_step(crash_rank, step);
+            let (results, trace) = run(&scene, &m, CodecKind::Raw, faults);
+            let info = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .find_map(|o| o.degraded.clone())
+                .expect("crash must be reported as degradation");
+            let meas = price(&trace, &cost, m.name(), CodecKind::Raw);
+            rows.push(vec![
+                format!("rank {crash_rank} @ step {step}"),
+                format!("{:?}", info.lost_contributions),
+                info.lost_pixels.to_string(),
+                info.reassigned_spans.to_string(),
+                secs(meas.total_time),
+            ]);
+        }
+        print_table(
+            &format!(
+                "E4c — graceful degradation after a crash, 2N_RT(4), P = {}, {}",
+                args.p,
+                dataset.name()
+            ),
+            &[
+                "crash",
+                "lost ranks",
+                "lost px",
+                "repaired spans",
+                "sim(+gather)",
+            ],
+            &rows,
+        );
+    }
+}

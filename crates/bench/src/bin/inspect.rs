@@ -87,8 +87,5 @@ fn main() {
             a.max_over_pixels
         );
     }
-    println!(
-        "ownership: {:?} px per rank",
-        schedule.owned_pixels()
-    );
+    println!("ownership: {:?} px per rank", schedule.owned_pixels());
 }

@@ -197,11 +197,7 @@ pub fn measure(
         .build(scene.p(), scene.image_len())
         .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
     verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-    let config = ComposeConfig {
-        codec,
-        root: 0,
-        gather: true,
-    };
+    let config = ComposeConfig::default().with_codec(codec);
     let (results, trace) = run_composition(&schedule, scene.partials.clone(), &config);
     let mut frame = None;
     for r in results {

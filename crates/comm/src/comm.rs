@@ -1,4 +1,5 @@
-//! Execution layer: threaded ranks over lossless FIFO channels.
+//! Execution layer: threaded ranks over FIFO channels with a
+//! reliable-delivery envelope and fail-stop rank-failure detection.
 //!
 //! [`Multicomputer::run`] spawns one thread per rank and hands each a
 //! [`RankCtx`] with MPI-like tagged point-to-point messaging, barriers and a
@@ -6,18 +7,41 @@
 //! so the run can be re-priced on the virtual clock afterwards
 //! (see [`mod@crate::replay`]).
 //!
-//! Determinism: message matching is by *(source, FIFO order)* with an
-//! explicit tag check, so a schedule bug (two ranks disagreeing about what
-//! flows on a channel) surfaces as a [`CommError::TagMismatch`] instead of
-//! silent corruption; a missing message surfaces as [`CommError::Timeout`].
-//! A [`FaultPlan`] can inject exactly those failures on purpose.
+//! **Reliable delivery.** Every message carries a per-channel sequence
+//! number and an FNV-1a payload checksum. A [`FaultPlan`] can drop or
+//! corrupt messages (deterministically or at a seeded rate); the sender
+//! retransmits with exponential backoff, up to [`MAX_ATTEMPTS`] attempts,
+//! recording `Retransmit`/`AckWait` trace events so the virtual-clock
+//! replay prices the recovery exactly (`Ts + bytes·Tp` per attempt plus
+//! backoff). Receivers verify the checksum and silently discard corrupted
+//! frames — the retransmission supplies the good copy. A channel severed
+//! outright surfaces as [`CommError::DeliveryFailed`] after the retries
+//! are exhausted.
+//!
+//! **Failure detection.** A plan can crash a rank at a given schedule step
+//! ([`FaultPlan::crash_rank_at_step`]). The dying rank broadcasts a death
+//! notification before exiting; any receive that would wait on it returns
+//! [`CommError::RankFailed`] as soon as the notification surfaces, instead
+//! of hanging until the timeout. [`RankCtx::liveness_exchange`] lets
+//! survivors agree on the set of failed ranks before a recovery phase.
+//!
+//! Determinism: message matching is by *(source, tag)* in per-channel FIFO
+//! order. A message whose tag nobody asks for is left pending; a receive
+//! that times out with such messages queued reports the foreign tag as a
+//! [`CommError::TagMismatch`] diagnostic, and a receive with nothing queued
+//! reports [`CommError::Timeout`]. All fault decisions are pure functions
+//! of the plan's seed and the message coordinates, so a faulty run's trace
+//! is bit-for-bit reproducible.
 
 use crate::trace::{Event, RankTrace, Trace};
 use crate::ComputeKind;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Maximum delivery attempts (1 original send + 3 retransmissions).
+pub const MAX_ATTEMPTS: u32 = 4;
 
 /// Errors surfaced by the communication substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,13 +53,14 @@ pub enum CommError {
         /// Machine size.
         size: usize,
     },
-    /// The next FIFO message from `from` carried an unexpected tag.
+    /// A message with a different tag is queued from `from` and nothing
+    /// carrying the expected tag arrived before the deadline.
     TagMismatch {
         /// Source rank of the offending message.
         from: usize,
         /// Tag the receiver was waiting for.
         expected: u64,
-        /// Tag actually found.
+        /// Tag actually found queued.
         got: u64,
     },
     /// No message arrived from `from` with tag `tag` before the deadline.
@@ -44,11 +69,30 @@ pub enum CommError {
         from: usize,
         /// Tag being waited on.
         tag: u64,
+        /// How long the receiver actually waited.
+        elapsed: Duration,
+        /// The configured receive deadline it waited against.
+        deadline: Duration,
     },
-    /// The peer's channel endpoint was dropped (peer exited early).
+    /// The peer's channel endpoint was dropped (peer exited early) without
+    /// a death notification.
     Disconnected {
         /// Source rank whose channel closed.
         from: usize,
+    },
+    /// Every delivery attempt of a message was lost or corrupted.
+    DeliveryFailed {
+        /// Destination rank.
+        to: usize,
+        /// Tag of the undeliverable message.
+        tag: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The peer announced its own failure; it will never send again.
+    RankFailed {
+        /// The failed rank.
+        rank: usize,
     },
 }
 
@@ -66,11 +110,25 @@ impl std::fmt::Display for CommError {
                 f,
                 "tag mismatch on channel from rank {from}: expected {expected:#x}, got {got:#x}"
             ),
-            CommError::Timeout { from, tag } => {
-                write!(f, "timed out waiting for tag {tag:#x} from rank {from}")
-            }
+            CommError::Timeout {
+                from,
+                tag,
+                elapsed,
+                deadline,
+            } => write!(
+                f,
+                "timed out waiting for tag {tag:#x} from rank {from} \
+                 (waited {elapsed:?} against a {deadline:?} deadline)"
+            ),
             CommError::Disconnected { from } => {
                 write!(f, "channel from rank {from} disconnected")
+            }
+            CommError::DeliveryFailed { to, tag, attempts } => write!(
+                f,
+                "message to rank {to} (tag {tag:#x}) undeliverable after {attempts} attempts"
+            ),
+            CommError::RankFailed { rank } => {
+                write!(f, "rank {rank} failed (death notification received)")
             }
         }
     }
@@ -78,14 +136,34 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
-/// Deterministic fault injection for testing error paths.
+/// FNV-1a 64-bit checksum used by the delivery envelope.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic fault injection for testing error and recovery paths.
 ///
-/// Faults are keyed by `(src, dst, seq)` where `seq` is the per-directed-
-/// channel FIFO sequence number (0-based).
+/// Deterministic faults are keyed by `(src, dst, seq)` where `seq` is the
+/// per-directed-channel FIFO sequence number (0-based). Probabilistic
+/// faults are pure functions of `(seed, src, dst, seq, attempt)`, so the
+/// same plan reproduces the same loss pattern — and therefore the same
+/// trace — on every run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
+    seed: u64,
     drops: HashSet<(usize, usize, u64)>,
+    severed: HashSet<(usize, usize)>,
     tag_corruptions: HashMap<(usize, usize, u64), u64>,
+    payload_corruptions: HashSet<(usize, usize, u64)>,
+    delays: HashMap<(usize, usize, u64), f64>,
+    drop_rate: f64,
+    corrupt_rate: f64,
+    crashes: HashMap<usize, usize>,
 }
 
 impl FaultPlan {
@@ -94,23 +172,116 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Silently drop the `seq`-th message from `src` to `dst`.
+    /// Seed for the probabilistic faults (`drop_rate` / `corrupt_rate`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Drop the first delivery attempt of the `seq`-th message from `src`
+    /// to `dst` (the retransmission recovers it).
     pub fn drop_message(mut self, src: usize, dst: usize, seq: u64) -> Self {
         self.drops.insert((src, dst, seq));
         self
     }
 
-    /// Replace the tag of the `seq`-th message from `src` to `dst`.
+    /// Drop **every** attempt on the `src → dst` channel: delivery fails
+    /// permanently with [`CommError::DeliveryFailed`].
+    pub fn sever_channel(mut self, src: usize, dst: usize) -> Self {
+        self.severed.insert((src, dst));
+        self
+    }
+
+    /// Replace the tag of the `seq`-th message from `src` to `dst`. The
+    /// payload (and its checksum) stay valid, so the frame is delivered
+    /// and left queued under the wrong tag — modeling a protocol-level
+    /// confusion rather than line noise.
     pub fn corrupt_tag(mut self, src: usize, dst: usize, seq: u64, tag: u64) -> Self {
         self.tag_corruptions.insert((src, dst, seq), tag);
         self
     }
+
+    /// Corrupt the payload of the first attempt of the `seq`-th message
+    /// from `src` to `dst`. The receiver's checksum rejects the frame and
+    /// the retransmission recovers it.
+    pub fn corrupt_payload(mut self, src: usize, dst: usize, seq: u64) -> Self {
+        self.payload_corruptions.insert((src, dst, seq));
+        self
+    }
+
+    /// Delay delivery of the `seq`-th message from `src` to `dst` by
+    /// `seconds` of virtual time (priced by replay; the threaded execution
+    /// is not slowed down).
+    pub fn delay_message(mut self, src: usize, dst: usize, seq: u64, seconds: f64) -> Self {
+        self.delays.insert((src, dst, seq), seconds);
+        self
+    }
+
+    /// Drop each delivery attempt independently with probability `rate`
+    /// (deterministic in the plan seed).
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Corrupt each delivered attempt's payload independently with
+    /// probability `rate` (deterministic in the plan seed); the checksum
+    /// catches it and the sender retransmits.
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Make `rank` fail (fail-stop) at the start of schedule step `step`.
+    /// The executor consults [`RankCtx::my_crash_step`]; the dying rank
+    /// broadcasts a death notification and exits.
+    pub fn crash_rank_at_step(mut self, rank: usize, step: usize) -> Self {
+        self.crashes.insert(rank, step);
+        self
+    }
+
+    /// The step at which `rank` is planned to fail, if any.
+    pub fn crash_step_of(&self, rank: usize) -> Option<usize> {
+        self.crashes.get(&rank).copied()
+    }
+
+    /// True if the plan contains any fault at all.
+    pub fn is_none(&self) -> bool {
+        self.drops.is_empty()
+            && self.severed.is_empty()
+            && self.tag_corruptions.is_empty()
+            && self.payload_corruptions.is_empty()
+            && self.delays.is_empty()
+            && self.drop_rate == 0.0
+            && self.corrupt_rate == 0.0
+            && self.crashes.is_empty()
+    }
+
+    /// Uniform `[0, 1)` deterministic in `(seed, salt, coordinates)`.
+    fn chance(&self, salt: u64, src: usize, dst: usize, seq: u64, attempt: u32) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt)
+            .wrapping_add((src as u64) << 48)
+            .wrapping_add((dst as u64) << 32)
+            .wrapping_add(seq.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
+
+const DROP_SALT: u64 = 0xD0;
+const CORRUPT_SALT: u64 = 0xC0;
 
 struct Message {
     from: usize,
     tag: u64,
     seq: u64,
+    checksum: u64,
     payload: Vec<u8>,
 }
 
@@ -126,13 +297,23 @@ pub struct RankCtx {
     barrier: Arc<std::sync::Barrier>,
     barrier_gen: u64,
     gather_gen: u64,
+    liveness_gen: u64,
     timeout: Duration,
     faults: Arc<FaultPlan>,
+    /// Ranks known to have failed, with the schedule step they announced.
+    dead: BTreeMap<usize, usize>,
+    checksum_rejects: u64,
 }
 
 /// Tag namespace reserved for the built-in gather; algorithm tags must keep
 /// this bit clear.
 pub const GATHER_TAG_BIT: u64 = 1 << 63;
+
+/// Tag of death-notification control frames (failure broadcast).
+pub const DEATH_TAG: u64 = 1 << 61;
+
+/// Tag namespace of the liveness-exchange control round.
+pub const LIVENESS_TAG_BIT: u64 = 1 << 59;
 
 /// `⌈log₂ p⌉` helper shared with the collectives module.
 pub(crate) fn ceil_log2_pub(p: usize) -> usize {
@@ -164,50 +345,160 @@ impl RankCtx {
         }
     }
 
+    /// Push a frame into `to`'s queue, tolerating a planned-dead receiver.
+    fn push_frame(&mut self, to: usize, msg: Message) -> Result<(), CommError> {
+        match self.senders[to].send(msg) {
+            Ok(()) => Ok(()),
+            // The receiver's thread has exited. If its death was planned
+            // (or already announced), the loss is part of the failure
+            // model and the send is a deterministic no-op; otherwise it
+            // is a genuine wiring bug.
+            Err(_) if self.faults.crashes.contains_key(&to) || self.dead.contains_key(&to) => {
+                Ok(())
+            }
+            Err(_) => Err(CommError::Disconnected { from: to }),
+        }
+    }
+
     /// Send `payload` to rank `to` with an algorithm-defined `tag`.
     ///
-    /// Sends are buffered (never block), matching an eager-protocol MPI send
-    /// for the message sizes involved here.
+    /// Sends are buffered (never block), matching an eager-protocol MPI
+    /// send for the message sizes involved here. The reliable-delivery
+    /// envelope retries lost or corrupted attempts up to [`MAX_ATTEMPTS`]
+    /// times with exponential backoff; all attempts and backoff windows
+    /// are recorded in the trace so replay prices the recovery.
     pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
         self.check_rank(to)?;
         let seq = self.send_seq[to];
         self.send_seq[to] += 1;
-        self.events.push(Event::Send {
+        let bytes = payload.len() as u64;
+        let key = (self.rank, to, seq);
+        let wire_tag = *self.faults.tag_corruptions.get(&key).unwrap_or(&tag);
+        let delay = self.faults.delays.get(&key).copied();
+        let faults = Arc::clone(&self.faults);
+        for attempt in 0..MAX_ATTEMPTS {
+            if attempt == 0 {
+                self.events.push(Event::Send {
+                    to,
+                    tag,
+                    bytes,
+                    seq,
+                });
+            } else {
+                self.events.push(Event::Retransmit {
+                    to,
+                    tag,
+                    bytes,
+                    seq,
+                    attempt,
+                });
+            }
+            let dropped = (attempt == 0 && faults.drops.contains(&key))
+                || faults.severed.contains(&(self.rank, to))
+                || faults.chance(DROP_SALT, self.rank, to, seq, attempt) < faults.drop_rate;
+            if dropped {
+                // Vanished into the network: wait one backoff window for
+                // the acknowledgement that never comes, then retry.
+                self.events.push(Event::AckWait { to, seq, attempt });
+                continue;
+            }
+            let corrupted = (attempt == 0 && faults.payload_corruptions.contains(&key))
+                || faults.chance(CORRUPT_SALT, self.rank, to, seq, attempt) < faults.corrupt_rate;
+            if corrupted {
+                // Deliver a damaged frame: the receiver's checksum rejects
+                // it, the sender sees no acknowledgement and retries.
+                let mut bad = payload.clone();
+                let checksum = fnv1a(&payload);
+                let checksum = if let Some(b) = bad.first_mut() {
+                    *b ^= 0xA5;
+                    checksum
+                } else {
+                    checksum ^ 1
+                };
+                self.push_frame(
+                    to,
+                    Message {
+                        from: self.rank,
+                        tag: wire_tag,
+                        seq,
+                        checksum,
+                        payload: bad,
+                    },
+                )?;
+                self.events.push(Event::AckWait { to, seq, attempt });
+                continue;
+            }
+            let checksum = fnv1a(&payload);
+            self.push_frame(
+                to,
+                Message {
+                    from: self.rank,
+                    tag: wire_tag,
+                    seq,
+                    checksum,
+                    payload,
+                },
+            )?;
+            if let Some(seconds) = delay {
+                self.events.push(Event::Delay { to, seq, seconds });
+            }
+            return Ok(());
+        }
+        Err(CommError::DeliveryFailed {
             to,
             tag,
-            bytes: payload.len() as u64,
-            seq,
-        });
-        let key = (self.rank, to, seq);
-        if self.faults.drops.contains(&key) {
-            return Ok(()); // vanish into the network
-        }
-        let tag = *self.faults.tag_corruptions.get(&key).unwrap_or(&tag);
-        let msg = Message {
-            from: self.rank,
-            tag,
-            seq,
-            payload,
-        };
-        // A send can only fail if the receiver already exited; surface that.
-        self.senders[to]
-            .send(msg)
-            .map_err(|_| CommError::Disconnected { from: to })
+            attempts: MAX_ATTEMPTS,
+        })
     }
 
-    /// Receive the next FIFO message from `from`, requiring tag `tag`.
+    /// File an incoming frame: verify its checksum, intercept control
+    /// frames, queue the rest.
+    fn stash(&mut self, msg: Message) {
+        if msg.tag == DEATH_TAG {
+            let step = usize::from_le_bytes(msg.payload.as_slice().try_into().unwrap_or([0; 8]));
+            self.dead.insert(msg.from, step);
+            return;
+        }
+        if fnv1a(&msg.payload) != msg.checksum {
+            self.checksum_rejects += 1;
+            return;
+        }
+        self.pending[msg.from].push_back(msg);
+    }
+
+    fn recv_failure(&self, from: usize, tag: u64, started: Instant) -> CommError {
+        if let Some(first) = self.pending[from].front() {
+            CommError::TagMismatch {
+                from,
+                expected: tag,
+                got: first.tag,
+            }
+        } else {
+            CommError::Timeout {
+                from,
+                tag,
+                elapsed: started.elapsed(),
+                deadline: self.timeout,
+            }
+        }
+    }
+
+    /// Receive the next message from `from` carrying tag `tag` (per-tag
+    /// FIFO order).
+    ///
+    /// Messages with other tags are left queued for later receives. If the
+    /// deadline passes with such messages queued, the foreign tag is
+    /// reported as a [`CommError::TagMismatch`] diagnostic; with nothing
+    /// queued, [`CommError::Timeout`]. If `from` has announced its death
+    /// and no matching message is queued, returns
+    /// [`CommError::RankFailed`] immediately instead of waiting.
     pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>, CommError> {
         self.check_rank(from)?;
-        let deadline = Instant::now() + self.timeout;
+        let started = Instant::now();
+        let deadline = started + self.timeout;
         loop {
-            if let Some(msg) = self.pending[from].pop_front() {
-                if msg.tag != tag {
-                    return Err(CommError::TagMismatch {
-                        from,
-                        expected: tag,
-                        got: msg.tag,
-                    });
-                }
+            if let Some(idx) = self.pending[from].iter().position(|m| m.tag == tag) {
+                let msg = self.pending[from].remove(idx).expect("index just found");
                 self.events.push(Event::Recv {
                     from,
                     tag,
@@ -216,22 +507,167 @@ impl RankCtx {
                 });
                 return Ok(msg.payload);
             }
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .ok_or(CommError::Timeout { from, tag })?;
+            if self.dead.contains_key(&from) {
+                return Err(CommError::RankFailed { rank: from });
+            }
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) => d,
+                None => return Err(self.recv_failure(from, tag, started)),
+            };
             match self.rx.recv_timeout(remaining) {
-                Ok(msg) => {
-                    let src = msg.from;
-                    self.pending[src].push_back(msg);
-                }
+                Ok(msg) => self.stash(msg),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                    return Err(CommError::Timeout { from, tag })
+                    return Err(self.recv_failure(from, tag, started))
                 }
                 Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
                     return Err(CommError::Disconnected { from })
                 }
             }
         }
+    }
+
+    /// Drain already-arrived frames without blocking (files death
+    /// notifications and queues data frames).
+    pub fn poll(&mut self) {
+        while let Some(msg) = self.rx.try_recv() {
+            self.stash(msg);
+        }
+    }
+
+    /// Ranks known (from death notifications) to have failed, with the
+    /// schedule step each announced.
+    pub fn dead_ranks(&self) -> &BTreeMap<usize, usize> {
+        &self.dead
+    }
+
+    /// Corrupted frames discarded by the checksum so far.
+    pub fn checksum_rejects(&self) -> u64 {
+        self.checksum_rejects
+    }
+
+    /// The schedule step at which this rank is planned to fail, if any.
+    pub fn my_crash_step(&self) -> Option<usize> {
+        self.faults.crash_step_of(self.rank)
+    }
+
+    /// All fail-stop crashes in the installed fault plan, as sorted
+    /// `(rank, step)` pairs. The plan is shared by every rank, so this is
+    /// a deterministic, agreement-free way for an executor to decide
+    /// whether a failure-handling phase is needed at all.
+    pub fn planned_crashes(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> =
+            self.faults.crashes.iter().map(|(&r, &k)| (r, k)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Broadcast a death notification: this rank is failing (fail-stop) at
+    /// schedule step `step` and will never send again. Control frames
+    /// bypass fault injection (the failure model assumes the membership
+    /// protocol itself is reliable) but are traced as ordinary sends, so
+    /// replay prices the notification traffic.
+    pub fn announce_death(&mut self, step: usize) {
+        self.dead.insert(self.rank, step);
+        for to in 0..self.size {
+            if to == self.rank {
+                continue;
+            }
+            let seq = self.send_seq[to];
+            self.send_seq[to] += 1;
+            let payload = step.to_le_bytes().to_vec();
+            self.events.push(Event::Send {
+                to,
+                tag: DEATH_TAG,
+                bytes: payload.len() as u64,
+                seq,
+            });
+            let checksum = fnv1a(&payload);
+            let _ = self.senders[to].send(Message {
+                from: self.rank,
+                tag: DEATH_TAG,
+                seq,
+                checksum,
+                payload,
+            });
+        }
+    }
+
+    /// Agree on the set of failed ranks: every survivor merges `announced`
+    /// — failures it can assert deterministically (in this simulation, the
+    /// shared fault plan's crashes up to the current phase) — into its
+    /// observed death notifications, sends the set to every other
+    /// presumed-alive rank, and receives theirs back. The union every
+    /// survivor computes is the true failure set. Returns the updated map
+    /// (`rank → step`).
+    ///
+    /// Passing the deterministic `announced` set (rather than each rank's
+    /// racy "notifications processed so far" view) keeps the membership
+    /// traffic — message count *and* payload sizes — identical across
+    /// reruns, preserving bit-exact replay determinism for faulty runs.
+    ///
+    /// Control traffic runs outside fault injection but is traced, so the
+    /// virtual clock charges the membership round.
+    pub fn liveness_exchange(
+        &mut self,
+        announced: &[(usize, usize)],
+    ) -> Result<BTreeMap<usize, usize>, CommError> {
+        let tag = LIVENESS_TAG_BIT | self.liveness_gen;
+        self.liveness_gen += 1;
+        self.poll();
+        for &(r, k) in announced {
+            if r != self.rank {
+                self.dead.entry(r).or_insert(k);
+            }
+        }
+        let encode = |dead: &BTreeMap<usize, usize>| {
+            let mut out = Vec::with_capacity(dead.len() * 16);
+            for (&r, &k) in dead {
+                out.extend_from_slice(&(r as u64).to_le_bytes());
+                out.extend_from_slice(&(k as u64).to_le_bytes());
+            }
+            out
+        };
+        let sent_to: Vec<usize> = (0..self.size)
+            .filter(|&r| r != self.rank && !self.dead.contains_key(&r))
+            .collect();
+        for &to in &sent_to {
+            let payload = encode(&self.dead);
+            let seq = self.send_seq[to];
+            self.send_seq[to] += 1;
+            self.events.push(Event::Send {
+                to,
+                tag,
+                bytes: payload.len() as u64,
+                seq,
+            });
+            let checksum = fnv1a(&payload);
+            // A send failure here means the peer exited: its death frame
+            // is already queued and the receive below will find it.
+            let _ = self.senders[to].send(Message {
+                from: self.rank,
+                tag,
+                seq,
+                checksum,
+                payload,
+            });
+        }
+        for &from in &sent_to {
+            if self.dead.contains_key(&from) {
+                continue; // learned of its death earlier in this loop
+            }
+            match self.recv(from, tag) {
+                Ok(bytes) => {
+                    for chunk in bytes.chunks_exact(16) {
+                        let r = u64::from_le_bytes(chunk[..8].try_into().expect("8 bytes"));
+                        let k = u64::from_le_bytes(chunk[8..].try_into().expect("8 bytes"));
+                        self.dead.entry(r as usize).or_insert(k as usize);
+                    }
+                }
+                Err(CommError::RankFailed { .. }) => {} // recorded by recv
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.dead.clone())
     }
 
     /// Record local computation so replay can charge it.
@@ -246,7 +682,8 @@ impl RankCtx {
         });
     }
 
-    /// Synchronize all ranks.
+    /// Synchronize all ranks. Must not be called after any rank has
+    /// exited (the failure protocol therefore never barriers post-crash).
     pub fn barrier(&mut self) {
         let generation = self.barrier_gen;
         self.barrier_gen += 1;
@@ -332,8 +769,10 @@ impl Multicomputer {
     /// Run `f` on every rank concurrently; returns the per-rank results and
     /// the merged event trace.
     ///
-    /// Rank panics propagate to the caller (after all threads are joined by
-    /// the scope), as a crashed node would abort an MPI job.
+    /// If ranks panic, every thread is still joined and the panic is
+    /// re-raised with a report naming **which** rank(s) panicked and their
+    /// messages, as a crashed node would abort an MPI job with its rank in
+    /// the error.
     pub fn run<T, F>(&self, f: F) -> (Vec<T>, Trace)
     where
         T: Send,
@@ -364,13 +803,17 @@ impl Multicomputer {
                 barrier: Arc::clone(&barrier),
                 barrier_gen: 0,
                 gather_gen: 0,
+                liveness_gen: 0,
                 timeout: self.timeout,
                 faults: Arc::clone(&self.faults),
+                dead: BTreeMap::new(),
+                checksum_rejects: 0,
             })
             .collect();
         drop(txs);
 
         let mut outcome: Vec<Option<(T, RankTrace)>> = (0..p).map(|_| None).collect();
+        let mut panics: Vec<(usize, String)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = ctxs
                 .iter_mut()
@@ -384,10 +827,25 @@ impl Multicomputer {
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(pair) => outcome[rank] = Some(pair),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panics.push((rank, msg));
+                    }
                 }
             }
         });
+        if !panics.is_empty() {
+            let report = panics
+                .iter()
+                .map(|(r, m)| format!("rank {r}: {m}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            panic!("{} rank(s) panicked — {report}", panics.len());
+        }
 
         let mut results = Vec::with_capacity(p);
         let mut trace = Trace::default();
@@ -438,8 +896,27 @@ mod tests {
     }
 
     #[test]
+    fn foreign_tags_are_left_for_later_receives() {
+        // Tag-selective matching: a receive must skip past messages that
+        // another receive will claim, in any interleaving.
+        let mc = Multicomputer::new(2);
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10, vec![1]).unwrap();
+                ctx.send(1, 20, vec![2]).unwrap();
+                Vec::new()
+            } else {
+                let later = ctx.recv(0, 20).unwrap();
+                let earlier = ctx.recv(0, 10).unwrap();
+                vec![later[0], earlier[0]]
+            }
+        });
+        assert_eq!(results[1], vec![2, 1]);
+    }
+
+    #[test]
     fn tag_mismatch_is_detected() {
-        let mc = Multicomputer::new(2).with_timeout(Duration::from_millis(500));
+        let mc = Multicomputer::new(2).with_timeout(Duration::from_millis(200));
         let (results, _) = mc.run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 42, vec![1]).unwrap();
@@ -459,11 +936,11 @@ mod tests {
     }
 
     #[test]
-    fn dropped_message_times_out() {
-        let mc = Multicomputer::new(2)
-            .with_timeout(Duration::from_millis(100))
-            .with_faults(FaultPlan::none().drop_message(0, 1, 0));
-        let (results, _) = mc.run(|ctx| {
+    fn dropped_message_is_retransmitted() {
+        // A single planned drop is recovered by the reliable-delivery
+        // envelope: the receive succeeds and the trace shows the recovery.
+        let mc = Multicomputer::new(2).with_faults(FaultPlan::none().drop_message(0, 1, 0));
+        let (results, trace) = mc.run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 5, vec![9]).unwrap();
                 Ok(vec![])
@@ -471,13 +948,110 @@ mod tests {
                 ctx.recv(0, 5)
             }
         });
-        assert_eq!(results[1], Err(CommError::Timeout { from: 0, tag: 5 }));
+        assert_eq!(results[1], Ok(vec![9]));
+        assert_eq!(trace.retransmit_count(), 1);
+        assert!(trace.ranks[0]
+            .iter()
+            .any(|e| matches!(e, Event::AckWait { attempt: 0, .. })));
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_and_recovered() {
+        let mc = Multicomputer::new(2).with_faults(FaultPlan::none().corrupt_payload(0, 1, 0));
+        let (results, trace) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![1, 2, 3]).unwrap();
+                Ok::<_, CommError>((vec![], 0))
+            } else {
+                let got = ctx.recv(0, 5)?;
+                Ok((got, ctx.checksum_rejects()))
+            }
+        });
+        let (payload, rejects) = results[1].clone().unwrap();
+        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(rejects, 1, "the damaged frame must be caught");
+        assert_eq!(trace.retransmit_count(), 1);
+    }
+
+    #[test]
+    fn severed_channel_exhausts_retries() {
+        let mc = Multicomputer::new(2)
+            .with_timeout(Duration::from_millis(200))
+            .with_faults(FaultPlan::none().sever_channel(0, 1));
+        let (results, trace) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![9]).map(|_| vec![])
+            } else {
+                ctx.recv(0, 5)
+            }
+        });
+        assert_eq!(
+            results[0],
+            Err(CommError::DeliveryFailed {
+                to: 1,
+                tag: 5,
+                attempts: MAX_ATTEMPTS
+            })
+        );
+        assert!(
+            matches!(
+                results[1],
+                Err(CommError::Timeout {
+                    from: 0,
+                    tag: 5,
+                    ..
+                })
+            ),
+            "{:?}",
+            results[1]
+        );
+        assert_eq!(trace.retransmit_count(), (MAX_ATTEMPTS - 1) as u64);
+    }
+
+    #[test]
+    fn probabilistic_drops_recover_bit_exact() {
+        // At a 20% seeded drop rate every message still arrives intact
+        // (retransmission), and the trace is identical across runs.
+        let run = || {
+            let mc =
+                Multicomputer::new(4).with_faults(FaultPlan::none().with_seed(42).drop_rate(0.2));
+            mc.run(|ctx| {
+                let me = ctx.rank();
+                let p = ctx.size();
+                for dst in 0..p {
+                    if dst != me {
+                        ctx.send(dst, 7, vec![me as u8; 16]).unwrap();
+                    }
+                }
+                let mut got = Vec::new();
+                for src in 0..p {
+                    if src != me {
+                        got.push(ctx.recv(src, 7).unwrap());
+                    }
+                }
+                got
+            })
+        };
+        let (r1, t1) = run();
+        let (r2, t2) = run();
+        for (me, got) in r1.iter().enumerate() {
+            let mut i = 0;
+            for src in 0..4usize {
+                if src != me {
+                    assert_eq!(got[i], vec![src as u8; 16]);
+                    i += 1;
+                }
+            }
+        }
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2, "faulty traces must be deterministic");
+        assert!(t1.retransmit_count() > 0, "the seed should drop something");
     }
 
     #[test]
     fn corrupted_tag_is_detected() {
         let mc = Multicomputer::new(2)
-            .with_timeout(Duration::from_millis(500))
+            .with_timeout(Duration::from_millis(200))
             .with_faults(FaultPlan::none().corrupt_tag(0, 1, 0, 999));
         let (results, _) = mc.run(|ctx| {
             if ctx.rank() == 0 {
@@ -495,6 +1069,73 @@ mod tests {
                 got: 999
             })
         );
+    }
+
+    #[test]
+    fn timeout_reports_elapsed_and_deadline() {
+        let deadline = Duration::from_millis(50);
+        let mc = Multicomputer::new(2).with_timeout(deadline);
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                Ok(vec![])
+            } else {
+                ctx.recv(0, 5)
+            }
+        });
+        match &results[1] {
+            Err(CommError::Timeout {
+                from: 0,
+                tag: 5,
+                elapsed,
+                deadline: d,
+            }) => {
+                assert_eq!(*d, deadline);
+                assert!(*elapsed >= deadline, "waited {elapsed:?}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn death_notification_fails_fast() {
+        // Rank 0 announces death; rank 1's receive returns RankFailed as
+        // soon as the notification surfaces instead of waiting out the
+        // full deadline.
+        let mc = Multicomputer::new(2).with_timeout(Duration::from_secs(30));
+        let started = Instant::now();
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.announce_death(3);
+                Ok(vec![])
+            } else {
+                ctx.recv(0, 5)
+            }
+        });
+        assert_eq!(results[1], Err(CommError::RankFailed { rank: 0 }));
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "must not wait out the 30 s deadline"
+        );
+    }
+
+    #[test]
+    fn liveness_exchange_reaches_consensus() {
+        let mc = Multicomputer::new(4).with_faults(FaultPlan::none().crash_rank_at_step(2, 0));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.my_crash_step() == Some(0) {
+                ctx.announce_death(0);
+                return BTreeMap::new();
+            }
+            // No deterministic announcements: consensus must still emerge
+            // from the death notifications alone.
+            ctx.liveness_exchange(&[]).unwrap()
+        });
+        for (r, dead) in results.iter().enumerate() {
+            if r == 2 {
+                continue;
+            }
+            assert_eq!(dead, &BTreeMap::from([(2usize, 0usize)]), "rank {r}");
+        }
     }
 
     #[test]
@@ -602,5 +1243,16 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_panics() {
         Multicomputer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1: boom")]
+    fn panics_are_attributed_to_their_rank() {
+        let mc = Multicomputer::new(3);
+        let _ = mc.run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        });
     }
 }

@@ -52,6 +52,12 @@ pub struct CostModel {
     /// Zero in both presets — the paper's model charges each transfer once,
     /// on the sender — and available for overhead-sensitivity ablations.
     pub tr: f64,
+    /// Acknowledgement timeout for the reliable-delivery layer, seconds.
+    /// A lost or corrupted transfer costs the sender
+    /// `ack_timeout · 2^attempt` of backoff before each retransmission
+    /// (charged by replay against `Event::AckWait`). Defaults to `2·Ts`,
+    /// a round-trip of startup latency.
+    pub ack_timeout: f64,
     /// Cost per abstract render unit, seconds (0 ⇒ rendering not modeled).
     pub render_unit: f64,
 }
@@ -68,6 +74,7 @@ impl CostModel {
         to: 0.000_2,
         tc: 0.000_000_4,
         tr: 0.0,
+        ack_timeout: 0.01,
         render_unit: 0.0,
     };
 
@@ -83,6 +90,7 @@ impl CostModel {
         to: 0.000_000_3,
         tc: 0.000_000_005,
         tr: 0.0,
+        ack_timeout: 0.000_08,
         render_unit: 0.0,
     };
 
@@ -94,6 +102,7 @@ impl CostModel {
             to,
             tc: 0.0,
             tr: 0.0,
+            ack_timeout: 2.0 * ts,
             render_unit: 0.0,
         }
     }
@@ -108,6 +117,19 @@ impl CostModel {
     pub fn with_tr(mut self, tr: f64) -> Self {
         self.tr = tr;
         self
+    }
+
+    /// Builder-style override of the reliable-delivery ack timeout.
+    pub fn with_ack_timeout(mut self, ack_timeout: f64) -> Self {
+        self.ack_timeout = ack_timeout;
+        self
+    }
+
+    /// Backoff charged before retransmission attempt `attempt + 1`:
+    /// `ack_timeout · 2^attempt`.
+    #[inline]
+    pub fn backoff_time(&self, attempt: u32) -> f64 {
+        self.ack_timeout * (1u64 << attempt.min(62)) as f64
     }
 
     /// Builder-style override of the render-unit cost.

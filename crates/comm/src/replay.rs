@@ -65,7 +65,11 @@ pub struct RankStats {
     pub render_time: f64,
     /// Messages sent.
     pub messages_sent: u64,
-    /// Bytes sent (post-compression, as recorded).
+    /// Retransmissions performed by the reliable-delivery layer.
+    pub retransmits: u64,
+    /// Time spent in acknowledgement-timeout backoff before retransmitting.
+    pub backoff_time: f64,
+    /// Bytes sent (post-compression, as recorded, including retransmits).
     pub bytes_sent: u64,
 }
 
@@ -115,6 +119,26 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
     let mut idx = vec![0usize; p];
     let mut stats = vec![RankStats::default(); p];
     let mut send_finish: HashMap<(usize, usize, u64), f64> = HashMap::new();
+    // Reliable delivery: the receiver matches the *last* attempt of a
+    // message, so a prepass finds each channel message's final attempt and
+    // only that attempt publishes `send_finish`.
+    let mut last_attempt: HashMap<(usize, usize, u64), u32> = HashMap::new();
+    for (r, events) in trace.ranks.iter().enumerate() {
+        for e in events {
+            match e {
+                Event::Send { to, seq, .. } => {
+                    last_attempt.entry((r, *to, *seq)).or_insert(0);
+                }
+                Event::Retransmit {
+                    to, seq, attempt, ..
+                } => {
+                    let slot = last_attempt.entry((r, *to, *seq)).or_insert(0);
+                    *slot = (*slot).max(*attempt);
+                }
+                _ => {}
+            }
+        }
+    }
     // Barrier bookkeeping: generation -> (arrival clock per rank).
     let mut barrier_entries: HashMap<u64, Vec<Option<f64>>> = HashMap::new();
     let mut marks: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
@@ -132,7 +156,39 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                         stats[r].send_time += dur;
                         stats[r].messages_sent += 1;
                         stats[r].bytes_sent += bytes;
-                        send_finish.insert((r, *to, *seq), clocks[r]);
+                        if last_attempt.get(&(r, *to, *seq)) == Some(&0) {
+                            send_finish.insert((r, *to, *seq), clocks[r]);
+                        }
+                    }
+                    Event::Retransmit {
+                        to,
+                        bytes,
+                        seq,
+                        attempt,
+                        ..
+                    } => {
+                        // A retransmission occupies the sender exactly like a
+                        // fresh send of the same payload.
+                        let dur = cost.message_time(*bytes);
+                        clocks[r] += dur;
+                        stats[r].send_time += dur;
+                        stats[r].retransmits += 1;
+                        stats[r].bytes_sent += bytes;
+                        if last_attempt.get(&(r, *to, *seq)) == Some(attempt) {
+                            send_finish.insert((r, *to, *seq), clocks[r]);
+                        }
+                    }
+                    Event::AckWait { attempt, .. } => {
+                        let dur = cost.backoff_time(*attempt);
+                        clocks[r] += dur;
+                        stats[r].backoff_time += dur;
+                    }
+                    Event::Delay { to, seq, seconds } => {
+                        // The message left the sender on time but spends
+                        // `seconds` extra in flight.
+                        if let Some(finish) = send_finish.get_mut(&(r, *to, *seq)) {
+                            *finish += seconds;
+                        }
                     }
                     Event::Recv { from, seq, .. } => {
                         let Some(&arrival) = send_finish.get(&(*from, r, *seq)) else {

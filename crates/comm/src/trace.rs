@@ -22,6 +22,42 @@ pub enum Event {
         /// Per-directed-channel FIFO sequence number.
         seq: u64,
     },
+    /// A retransmission of `(to, seq)` after earlier attempts were lost or
+    /// corrupted. Priced exactly like a fresh [`Event::Send`]; the last
+    /// attempt is the one the receiver's [`Event::Recv`] matches.
+    Retransmit {
+        /// Destination rank.
+        to: usize,
+        /// Message tag (algorithm-defined).
+        tag: u64,
+        /// Payload size in bytes as shipped.
+        bytes: u64,
+        /// Per-directed-channel FIFO sequence number (same as the original).
+        seq: u64,
+        /// Attempt index (1 for the first retransmission).
+        attempt: u32,
+    },
+    /// The sender waited one acknowledgement-timeout window before
+    /// retransmitting `(to, seq)`. Replay charges
+    /// `ack_timeout · 2^attempt` (exponential backoff).
+    AckWait {
+        /// Destination rank of the pending message.
+        to: usize,
+        /// Per-directed-channel sequence number of the pending message.
+        seq: u64,
+        /// The attempt that timed out (0 for the original send).
+        attempt: u32,
+    },
+    /// Fault-injected network delay on message `(to, seq)`: delivery
+    /// completes `seconds` later than the send finished.
+    Delay {
+        /// Destination rank.
+        to: usize,
+        /// Per-directed-channel sequence number of the delayed message.
+        seq: u64,
+        /// Extra in-flight time, virtual seconds.
+        seconds: f64,
+    },
     /// A message was consumed from `from` (matching the sender's `seq`).
     Recv {
         /// Source rank.
@@ -77,13 +113,22 @@ impl Trace {
             .count() as u64
     }
 
-    /// Total bytes shipped across all messages.
+    /// Total number of retransmissions across the run.
+    pub fn retransmit_count(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, Event::Retransmit { .. }))
+            .count() as u64
+    }
+
+    /// Total bytes shipped across all messages (including retransmissions).
     pub fn bytes_sent(&self) -> u64 {
         self.ranks
             .iter()
             .flatten()
             .map(|e| match e {
-                Event::Send { bytes, .. } => *bytes,
+                Event::Send { bytes, .. } | Event::Retransmit { bytes, .. } => *bytes,
                 _ => 0,
             })
             .sum()

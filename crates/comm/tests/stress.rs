@@ -93,10 +93,7 @@ fn collectives_interleaved_with_p2p() {
         let b = rt_comm::broadcast(ctx, 2, (me == 2).then(|| vec![99]), 0).unwrap();
         let from_prev = ctx.recv((me + p - 1) % p, 7).unwrap();
         // Reduce after.
-        let sum = rt_comm::reduce(ctx, 0, vec![me as u8], 1, |a, b| {
-            vec![a[0] + b[0]]
-        })
-        .unwrap();
+        let sum = rt_comm::reduce(ctx, 0, vec![me as u8], 1, |a, b| vec![a[0] + b[0]]).unwrap();
         (b, from_prev, sum)
     });
     for (r, (b, from_prev, sum)) in results.into_iter().enumerate() {

@@ -241,7 +241,7 @@ mod tests {
                 let v = seed
                     .wrapping_mul(0x9E3779B97F4A7C15)
                     .wrapping_add((x * 31 + y * 17) as u64);
-                if v % 3 == 0 {
+                if v.is_multiple_of(3) {
                     GrayAlpha8::blank()
                 } else {
                     GrayAlpha8::new((v % 251) as u8, 1 + (v % 255) as u8)

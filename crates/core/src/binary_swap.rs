@@ -164,6 +164,7 @@ impl CompositionMethod for BinarySwap {
             steps,
             final_owners,
             method: self.name(),
+            depth_of_rank: None,
         })
     }
 }

@@ -83,6 +83,7 @@ impl CompositionMethod for DirectSend {
             steps,
             final_owners,
             method: self.name(),
+            depth_of_rank: None,
         })
     }
 }

@@ -14,13 +14,15 @@
 //! Phase marks (`compose:start`, `compose:end`, `gather:end`) delimit the
 //! stages for the virtual-clock replay.
 
+use crate::repair::{repair, DegradedInfo};
 use crate::schedule::{MergeDir, Schedule};
 use crate::CoreError;
-use rt_comm::{ComputeKind, Multicomputer, RankCtx, Trace};
+use rt_comm::{CommError, ComputeKind, FaultPlan, Multicomputer, RankCtx, Trace};
 use rt_compress::CodecKind;
 use rt_imaging::pixel::Pixel;
 use rt_imaging::{Image, Span};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Execution options for [`compose`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +35,15 @@ pub struct ComposeConfig {
     /// When `false`, the composed pieces stay distributed and only the
     /// owners' local frames are meaningful.
     pub gather: bool,
+    /// Degrade gracefully on confirmed rank failures instead of erroring:
+    /// skip dead peers' contributions, re-pair the survivors via
+    /// [`crate::repair`], and report what is missing in
+    /// [`ComposeOutput::degraded`].
+    pub resilient: bool,
+    /// Receive-deadline override for the harnesses that build their own
+    /// [`Multicomputer`] ([`run_composition`] and `rt-pvr`'s pipeline).
+    /// `None` keeps the comm layer's default.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for ComposeConfig {
@@ -41,7 +52,41 @@ impl Default for ComposeConfig {
             codec: CodecKind::Raw,
             root: 0,
             gather: true,
+            resilient: false,
+            timeout: None,
         }
+    }
+}
+
+impl ComposeConfig {
+    /// Set the message codec.
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Set the gather root.
+    pub fn with_root(mut self, root: usize) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Enable or disable the final gather.
+    pub fn with_gather(mut self, gather: bool) -> Self {
+        self.gather = gather;
+        self
+    }
+
+    /// Enable graceful degradation on rank failures.
+    pub fn resilient(mut self, on: bool) -> Self {
+        self.resilient = on;
+        self
+    }
+
+    /// Override the receive deadline used by the execution harnesses.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
     }
 }
 
@@ -52,6 +97,10 @@ pub struct ComposeOutput<P: Pixel> {
     pub frame: Option<Image<P>>,
     /// Pixels this rank finally owned (its contribution to the gather).
     pub owned_pixels: usize,
+    /// `Some` when the run completed without the full set of
+    /// contributions: rank failures occurred and the frame is the exact
+    /// composite of the survivors (or this rank itself crashed).
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Tag for a transfer: step index in the high bits, span start in the low.
@@ -60,6 +109,16 @@ pub struct ComposeOutput<P: Pixel> {
 /// twice between the same pair, and disjoint spans have distinct starts.
 fn tag(step: usize, span_start: usize) -> u64 {
     ((step as u64) << 40) | span_start as u64
+}
+
+/// Tag namespace of the repair (reconstruction-fetch) phase; disjoint from
+/// step tags (bits < 60) and the comm layer's control namespaces (bits
+/// 59/61/62/63).
+const REPAIR_TAG_BIT: u64 = 1 << 60;
+
+/// Tag of the repair fetch `fetch` of plan entry `entry`.
+fn repair_tag(entry: usize, fetch: usize) -> u64 {
+    REPAIR_TAG_BIT | ((entry as u64) << 16) | fetch as u64
 }
 
 /// Execute `schedule` on this rank with `local` as the rank's rendered
@@ -93,12 +152,31 @@ pub fn compose<P: Pixel>(
     }
     let codec = config.codec.build::<P>();
 
+    // Fail-stop point for this rank, if the fault plan crashes it within
+    // this schedule (a step index, or `steps.len()` for "after the last
+    // step, before the gather"). Only honored in resilient mode.
+    let steps_len = schedule.steps.len();
+    let my_crash = if config.resilient {
+        ctx.my_crash_step().filter(|k| *k <= steps_len)
+    } else {
+        None
+    };
+
     ctx.mark("compose:start");
 
     // Deferred back accumulators, keyed by span start.
     let mut back_acc: HashMap<usize, (Span, Vec<P>)> = HashMap::new();
 
     for (k, step) in schedule.steps.iter().enumerate() {
+        if my_crash == Some(k) {
+            ctx.announce_death(k);
+            ctx.mark("compose:crashed");
+            return Ok(ComposeOutput {
+                frame: None,
+                owned_pixels: 0,
+                degraded: Some(DegradedInfo::self_crash(me, k)),
+            });
+        }
         // Ship all sends first (non-blocking), then consume receives: the
         // pairwise exchanges of every method progress without deadlock.
         for t in step.sends_of(me) {
@@ -110,7 +188,14 @@ pub fn compose<P: Pixel>(
             ctx.send(t.dst, tag(k, t.span.start), encoded.bytes)?;
         }
         for t in step.recvs_of(me) {
-            let bytes = ctx.recv(t.src, tag(k, t.span.start))?;
+            let bytes = match ctx.recv(t.src, tag(k, t.span.start)) {
+                Ok(bytes) => bytes,
+                // A confirmed-dead peer's contribution is skipped: `over`
+                // is associative, so the composite of the remaining
+                // members stays exact (see `crate::repair`).
+                Err(CommError::RankFailed { .. }) if config.resilient => continue,
+                Err(e) => return Err(e.into()),
+            };
             if config.codec != CodecKind::Raw {
                 ctx.compute(ComputeKind::Decode, (t.span.len * P::BYTES) as u64);
             }
@@ -163,10 +248,122 @@ pub fn compose<P: Pixel>(
         local.over_back(span, &acc)?;
     }
 
+    if my_crash == Some(steps_len) {
+        ctx.announce_death(steps_len);
+        ctx.mark("compose:crashed");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels: 0,
+            degraded: Some(DegradedInfo::self_crash(me, steps_len)),
+        });
+    }
+
     ctx.mark("compose:end");
 
+    // --- Failure handling: agree on the dead, then re-pair survivors ----
+    // The fault plan is shared, so "is a failure phase needed" is decided
+    // identically (and without communication) by every rank.
+    let mut owners: Vec<(Span, usize)> = schedule.final_owners.clone();
+    let mut root = config.root;
+    let mut degraded: Option<DegradedInfo> = None;
+    let crash_planned =
+        config.resilient && ctx.planned_crashes().iter().any(|(_, k)| *k <= steps_len);
+    if crash_planned {
+        ctx.mark("repair:start");
+        // Announce the deterministic planned-failure set: every survivor
+        // contributes identical membership traffic, so faulty runs replay
+        // bit-exact (the death notifications alone would race — a frame
+        // processed before the exchange on one run may arrive after it on
+        // the next, changing payload sizes).
+        let announced: Vec<(usize, usize)> = ctx
+            .planned_crashes()
+            .into_iter()
+            .filter(|&(_, k)| k <= steps_len)
+            .collect();
+        let crashed = ctx.liveness_exchange(&announced)?;
+        if !crashed.is_empty() {
+            let plan = repair(schedule, &crashed)?;
+
+            // Phase 1: extract every piece this rank holds for the plan
+            // *before* any insert can overwrite it, and ship the
+            // remote-bound ones (all sends precede all receives: no
+            // deadlock on the buffered channels).
+            let mut own_pieces: HashMap<(usize, usize), Vec<P>> = HashMap::new();
+            for (ei, e) in plan.entries.iter().enumerate() {
+                for (fi, fetch) in e.fetches.iter().enumerate() {
+                    if fetch.holder != me {
+                        continue;
+                    }
+                    let pixels = local.extract(e.span)?;
+                    if e.owner == me {
+                        own_pieces.insert((ei, fi), pixels);
+                    } else {
+                        let encoded = codec.encode(&pixels);
+                        if config.codec != CodecKind::Raw {
+                            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+                        }
+                        ctx.send(e.owner, repair_tag(ei, fi), encoded.bytes)?;
+                    }
+                }
+            }
+            // Phase 2: assemble the spans this rank now owns, merging the
+            // fetched pieces front-to-back.
+            for (ei, e) in plan.entries.iter().enumerate() {
+                if e.owner != me {
+                    continue;
+                }
+                let mut acc: Option<Vec<P>> = None;
+                for (fi, fetch) in e.fetches.iter().enumerate() {
+                    let pixels: Vec<P> = if fetch.holder == me {
+                        match own_pieces.remove(&(ei, fi)) {
+                            Some(px) => px,
+                            None => {
+                                return Err(CoreError::InvalidSchedule {
+                                    why: format!(
+                                        "repair plan fetch ({ei},{fi}) was not extracted in phase 1"
+                                    ),
+                                })
+                            }
+                        }
+                    } else {
+                        let bytes = ctx.recv(fetch.holder, repair_tag(ei, fi))?;
+                        if config.codec != CodecKind::Raw {
+                            ctx.compute(ComputeKind::Decode, (e.span.len * P::BYTES) as u64);
+                        }
+                        codec.decode(&bytes, e.span.len)?
+                    };
+                    acc = Some(match acc {
+                        None => pixels,
+                        Some(mut front) => {
+                            ctx.compute(ComputeKind::Over, e.span.len as u64);
+                            for (f, b) in front.iter_mut().zip(&pixels) {
+                                *f = f.over(b);
+                            }
+                            front
+                        }
+                    });
+                }
+                if let Some(acc) = acc {
+                    local.insert(e.span, &acc)?;
+                }
+            }
+
+            owners = plan.final_owners.clone();
+            let mut info = plan.info;
+            if crashed.contains_key(&root) {
+                let new_root = (0..schedule.p).find(|r| !crashed.contains_key(r));
+                if let Some(nr) = new_root {
+                    info.root_reassigned_to = Some(nr);
+                    root = nr;
+                }
+            }
+            degraded = Some(info);
+        }
+        ctx.mark("repair:end");
+    }
+
     let mut owned_pixels = 0usize;
-    for (span, owner) in &schedule.final_owners {
+    for (span, owner) in &owners {
         if *owner == me {
             owned_pixels += span.len;
         }
@@ -176,6 +373,7 @@ pub fn compose<P: Pixel>(
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels,
+            degraded,
         });
     }
 
@@ -183,15 +381,15 @@ pub fn compose<P: Pixel>(
     // concatenated in span order (the coalesced collection a real system
     // would do with MPI_Gatherv), tagged past the last step.
     let gather_step = schedule.steps.len();
-    let mut frame = (me == config.root).then(|| Image::blank(local.width(), local.height()));
-    // Spans per owner, in final_owners (span-start) order.
+    let mut frame = (me == root).then(|| Image::blank(local.width(), local.height()));
+    // Spans per owner, in (possibly repaired) ownership order.
     let mut spans_of = vec![Vec::<Span>::new(); schedule.p];
-    for (span, owner) in &schedule.final_owners {
+    for (span, owner) in &owners {
         if !span.is_empty() {
             spans_of[*owner].push(*span);
         }
     }
-    if me != config.root && !spans_of[me].is_empty() {
+    if me != root && !spans_of[me].is_empty() {
         let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
         for span in &spans_of[me] {
             pixels.extend(local.extract(*span)?);
@@ -200,7 +398,7 @@ pub fn compose<P: Pixel>(
         if config.codec != CodecKind::Raw {
             ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
         }
-        ctx.send(config.root, tag(gather_step, me), encoded.bytes)?;
+        ctx.send(root, tag(gather_step, me), encoded.bytes)?;
     }
     if let Some(frame) = frame.as_mut() {
         for (owner, owner_spans) in spans_of.iter().enumerate() {
@@ -233,6 +431,7 @@ pub fn compose<P: Pixel>(
     Ok(ComposeOutput {
         frame,
         owned_pixels,
+        degraded,
     })
 }
 
@@ -245,12 +444,27 @@ pub fn run_composition<P: Pixel>(
     partials: Vec<Image<P>>,
     config: &ComposeConfig,
 ) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    run_composition_faulty(schedule, partials, config, FaultPlan::none())
+}
+
+/// [`run_composition`] with fault injection: the multicomputer is built
+/// with `faults` installed (and `config.timeout` applied, if any), so
+/// message loss, corruption and rank crashes can be exercised end to end.
+pub fn run_composition_faulty<P: Pixel>(
+    schedule: &Schedule,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    faults: FaultPlan,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
     assert_eq!(
         partials.len(),
         schedule.p,
         "one partial image per rank required"
     );
-    let mc = Multicomputer::new(schedule.p);
+    let mut mc = Multicomputer::new(schedule.p).with_faults(faults);
+    if let Some(timeout) = config.timeout {
+        mc = mc.with_timeout(timeout);
+    }
     let partials = std::sync::Mutex::new(
         partials
             .into_iter()
@@ -258,9 +472,13 @@ pub fn run_composition<P: Pixel>(
             .collect::<Vec<Option<Image<P>>>>(),
     );
     mc.run(move |ctx| {
-        let local = partials.lock().unwrap()[ctx.rank()]
+        // Poison-tolerant: if another rank panicked while holding the lock,
+        // this rank still takes its own slot instead of cascading the panic.
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
             .take()
-            .expect("each rank takes its partial exactly once");
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
         compose(ctx, schedule, local, config)
     })
 }
@@ -268,6 +486,7 @@ pub fn run_composition<P: Pixel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::method::CompositionMethod;
     use crate::schedule::{Step, Transfer};
     use rt_imaging::pixel::Provenance;
 
@@ -300,6 +519,7 @@ mod tests {
             }],
             final_owners: vec![(first, 0), (second, 1)],
             method: "swap2".into(),
+            depth_of_rank: None,
         }
     }
 
@@ -399,5 +619,93 @@ mod tests {
         let report = rt_comm::replay(&trace, &rt_comm::CostModel::PAPER_EXAMPLE).unwrap();
         assert!(report.phase("compose:start", "compose:end").unwrap() > 0.0);
         assert!(report.phase("compose:start", "gather:end").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn dropped_messages_recover_bit_exact() {
+        // Message loss is absorbed by the comm layer's retransmission:
+        // the composite is bit-identical to the clean run.
+        let schedule = crate::RotateTiling::two_n(2).build(4, 256).unwrap();
+        let faults = FaultPlan::none()
+            .with_seed(7)
+            .drop_rate(0.10)
+            .corrupt_rate(0.05);
+        let (results, trace) = run_composition_faulty(
+            &schedule,
+            provenance_partials(4, 16, 16),
+            &ComposeConfig::default(),
+            faults,
+        );
+        let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+        assert!(frame
+            .pixels()
+            .iter()
+            .all(|px| *px == Provenance::complete(4)));
+        assert!(
+            trace.retransmit_count() > 0,
+            "the seed should lose something"
+        );
+    }
+
+    #[test]
+    fn crash_of_deepest_rank_degrades_to_exact_survivor_composite() {
+        // Killing the deepest rank keeps the survivors depth-contiguous,
+        // so the Provenance algebra stays exact: every pixel must be the
+        // survivors' range [0, 3).
+        for (label, schedule) in [
+            ("bs", crate::BinarySwap::new().build(4, 256).unwrap()),
+            ("pp", crate::ParallelPipelined::new().build(4, 256).unwrap()),
+            ("rt", crate::RotateTiling::two_n(2).build(4, 256).unwrap()),
+        ] {
+            let config = ComposeConfig::default().resilient(true);
+            let faults = FaultPlan::none().crash_rank_at_step(3, 0);
+            let (results, _) =
+                run_composition_faulty(&schedule, provenance_partials(4, 16, 16), &config, faults);
+            let out0 = results[0].as_ref().unwrap();
+            let frame = out0.frame.as_ref().unwrap();
+            assert!(
+                frame
+                    .pixels()
+                    .iter()
+                    .all(|px| *px == Provenance { lo: 0, hi: 3 }),
+                "{label}: degraded frame must be the survivors' exact composite"
+            );
+            let info = out0.degraded.as_ref().expect("must be flagged degraded");
+            assert_eq!(info.failed, vec![(3, 0)], "{label}");
+            assert_eq!(info.lost_contributions, vec![3], "{label}");
+            assert_eq!(info.lost_pixels, 256, "{label}");
+            // The crashed rank reports its own demise.
+            let out3 = results[3].as_ref().unwrap();
+            assert_eq!(
+                out3.degraded.as_ref().unwrap().failed,
+                vec![(3, 0)],
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_of_the_root_reassigns_the_gather() {
+        let schedule = crate::BinarySwap::new().build(4, 256).unwrap();
+        let config = ComposeConfig::default().resilient(true);
+        let faults = FaultPlan::none().crash_rank_at_step(0, 1);
+        let (results, _) =
+            run_composition_faulty(&schedule, provenance_partials(4, 16, 16), &config, faults);
+        // Root (rank 0) died: the lowest survivor assembles instead.
+        let out1 = results[1].as_ref().unwrap();
+        let info = out1.degraded.as_ref().unwrap();
+        assert_eq!(info.root_reassigned_to, Some(1));
+        assert!(out1.frame.is_some(), "new root must hold the frame");
+        assert!(results[2].as_ref().unwrap().frame.is_none());
+    }
+
+    #[test]
+    fn resilient_clean_run_is_not_flagged_degraded() {
+        let schedule = two_rank_swap(24);
+        let config = ComposeConfig::default().resilient(true);
+        let (results, _) = run_composition(&schedule, provenance_partials(2, 6, 4), &config);
+        for r in &results {
+            assert!(r.as_ref().unwrap().degraded.is_none());
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod direct;
 pub mod exec;
 pub mod method;
 pub mod pipelined;
+pub mod repair;
 pub mod rotate;
 pub mod schedule;
 pub mod theory;
@@ -56,9 +57,10 @@ pub mod tune;
 pub use analysis::{analyze, ScheduleCost};
 pub use binary_swap::BinarySwap;
 pub use direct::DirectSend;
-pub use exec::{compose, run_composition, ComposeConfig, ComposeOutput};
+pub use exec::{compose, run_composition, run_composition_faulty, ComposeConfig, ComposeOutput};
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;
+pub use repair::{repair, DegradedInfo, RepairEntry, RepairFetch, RepairPlan};
 pub use rotate::{RotateTiling, RtVariant};
 pub use schedule::{verify_schedule, MergeDir, Schedule, Step, Transfer};
 pub use tune::{choose, sweep, Candidate, TuneOptions};

@@ -84,6 +84,7 @@ impl CompositionMethod for ParallelPipelined {
             steps,
             final_owners,
             method: self.name(),
+            depth_of_rank: None,
         })
     }
 }

@@ -315,6 +315,7 @@ impl CompositionMethod for RotateTiling {
             steps,
             final_owners,
             method: self.name(),
+            depth_of_rank: None,
         })
     }
 }

@@ -80,12 +80,28 @@ pub struct Schedule {
     pub final_owners: Vec<(Span, usize)>,
     /// Method name for reports.
     pub method: String,
+    /// Depth index of each rank (`depth_of_rank[r]` = position of rank `r`
+    /// in the back-to-front compositing order). `None` means the identity
+    /// (rank *r* holds depth *r*), which is how every method builds its
+    /// schedule; `rt-pvr`'s rank permutation fills it in when relabeling
+    /// ranks for a camera. Recovery planning ([`crate::repair`]) needs it
+    /// to re-pair depth-contiguous survivors.
+    pub depth_of_rank: Option<Vec<usize>>,
 }
 
 impl Schedule {
     /// Number of communication steps.
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Depth index of `rank` in the back-to-front compositing order
+    /// (identity when no permutation was recorded).
+    pub fn depth_of(&self, rank: usize) -> usize {
+        match &self.depth_of_rank {
+            Some(d) => d[rank],
+            None => rank,
+        }
     }
 
     /// Total messages across all steps.
@@ -409,6 +425,7 @@ mod tests {
             }],
             final_owners: vec![(first, 0), (second, 1)],
             method: "swap2".into(),
+            depth_of_rank: None,
         }
     }
 
@@ -485,6 +502,7 @@ mod tests {
             ],
             final_owners: vec![(span, 0)],
             method: "defer".into(),
+            depth_of_rank: None,
         };
         verify_schedule(&good).unwrap();
 

@@ -221,23 +221,15 @@ pub fn eq6_bound(params: &TheoryParams) -> f64 {
 pub fn optimal_blocks_2n(params: &TheoryParams, max_n: usize) -> usize {
     (1..=max_n.max(2))
         .filter(|n| n % 2 == 0)
-        .min_by(|&x, &y| {
-            closed_form_2n(params, x)
-                .partial_cmp(&closed_form_2n(params, y))
-                .unwrap()
-        })
-        .unwrap()
+        .min_by(|&x, &y| closed_form_2n(params, x).total_cmp(&closed_form_2n(params, y)))
+        .unwrap_or(2)
 }
 
 /// The block count minimizing the paper's `N_RT` closed form (any `N ≥ 1`).
 pub fn optimal_blocks_n(params: &TheoryParams, max_n: usize) -> usize {
     (1..=max_n.max(1))
-        .min_by(|&x, &y| {
-            closed_form_n(params, x)
-                .partial_cmp(&closed_form_n(params, y))
-                .unwrap()
-        })
-        .unwrap()
+        .min_by(|&x, &y| closed_form_n(params, x).total_cmp(&closed_form_n(params, y)))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

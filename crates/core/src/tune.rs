@@ -93,7 +93,7 @@ pub fn sweep(
             c.cost.makespan
         }
     };
-    out.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap());
+    out.sort_by(|a, b| key(a).total_cmp(&key(b)));
     Ok(out)
 }
 
@@ -104,10 +104,13 @@ pub fn choose(
     cost: &CostModel,
     opts: &TuneOptions,
 ) -> Result<Candidate, CoreError> {
-    Ok(sweep(p, image_len, cost, opts)?
+    sweep(p, image_len, cost, opts)?
         .into_iter()
         .next()
-        .expect("the sweep always evaluates at least PP"))
+        .ok_or_else(|| CoreError::UnsupportedShape {
+            method: "autotune",
+            why: format!("no method supports p = {p}"),
+        })
 }
 
 #[cfg(test)]

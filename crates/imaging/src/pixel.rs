@@ -728,7 +728,10 @@ mod rgba8_tests {
         let b = Rgba8::new(10, 60, 90, 220);
         let fixed = a.over(&b).to_f32();
         let float = a.to_f32().over(&b.to_f32());
-        assert!(fixed.approx_eq(&float, 1.5 / 255.0), "{fixed:?} vs {float:?}");
+        assert!(
+            fixed.approx_eq(&float, 1.5 / 255.0),
+            "{fixed:?} vs {float:?}"
+        );
     }
 
     #[test]

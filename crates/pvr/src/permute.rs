@@ -34,6 +34,13 @@ pub fn permute_schedule(schedule: &Schedule, rank_of_depth: &[usize]) -> Schedul
     for (_, owner) in &mut out.final_owners {
         *owner = rank_of_depth[*owner];
     }
+    // Record the inverse map so recovery planning can still see depth
+    // contiguity through the relabeling.
+    let mut depth_of_rank = vec![0usize; p];
+    for (depth, &rank) in rank_of_depth.iter().enumerate() {
+        depth_of_rank[rank] = schedule.depth_of(depth);
+    }
+    out.depth_of_rank = Some(depth_of_rank);
     out.method = format!("{}∘π", schedule.method);
     out
 }

@@ -8,10 +8,11 @@
 
 use crate::permute::permute_schedule;
 use crate::PvrError;
-use rt_comm::{ComputeKind, Multicomputer, Trace};
+use rt_comm::{ComputeKind, FaultPlan, Multicomputer, Trace};
 use rt_compress::CodecKind;
 use rt_core::exec::{compose, ComposeConfig};
 use rt_core::method::{CompositionMethod, Method};
+use rt_core::repair::DegradedInfo;
 use rt_core::schedule::verify_schedule;
 use rt_imaging::{GrayAlpha, Image};
 use rt_render::camera::Camera;
@@ -71,10 +72,26 @@ pub struct PipelineOutput {
     pub rank_of_depth: Vec<usize>,
     /// The executed (depth-indexed) schedule's name.
     pub method_name: String,
+    /// `Some` when rank failures degraded the frame: it is the exact
+    /// composite of the surviving ranks, and this says what is missing.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Run the full pipeline on `p` ranks.
 pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput, PvrError> {
+    render_frame_with_faults(p, config, FaultPlan::none())
+}
+
+/// [`render_frame`] under fault injection: `faults` is installed on the
+/// multicomputer and the composition runs in resilient mode, so seeded
+/// message loss/corruption is absorbed by retransmission and planned rank
+/// crashes degrade the frame gracefully (see
+/// [`PipelineOutput::degraded`]).
+pub fn render_frame_with_faults(
+    p: usize,
+    config: &PipelineConfig,
+    faults: FaultPlan,
+) -> Result<PipelineOutput, PvrError> {
     // Data partitioning stage (host side, as the paper's stage 1): rank r
     // owns slab r along the view's principal axis.
     let volume = config.dataset.generate(config.volume_size, config.seed);
@@ -100,18 +117,21 @@ pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput,
     let schedule = permute_schedule(&depth_schedule, &rank_of_depth);
     let method_name = depth_schedule.method.clone();
 
-    let compose_config = ComposeConfig {
-        codec: config.codec,
-        root: config.root,
-        gather: true,
-    };
+    let resilient = !faults.is_none();
+    let compose_config = ComposeConfig::default()
+        .with_codec(config.codec)
+        .with_root(config.root)
+        .resilient(resilient);
 
+    type RankOut = (Option<Image<GrayAlpha>>, Option<DegradedInfo>);
     let parts_cell = std::sync::Mutex::new(parts.into_iter().map(Some).collect::<Vec<_>>());
-    let mc = Multicomputer::new(p);
-    let (results, trace) = mc.run(|ctx| -> Result<Option<Image<GrayAlpha>>, PvrError> {
-        let sub = parts_cell.lock().unwrap()[ctx.rank()]
+    let mc = Multicomputer::new(p).with_faults(faults);
+    let (results, trace) = mc.run(|ctx| -> Result<RankOut, PvrError> {
+        let sub = parts_cell.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
             .take()
-            .expect("each rank takes its subvolume once");
+            .ok_or_else(|| PvrError::Config {
+                what: format!("rank {} has no subvolume to render", ctx.rank()),
+            })?;
         ctx.mark("render:start");
         let (partial, _) = render_intermediate(&sub, &tf, &config.camera, &config.render);
         ctx.compute(ComputeKind::Render, sub.vol.len() as u64);
@@ -125,16 +145,23 @@ pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput,
             );
             let screen = warp_to_screen(&inter, &f, &config.render);
             ctx.mark("warp:end");
-            Ok(Some(screen))
+            Ok((Some(screen), out.degraded))
         } else {
-            Ok(None)
+            Ok((None, out.degraded))
         }
     });
 
+    // The frame sits at the configured root — or, if the root died, at the
+    // survivor the repair plan promoted. Take the degraded report from the
+    // frame-holding rank (survivors compute identical reports; a crashed
+    // rank only knows about itself).
     let mut frame = None;
+    let mut degraded = None;
     for r in results {
-        if let Some(img) = r? {
+        let (img, deg) = r?;
+        if let Some(img) = img {
             frame = Some(img);
+            degraded = deg;
         }
     }
     let frame = frame.ok_or_else(|| PvrError::Config {
@@ -145,6 +172,7 @@ pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput,
         trace,
         rank_of_depth,
         method_name,
+        degraded,
     })
 }
 
@@ -231,5 +259,40 @@ mod tests {
         let config = PipelineConfig::small(Method::BinarySwap);
         let err = render_frame(5, &config).unwrap_err();
         assert!(matches!(err, PvrError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn message_faults_are_invisible_to_the_frame() {
+        // Seeded drops + corruptions are absorbed by retransmission: the
+        // frame is bit-identical to the clean run and nothing is flagged
+        // degraded.
+        let config = PipelineConfig::small(Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 4,
+        });
+        let clean = render_frame(4, &config).unwrap();
+        let faults = FaultPlan::none()
+            .with_seed(3)
+            .drop_rate(0.10)
+            .corrupt_rate(0.05);
+        let faulty = render_frame_with_faults(4, &config, faults).unwrap();
+        assert!(faulty.degraded.is_none());
+        assert_eq!(faulty.frame.pixels(), clean.frame.pixels());
+        assert!(
+            faulty.trace.retransmit_count() > 0,
+            "the seed should lose at least one message"
+        );
+    }
+
+    #[test]
+    fn crashed_rank_degrades_the_frame_gracefully() {
+        let config = PipelineConfig::small(Method::ParallelPipelined);
+        let faults = FaultPlan::none().crash_rank_at_step(2, 1);
+        let out = render_frame_with_faults(4, &config, faults).unwrap();
+        let info = out.degraded.expect("crash must be reported");
+        assert_eq!(info.failed, vec![(2, 1)]);
+        assert!(info.lost_contributions.contains(&2));
+        // The frame still renders (survivors' composite, warped).
+        assert!(out.frame.pixels().iter().all(|px| px.a.is_finite()));
     }
 }

@@ -151,11 +151,9 @@ pub fn compose_scene(
 ) -> Result<(Option<Image<GrayAlpha>>, Trace), PvrError> {
     let schedule = method.build(scene.p(), scene.image_len())?;
     verify_schedule(&schedule)?;
-    let config = ComposeConfig {
-        codec,
-        root: 0,
-        gather,
-    };
+    let config = ComposeConfig::default()
+        .with_codec(codec)
+        .with_gather(gather);
     let (results, trace) = run_composition(&schedule, scene.partials.clone(), &config);
     let mut frame = None;
     for r in results {

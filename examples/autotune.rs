@@ -64,6 +64,7 @@ fn main() {
                 codec: CodecKind::Raw,
                 root: 0,
                 gather: true,
+                ..Default::default()
             },
         );
         for r in results {

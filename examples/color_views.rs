@@ -71,6 +71,7 @@ fn main() {
                 codec: CodecKind::Trle,
                 root: 0,
                 gather: true,
+                ..Default::default()
             },
         );
         let frame = results

@@ -50,6 +50,7 @@ fn main() {
         codec: CodecKind::Trle,
         root: 0,
         gather: true,
+        ..Default::default()
     };
     let (results, trace) = run_composition(&schedule, partials.clone(), &config);
     let frame = results

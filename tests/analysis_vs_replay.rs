@@ -33,6 +33,7 @@ fn check(method: &dyn CompositionMethod, p: usize, len: usize, cost: &CostModel)
         codec: CodecKind::Raw,
         root: 0,
         gather: true,
+        ..Default::default()
     };
     let (results, trace) = run_composition(&schedule, partials(p, len), &config);
     for r in results {

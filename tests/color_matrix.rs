@@ -66,6 +66,7 @@ fn rgba_composition_matches_reference_for_every_method_and_codec() {
                     codec,
                     root: 0,
                     gather: true,
+                    ..Default::default()
                 },
             );
             let frame = results
@@ -101,6 +102,7 @@ fn f32_gray_composition_matches_reference() {
                 codec: CodecKind::Trle,
                 root: 0,
                 gather: true,
+                ..Default::default()
             },
         );
         let frame = results
@@ -127,6 +129,7 @@ fn trle_compresses_rgba_blank_structure() {
                 codec,
                 root: 0,
                 gather: true,
+                ..Default::default()
             },
         );
         for r in results {

@@ -29,6 +29,7 @@ fn assert_exact(method: &dyn CompositionMethod, p: usize, len: usize, codec: Cod
         codec,
         root: p / 2, // non-default root
         gather: true,
+        ..Default::default()
     };
     let (results, _) = run_composition(&schedule, partials(p, len), &config);
     let mut frames = 0;

@@ -16,43 +16,72 @@ fn partials(p: usize, len: usize) -> Vec<Image<Provenance>> {
         .collect()
 }
 
-fn run_with_faults(faults: FaultPlan) -> Vec<Result<(), CoreError>> {
+fn run_with_faults(faults: FaultPlan) -> (Vec<Result<(), CoreError>>, rotate_tiling::comm::Trace) {
     let p = 4;
     let schedule = RotateTiling::two_n(2).build(p, 256).unwrap();
     let config = ComposeConfig {
         codec: CodecKind::Raw,
         root: 0,
         gather: true,
+        ..Default::default()
     };
     let imgs = std::sync::Mutex::new(partials(p, 256).into_iter().map(Some).collect::<Vec<_>>());
     let mc = Multicomputer::new(p)
         .with_timeout(Duration::from_millis(300))
         .with_faults(faults);
-    let (results, _) = mc.run(|ctx| {
+    let (results, trace) = mc.run(|ctx| {
         let local = imgs.lock().unwrap()[ctx.rank()].take().unwrap();
         compose(ctx, &schedule, local, &config).map(|_| ())
     });
-    results
+    (results, trace)
 }
 
 #[test]
 fn clean_run_succeeds() {
-    let results = run_with_faults(FaultPlan::none());
+    let (results, trace) = run_with_faults(FaultPlan::none());
     assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(trace.retransmit_count(), 0);
 }
 
 #[test]
-fn dropped_message_times_out_at_the_receiver() {
-    // Find a real transfer of step 0 and drop it.
+fn dropped_message_is_recovered_by_retransmission() {
+    // Find a real transfer of step 0 and drop its first attempt: the sender
+    // retransmits and the composition completes as if nothing happened.
     let schedule = RotateTiling::two_n(2).build(4, 256).unwrap();
     let t = schedule.steps[0].transfers[0];
-    let results = run_with_faults(FaultPlan::none().drop_message(t.src, t.dst, 0));
+    let (results, trace) = run_with_faults(FaultPlan::none().drop_message(t.src, t.dst, 0));
+    assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+    assert!(
+        trace.retransmit_count() > 0,
+        "the loss must show up as a retransmission"
+    );
+}
+
+#[test]
+fn severed_channel_surfaces_a_typed_error() {
+    // A permanently dead link exhausts the retry budget: the sender reports
+    // DeliveryFailed and downstream ranks starve with a Timeout — never a
+    // silently wrong frame.
+    let schedule = RotateTiling::two_n(2).build(4, 256).unwrap();
+    let t = schedule.steps[0].transfers[0];
+    let (results, _) = run_with_faults(FaultPlan::none().sever_channel(t.src, t.dst));
     let failures: Vec<&CoreError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
-    assert!(!failures.is_empty(), "someone must notice the loss");
+    assert!(!failures.is_empty(), "someone must notice the dead link");
+    assert!(
+        failures.iter().all(|e| matches!(
+            e,
+            CoreError::Comm(
+                CommError::DeliveryFailed { .. }
+                    | CommError::Timeout { .. }
+                    | CommError::Disconnected { .. }
+            )
+        )),
+        "{failures:?}"
+    );
     assert!(
         failures
             .iter()
-            .any(|e| matches!(e, CoreError::Comm(CommError::Timeout { .. }))),
+            .any(|e| matches!(e, CoreError::Comm(CommError::DeliveryFailed { .. }))),
         "{failures:?}"
     );
 }
@@ -61,7 +90,7 @@ fn dropped_message_times_out_at_the_receiver() {
 fn corrupted_tag_is_rejected_not_misapplied() {
     let schedule = RotateTiling::two_n(2).build(4, 256).unwrap();
     let t = schedule.steps[0].transfers[0];
-    let results = run_with_faults(FaultPlan::none().corrupt_tag(t.src, t.dst, 0, 0xDEAD));
+    let (results, _) = run_with_faults(FaultPlan::none().corrupt_tag(t.src, t.dst, 0, 0xDEAD));
     assert!(
         results
             .iter()

@@ -60,6 +60,7 @@ fn grid_partials_composite_to_the_full_frame() {
                 codec: CodecKind::Trle,
                 root: 0,
                 gather: true,
+                ..Default::default()
             },
         );
         let frame = results

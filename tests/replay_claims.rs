@@ -42,6 +42,7 @@ fn run_of(
         codec,
         root: 0,
         gather: true,
+        ..Default::default()
     };
     let (results, trace) = run_composition(&schedule, banded_partials(p, len), &config);
     for r in results {
@@ -203,6 +204,7 @@ fn gather_cost_is_visible_in_the_replay() {
             codec: CodecKind::Raw,
             root: 0,
             gather: true,
+            ..Default::default()
         },
     );
     for r in results {

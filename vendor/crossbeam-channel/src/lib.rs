@@ -1,0 +1,89 @@
+//! Vendored minimal crossbeam-channel: the `unbounded` MPSC surface this
+//! workspace uses, implemented over `std::sync::mpsc`.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Sending half of an unbounded channel (clonable).
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the undelivered message.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message.
+    Timeout,
+    /// All senders disconnected and the buffer is drained.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Send, failing only if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value).map_err(|e| SendError(e.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message or disconnection.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Block up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive: `Some(msg)` if one is ready.
+    pub fn try_recv(&self) -> Option<T> {
+        self.0.try_recv().ok()
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

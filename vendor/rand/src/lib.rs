@@ -1,0 +1,103 @@
+//! Vendored minimal rand: deterministic seeded RNG with the `seed_from_u64`
+//! + `gen_range` surface the test suite uses. Not cryptographic.
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling operations.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// Element type produced.
+    type Output;
+    /// Map 64 uniform bits into the range.
+    fn sample(&self, bits: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(&self, bits: u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + (bits % width) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(&self, bits: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    // Full-width range: every bit pattern is valid.
+                    return lo.wrapping_add(bits as $t);
+                }
+                lo + (bits % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Generator types.
+pub mod rngs {
+    /// A small, fast, deterministic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(0usize..=9);
+            assert_eq!(x, b.gen_range(0usize..=9));
+            assert!(x < 10);
+        }
+        let mut spread = std::collections::HashSet::new();
+        for _ in 0..100 {
+            spread.insert(a.gen_range(0u8..4));
+        }
+        assert_eq!(spread.len(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Vendored minimal rayon: just the `par_iter().map(..).collect::<Vec<_>>()`
+//! surface this workspace uses, executed with scoped OS threads (one chunk
+//! per available core).
+
+/// The commonly-imported surface.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+    /// Start a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluate in parallel, preserving input order.
+    pub fn collect<R>(self) -> Vec<R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(4)
+            .min(n);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let slots = std::sync::Mutex::new(&mut out);
+        let f = &self.f;
+        let items = self.items;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    slots.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every index computed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}
