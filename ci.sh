@@ -37,4 +37,16 @@ if [ "$out1" != "$out2" ]; then
     exit 1
 fi
 
+echo "== perf smoke =="
+# One-rep wall-clock cell: proves the perf harness runs end to end, that
+# the pooled and per-transfer paths still agree bit-for-bit (asserted
+# inside the binary), and that the JSON artifact is emitted and parses
+# (the binary re-reads and deserializes it before exiting). Written to a
+# scratch path so the committed full-grid BENCH_compose.json is untouched.
+smoke_out=target/bench_smoke.json
+rm -f "$smoke_out"
+cargo run -q --release -p rt-bench --bin perf -- --smoke --out "$smoke_out"
+test -s "$smoke_out"
+grep -q '"schema": "bench-compose/v1"' "$smoke_out"
+
 echo "CI gate passed."

@@ -1,0 +1,311 @@
+//! Wall-clock perf harness for the compositing fast path.
+//!
+//! Unlike the figure binaries (virtual-clock replay), this measures *real*
+//! elapsed time of the threaded multicomputer, comparing the pooled
+//! zero-copy execution path against the per-transfer allocation baseline
+//! over the Figure 6 method lineup × codec × machine size grid.
+//!
+//! Emits `BENCH_compose.json` (schema `bench-compose/v1`) and prints an
+//! aligned table. `--smoke` shrinks the grid to a single one-rep cell for
+//! CI, asserting only that the harness runs end-to-end and the JSON
+//! round-trips.
+
+use rt_bench::harness::print_table;
+use rt_compress::CodecKind;
+use rt_core::exec::{
+    run_composition, run_composition_pooled, ComposeConfig, ExecPath, ScratchPool,
+};
+use rt_core::method::{CompositionMethod, Method};
+use rt_core::schedule::verify_schedule;
+use rt_imaging::pixel::{GrayAlpha8, Pixel};
+use rt_imaging::Image;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct PerfArgs {
+    reps: usize,
+    warmup: usize,
+    frame: usize,
+    ps: Vec<usize>,
+    codecs: Vec<CodecKind>,
+    out: String,
+    smoke: bool,
+}
+
+impl Default for PerfArgs {
+    fn default() -> Self {
+        Self {
+            reps: 5,
+            warmup: 1,
+            frame: 512,
+            ps: vec![8, 32],
+            codecs: vec![CodecKind::Raw, CodecKind::Rle, CodecKind::Trle],
+            out: "BENCH_compose.json".into(),
+            smoke: false,
+        }
+    }
+}
+
+fn parse_codec(s: &str) -> CodecKind {
+    match s {
+        "raw" => CodecKind::Raw,
+        "rle" => CodecKind::Rle,
+        "trle" => CodecKind::Trle,
+        other => panic!("unknown codec '{other}' (raw|rle|trle)"),
+    }
+}
+
+impl PerfArgs {
+    fn parse() -> Self {
+        let mut out = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--reps" => out.reps = value("--reps").parse().expect("bad --reps"),
+                "--warmup" => out.warmup = value("--warmup").parse().expect("bad --warmup"),
+                "--frame" => out.frame = value("--frame").parse().expect("bad --frame"),
+                "--p" => {
+                    out.ps = value("--p")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --p"))
+                        .collect();
+                }
+                "--codecs" => {
+                    out.codecs = value("--codecs")
+                        .split(',')
+                        .map(|s| parse_codec(s.trim()))
+                        .collect();
+                }
+                "--out" => out.out = value("--out"),
+                "--smoke" => out.smoke = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --reps N  --warmup N  --frame N  --p 8,32  \
+                         --codecs raw,rle,trle  --out FILE  --smoke"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if out.smoke {
+            // One-rep CI sanity cell: small frame, one machine size.
+            out.reps = 1;
+            out.warmup = 0;
+            out.frame = 128;
+            out.ps = vec![8];
+        }
+        assert!(out.reps > 0, "--reps must be positive");
+        out
+    }
+}
+
+/// Depth-ordered synthetic partials: rank `r` contributes a horizontal
+/// band (≈1/p of the rows) of semi-transparent pixels with 8-pixel runs,
+/// blank elsewhere — the sparsity profile the structured codecs exist for.
+fn band_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+    (0..p)
+        .map(|r| {
+            let lo = r * h / p;
+            let hi = (r + 1) * h / p;
+            Image::from_fn(w, h, |x, y| {
+                if y >= lo && y < hi {
+                    GrayAlpha8::new((((x / 8) * 7 + r) % 151) as u8, 200)
+                } else {
+                    GrayAlpha8::blank()
+                }
+            })
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Quantiles {
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn quantiles(mut samples: Vec<f64>) -> Quantiles {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let at = |q: f64| {
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx]
+    };
+    Quantiles {
+        p50_ms: at(0.50),
+        p95_ms: at(0.95),
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Row {
+    method: String,
+    codec: String,
+    p: usize,
+    pooled: Quantiles,
+    per_transfer: Quantiles,
+    /// per-transfer p50 / pooled p50 — >1 means the pooled path is faster.
+    speedup_p50: f64,
+    bytes: u64,
+    messages: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    frame: usize,
+    pixel: String,
+    reps: usize,
+    warmup: usize,
+    /// per-transfer p50 / pooled p50 on the raw-codec P=32 cell (the
+    /// allocation-heaviest cell), when that cell is in the grid.
+    speedup_raw_p32: Option<f64>,
+    results: Vec<Row>,
+}
+
+fn codec_label(c: CodecKind) -> &'static str {
+    match c {
+        CodecKind::Raw => "raw",
+        CodecKind::Rle => "rle",
+        CodecKind::Trle => "trle",
+        CodecKind::Bounds => "bounds",
+    }
+}
+
+fn main() {
+    let args = PerfArgs::parse();
+    let mut rows = Vec::new();
+    for &p in &args.ps {
+        let partials = band_partials(p, args.frame, args.frame);
+        let pool = ScratchPool::<GrayAlpha8>::new();
+        for method in Method::figure6_lineup() {
+            let schedule = method
+                .build(p, args.frame * args.frame)
+                .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            for &codec in &args.codecs {
+                let pooled_cfg = ComposeConfig::default()
+                    .with_codec(codec)
+                    .with_path(ExecPath::Pooled);
+                let baseline_cfg = pooled_cfg.with_path(ExecPath::PerTransfer);
+                let mut pooled_ms = Vec::with_capacity(args.reps);
+                let mut baseline_ms = Vec::with_capacity(args.reps);
+                let mut bytes = 0;
+                let mut messages = 0;
+                for rep in 0..args.warmup + args.reps {
+                    // Clones happen outside the timed region.
+                    let a = partials.clone();
+                    let b = partials.clone();
+                    let t0 = Instant::now();
+                    let (out_pooled, trace) =
+                        run_composition_pooled(&schedule, a, &pooled_cfg, &pool);
+                    let dt_pooled = t0.elapsed().as_secs_f64() * 1e3;
+                    let t1 = Instant::now();
+                    let (out_base, _) = run_composition(&schedule, b, &baseline_cfg);
+                    let dt_base = t1.elapsed().as_secs_f64() * 1e3;
+                    if rep == args.warmup {
+                        // Equivalence check once per cell, on the first
+                        // timed rep: the two paths must agree bit-for-bit.
+                        let frame_of = |results: &[Result<
+                            rt_core::exec::ComposeOutput<GrayAlpha8>,
+                            rt_core::CoreError,
+                        >]| {
+                            results
+                                .iter()
+                                .find_map(|r| r.as_ref().unwrap().frame.clone())
+                                .expect("root produced a frame")
+                        };
+                        assert_eq!(
+                            frame_of(&out_pooled).pixels(),
+                            frame_of(&out_base).pixels(),
+                            "{}/{codec:?}/p={p}: paths diverged",
+                            method.name()
+                        );
+                        bytes = trace.bytes_sent();
+                        messages = trace.message_count();
+                    }
+                    if rep >= args.warmup {
+                        pooled_ms.push(dt_pooled);
+                        baseline_ms.push(dt_base);
+                    }
+                }
+                let pooled = quantiles(pooled_ms);
+                let per_transfer = quantiles(baseline_ms);
+                rows.push(Row {
+                    method: method.name(),
+                    codec: codec_label(codec).into(),
+                    p,
+                    pooled,
+                    per_transfer,
+                    speedup_p50: per_transfer.p50_ms / pooled.p50_ms,
+                    bytes,
+                    messages,
+                });
+            }
+        }
+    }
+
+    let speedup_raw_p32 = rows
+        .iter()
+        .find(|r| r.codec == "raw" && r.p == 32 && r.method == "2N_RT(B=4)")
+        .map(|r| r.speedup_p50);
+    let report = Report {
+        schema: "bench-compose/v1".into(),
+        frame: args.frame,
+        pixel: "GrayAlpha8".into(),
+        reps: args.reps,
+        warmup: args.warmup,
+        speedup_raw_p32,
+        results: rows,
+    };
+
+    let table: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                r.codec.clone(),
+                r.p.to_string(),
+                format!("{:.2}", r.pooled.p50_ms),
+                format!("{:.2}", r.pooled.p95_ms),
+                format!("{:.2}", r.per_transfer.p50_ms),
+                format!("{:.2}", r.per_transfer.p95_ms),
+                format!("{:.2}x", r.speedup_p50),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("wall-clock compose, {0}x{0}", report.frame),
+        &[
+            "method",
+            "codec",
+            "p",
+            "pooled p50",
+            "pooled p95",
+            "base p50",
+            "base p95",
+            "speedup",
+        ],
+        &table,
+    );
+    if let Some(s) = speedup_raw_p32 {
+        println!("speedup_raw_p32 = {s:.2}x (pooled vs per-transfer, 2N_RT(B=4))");
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, &json).expect("write BENCH_compose.json");
+    // Round-trip through the file so CI's smoke run proves the artifact is
+    // both present and valid JSON.
+    let back = std::fs::read_to_string(&args.out).expect("re-read artifact");
+    let parsed: Report = serde_json::from_str(&back).expect("artifact parses");
+    assert_eq!(parsed.schema, "bench-compose/v1");
+    let n = parsed.results.len();
+    assert!(n > 0, "artifact has no result rows");
+    println!("BENCH_compose.json OK ({n} rows -> {})", args.out);
+}

@@ -12,7 +12,7 @@
 //! * [`all_gather`] — ring, `P − 1` rounds, each rank forwarding the piece
 //!   it received last round.
 
-use crate::comm::{CommError, RankCtx};
+use crate::comm::{CommError, Payload, RankCtx};
 
 /// Tag namespace for collectives (distinct from gather's bit 63 and from
 /// schedule tags, which keep bit 62 clear).
@@ -31,18 +31,21 @@ pub fn broadcast(
     root: usize,
     payload: Option<Vec<u8>>,
     generation: u64,
-) -> Result<Vec<u8>, CommError> {
+) -> Result<Payload, CommError> {
     let p = ctx.size();
     let me = ctx.rank();
     // Work in root-relative coordinates: vrank 0 is the root.
     let vrank = (me + p - root) % p;
-    let mut data = if me == root {
-        Some(payload.expect("root must provide the broadcast payload"))
+    let mut data: Option<Payload> = if me == root {
+        Some(Payload::from(
+            payload.expect("root must provide the broadcast payload"),
+        ))
     } else {
         None
     };
     let rounds = crate::comm::ceil_log2_pub(p);
     // Round r: ranks with vrank < 2^r and a partner vrank + 2^r < p send.
+    // Forwarding clones only bump the payload's reference count.
     for r in 0..rounds {
         let half = 1usize << r;
         if vrank < half {
@@ -104,11 +107,11 @@ pub fn all_gather(
     ctx: &mut RankCtx,
     payload: Vec<u8>,
     generation: u64,
-) -> Result<Vec<Vec<u8>>, CommError> {
+) -> Result<Vec<Payload>, CommError> {
     let p = ctx.size();
     let me = ctx.rank();
-    let mut slots: Vec<Option<Vec<u8>>> = vec![None; p];
-    slots[me] = Some(payload);
+    let mut slots: Vec<Option<Payload>> = vec![None; p];
+    slots[me] = Some(Payload::from(payload));
     let next = (me + 1) % p;
     let prev = (me + p - 1) % p;
     for r in 0..p.saturating_sub(1) {

@@ -138,8 +138,18 @@ impl std::error::Error for CommError {}
 
 /// FNV-1a 64-bit checksum used by the delivery envelope.
 fn fnv1a(bytes: &[u8]) -> u64 {
+    // FNV-1a folding applied a machine word at a time: payloads are hashed
+    // on every send *and* verified on every receive, so the byte-serial
+    // variant (one 64-bit multiply per byte) would dominate the wall-clock
+    // cost of large frames. Only sender/receiver agreement matters — the
+    // value never leaves the delivery envelope.
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -277,12 +287,76 @@ impl FaultPlan {
 const DROP_SALT: u64 = 0xD0;
 const CORRUPT_SALT: u64 = 0xC0;
 
+/// Reference-counted message payload.
+///
+/// The reliable-delivery envelope may transmit the same bytes up to
+/// [`MAX_ATTEMPTS`] times, and collectives forward one buffer to many
+/// peers. Backing payloads with an [`Arc`] makes every such re-send a
+/// pointer bump instead of a byte copy — only a deliberately *corrupted*
+/// attempt materializes a fresh buffer (it must damage its own copy).
+///
+/// `Payload` dereferences to `[u8]`, so receivers use it like a byte
+/// slice; [`Payload::into_vec`] recovers an owned vector (cloning only if
+/// the bytes are still shared with an in-flight frame).
+#[derive(Debug, Clone)]
+pub struct Payload(Arc<Vec<u8>>);
+
+impl Payload {
+    /// View the bytes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Recover an owned vector, cloning only if the buffer is shared.
+    pub fn into_vec(self) -> Vec<u8> {
+        match Arc::try_unwrap(self.0) {
+            Ok(v) => v,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(Arc::new(v))
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        *self == *other.0
+    }
+}
+
 struct Message {
     from: usize,
     tag: u64,
     seq: u64,
     checksum: u64,
-    payload: Vec<u8>,
+    payload: Payload,
 }
 
 /// Per-rank handle: the algorithm-facing API of the multicomputer.
@@ -366,9 +440,17 @@ impl RankCtx {
     /// send for the message sizes involved here. The reliable-delivery
     /// envelope retries lost or corrupted attempts up to [`MAX_ATTEMPTS`]
     /// times with exponential backoff; all attempts and backoff windows
-    /// are recorded in the trace so replay prices the recovery.
-    pub fn send(&mut self, to: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+    /// are recorded in the trace so replay prices the recovery. Every
+    /// attempt shares one [`Payload`] buffer — retransmission never copies
+    /// the bytes.
+    pub fn send(
+        &mut self,
+        to: usize,
+        tag: u64,
+        payload: impl Into<Payload>,
+    ) -> Result<(), CommError> {
         self.check_rank(to)?;
+        let payload: Payload = payload.into();
         let seq = self.send_seq[to];
         self.send_seq[to] += 1;
         let bytes = payload.len() as u64;
@@ -406,8 +488,10 @@ impl RankCtx {
                 || faults.chance(CORRUPT_SALT, self.rank, to, seq, attempt) < faults.corrupt_rate;
             if corrupted {
                 // Deliver a damaged frame: the receiver's checksum rejects
-                // it, the sender sees no acknowledgement and retries.
-                let mut bad = payload.clone();
+                // it, the sender sees no acknowledgement and retries. Only
+                // this path copies the bytes — the damage must not reach
+                // the shared buffer the retransmission will resend.
+                let mut bad = payload.to_vec();
                 let checksum = fnv1a(&payload);
                 let checksum = if let Some(b) = bad.first_mut() {
                     *b ^= 0xA5;
@@ -422,7 +506,7 @@ impl RankCtx {
                         tag: wire_tag,
                         seq,
                         checksum,
-                        payload: bad,
+                        payload: Payload::from(bad),
                     },
                 )?;
                 self.events.push(Event::AckWait { to, seq, attempt });
@@ -436,7 +520,7 @@ impl RankCtx {
                     tag: wire_tag,
                     seq,
                     checksum,
-                    payload,
+                    payload: payload.clone(),
                 },
             )?;
             if let Some(seconds) = delay {
@@ -492,7 +576,7 @@ impl RankCtx {
     /// queued, [`CommError::Timeout`]. If `from` has announced its death
     /// and no matching message is queued, returns
     /// [`CommError::RankFailed`] immediately instead of waiting.
-    pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<u8>, CommError> {
+    pub fn recv(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
         self.check_rank(from)?;
         let started = Instant::now();
         let deadline = started + self.timeout;
@@ -568,26 +652,26 @@ impl RankCtx {
     /// replay prices the notification traffic.
     pub fn announce_death(&mut self, step: usize) {
         self.dead.insert(self.rank, step);
+        let payload = Payload::from(step.to_le_bytes().to_vec());
+        let checksum = fnv1a(&payload);
         for to in 0..self.size {
             if to == self.rank {
                 continue;
             }
             let seq = self.send_seq[to];
             self.send_seq[to] += 1;
-            let payload = step.to_le_bytes().to_vec();
             self.events.push(Event::Send {
                 to,
                 tag: DEATH_TAG,
                 bytes: payload.len() as u64,
                 seq,
             });
-            let checksum = fnv1a(&payload);
             let _ = self.senders[to].send(Message {
                 from: self.rank,
                 tag: DEATH_TAG,
                 seq,
                 checksum,
-                payload,
+                payload: payload.clone(),
             });
         }
     }
@@ -630,8 +714,11 @@ impl RankCtx {
         let sent_to: Vec<usize> = (0..self.size)
             .filter(|&r| r != self.rank && !self.dead.contains_key(&r))
             .collect();
+        // One shared buffer for every survivor (`dead` cannot change during
+        // the send loop — nothing is received until the loop below).
+        let payload = Payload::from(encode(&self.dead));
+        let checksum = fnv1a(&payload);
         for &to in &sent_to {
-            let payload = encode(&self.dead);
             let seq = self.send_seq[to];
             self.send_seq[to] += 1;
             self.events.push(Event::Send {
@@ -640,7 +727,6 @@ impl RankCtx {
                 bytes: payload.len() as u64,
                 seq,
             });
-            let checksum = fnv1a(&payload);
             // A send failure here means the peer exited: its death frame
             // is already queued and the receive below will find it.
             let _ = self.senders[to].send(Message {
@@ -648,7 +734,7 @@ impl RankCtx {
                 tag,
                 seq,
                 checksum,
-                payload,
+                payload: payload.clone(),
             });
         }
         for &from in &sent_to {
@@ -700,13 +786,14 @@ impl RankCtx {
     pub fn gather(
         &mut self,
         root: usize,
-        payload: Vec<u8>,
-    ) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+        payload: impl Into<Payload>,
+    ) -> Result<Option<Vec<Payload>>, CommError> {
         self.check_rank(root)?;
+        let payload: Payload = payload.into();
         let tag = GATHER_TAG_BIT | self.gather_gen;
         self.gather_gen += 1;
         if self.rank == root {
-            let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.size);
+            let mut out: Vec<Payload> = Vec::with_capacity(self.size);
             for r in 0..self.size {
                 if r == root {
                     out.push(payload.clone());
@@ -922,7 +1009,7 @@ mod tests {
                 ctx.send(1, 42, vec![1]).unwrap();
                 Ok(Vec::new())
             } else {
-                ctx.recv(0, 43)
+                ctx.recv(0, 43).map(Payload::into_vec)
             }
         });
         assert_eq!(
@@ -945,7 +1032,7 @@ mod tests {
                 ctx.send(1, 5, vec![9]).unwrap();
                 Ok(vec![])
             } else {
-                ctx.recv(0, 5)
+                ctx.recv(0, 5).map(Payload::into_vec)
             }
         });
         assert_eq!(results[1], Ok(vec![9]));
@@ -963,7 +1050,7 @@ mod tests {
                 ctx.send(1, 5, vec![1, 2, 3]).unwrap();
                 Ok::<_, CommError>((vec![], 0))
             } else {
-                let got = ctx.recv(0, 5)?;
+                let got = ctx.recv(0, 5)?.into_vec();
                 Ok((got, ctx.checksum_rejects()))
             }
         });
@@ -982,7 +1069,7 @@ mod tests {
             if ctx.rank() == 0 {
                 ctx.send(1, 5, vec![9]).map(|_| vec![])
             } else {
-                ctx.recv(0, 5)
+                ctx.recv(0, 5).map(Payload::into_vec)
             }
         });
         assert_eq!(
@@ -1058,7 +1145,7 @@ mod tests {
                 ctx.send(1, 5, vec![9]).unwrap();
                 Ok(vec![])
             } else {
-                ctx.recv(0, 5)
+                ctx.recv(0, 5).map(Payload::into_vec)
             }
         });
         assert_eq!(
@@ -1079,7 +1166,7 @@ mod tests {
             if ctx.rank() == 0 {
                 Ok(vec![])
             } else {
-                ctx.recv(0, 5)
+                ctx.recv(0, 5).map(Payload::into_vec)
             }
         });
         match &results[1] {
@@ -1108,7 +1195,7 @@ mod tests {
                 ctx.announce_death(3);
                 Ok(vec![])
             } else {
-                ctx.recv(0, 5)
+                ctx.recv(0, 5).map(Payload::into_vec)
             }
         });
         assert_eq!(results[1], Err(CommError::RankFailed { rank: 0 }));

@@ -33,7 +33,7 @@ pub mod replay;
 pub mod trace;
 
 pub use collective::{all_gather, broadcast, reduce};
-pub use comm::{CommError, FaultPlan, Multicomputer, RankCtx};
+pub use comm::{CommError, FaultPlan, Multicomputer, Payload, RankCtx};
 pub use cost::{ComputeKind, CostModel};
 pub use replay::{replay, RankStats, ReplayReport};
 pub use trace::{Event, RankTrace, Trace};

@@ -71,7 +71,10 @@ fn deep_fifo_queues() {
             let mut ok = 0;
             for i in 0..n {
                 let payload = ctx.recv(0, i).unwrap();
-                assert_eq!(u64::from_le_bytes(payload.try_into().unwrap()), i);
+                assert_eq!(
+                    u64::from_le_bytes(payload.as_slice().try_into().unwrap()),
+                    i
+                );
                 ok += 1;
             }
             ok

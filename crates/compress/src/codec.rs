@@ -65,6 +65,16 @@ impl Encoded {
     }
 }
 
+/// Direction of a fused decode-and-composite (see [`Codec::decode_over`]):
+/// is the encoded stream in front of the destination or behind it?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverDir {
+    /// `dst[i] = stream[i] over dst[i]`.
+    Front,
+    /// `dst[i] = dst[i] over stream[i]`.
+    Back,
+}
+
 /// A lossless pixel-block compressor used on every composition message.
 pub trait Codec<P: Pixel>: Send + Sync {
     /// Short name for reports ("raw", "rle", "trle", "bounds").
@@ -76,6 +86,61 @@ pub trait Codec<P: Pixel>: Send + Sync {
     /// Decode a buffer produced by [`Codec::encode`] back into exactly
     /// `n_pixels` pixels.
     fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError>;
+
+    /// Fused decode-and-composite: `over` the encoded stream directly into
+    /// `dst` (which fixes the pixel count), returning the number of
+    /// **non-blank** stream pixels — the structured codecs' `Over` cost
+    /// unit. Blank stream pixels are the identity of `over` and leave
+    /// their destination untouched.
+    ///
+    /// The default decodes then merges; the shipped codecs override it with
+    /// streaming byte-level kernels that never materialize a `Vec<P>`.
+    /// Overrides must stay bit-identical to this default.
+    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+        let pixels = self.decode(data, dst.len())?;
+        Ok(over_decoded(&pixels, dst, dir))
+    }
+}
+
+/// Merge already-decoded pixels into `dst`, returning the non-blank count —
+/// the reference semantics every fused [`Codec::decode_over`] must match.
+pub(crate) fn over_decoded<P: Pixel>(pixels: &[P], dst: &mut [P], dir: OverDir) -> usize {
+    let mut non_blank = 0;
+    for (d, s) in dst.iter_mut().zip(pixels) {
+        if !s.is_blank() {
+            non_blank += 1;
+        }
+        *d = match dir {
+            OverDir::Front => s.over(d),
+            OverDir::Back => d.over(s),
+        };
+    }
+    non_blank
+}
+
+/// Shared raw-stream kernel: composite `body` (exactly `dst.len() *
+/// P::BYTES` wire bytes) into `dst`, mapping shape errors to `codec`.
+pub(crate) fn over_raw_body<P: Pixel>(
+    codec: &'static str,
+    body: &[u8],
+    dst: &mut [P],
+    dir: OverDir,
+) -> Result<usize, CodecError> {
+    if body.len() != dst.len() * P::BYTES {
+        return Err(CodecError::WrongPixelCount {
+            codec,
+            expected: dst.len(),
+            got: body.len() / P::BYTES,
+        });
+    }
+    let merged = match dir {
+        OverDir::Front => P::over_front_bytes(dst, body),
+        OverDir::Back => P::over_back_bytes(dst, body),
+    };
+    merged.map_err(|_| CodecError::Corrupt {
+        codec,
+        what: "undecodable pixel bytes",
+    })
 }
 
 /// The identity codec: raw little-endian pixel bytes.
@@ -105,6 +170,10 @@ impl<P: Pixel> Codec<P> for RawCodec {
             codec: "raw",
             what: "undecodable pixel bytes",
         })
+    }
+
+    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+        over_raw_body("raw", data, dst, dir)
     }
 }
 

@@ -40,6 +40,6 @@ pub mod trle;
 pub mod trle2d;
 
 pub use bounds::BoundsCodec;
-pub use codec::{Codec, CodecError, CodecKind, Encoded, RawCodec};
+pub use codec::{Codec, CodecError, CodecKind, Encoded, OverDir, RawCodec};
 pub use rle::RleCodec;
 pub use trle::TrleCodec;

@@ -9,7 +9,7 @@
 //! A one-byte header selects between `RLE` and a raw fallback, so the codec
 //! never more than doubles (plus one byte) and is exactly reversible.
 
-use crate::codec::{Codec, CodecError, Encoded};
+use crate::codec::{over_decoded, over_raw_body, Codec, CodecError, Encoded, OverDir};
 use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, Pixel};
 
 const MODE_RAW: u8 = 0;
@@ -106,7 +106,107 @@ impl<P: Pixel> Codec<P> for RleCodec {
             what: "undecodable pixel bytes",
         })
     }
+
+    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+        let Some((&mode, body)) = data.split_first() else {
+            if dst.is_empty() {
+                return Ok(0);
+            }
+            return Err(CodecError::Truncated { codec: "rle" });
+        };
+        match mode {
+            MODE_RAW => over_raw_body("rle", body, dst, dir),
+            // Runs do not align to pixel boundaries, so the stream is
+            // expanded through a bounded staging buffer: runs fill the
+            // buffer, and every buffer-full of *whole* pixels is composited
+            // in place in one bulk kernel call (any trailing partial pixel
+            // carries over to the next fill). No decoded image-sized buffer
+            // ever exists.
+            MODE_RLE if P::BYTES <= STAGE_BYTES => {
+                if !body.len().is_multiple_of(2) {
+                    return Err(CodecError::Truncated { codec: "rle" });
+                }
+                let mut stage = [0u8; STAGE_BYTES];
+                let mut fill = 0usize; // staged bytes
+                let mut at = 0usize; // next destination pixel
+                let mut non_blank = 0usize;
+                let mut flush = |stage: &mut [u8; STAGE_BYTES],
+                                 fill: &mut usize,
+                                 at: &mut usize|
+                 -> Result<usize, CodecError> {
+                    let whole = *fill / P::BYTES * P::BYTES;
+                    let px = whole / P::BYTES;
+                    let Some(d) = dst.get_mut(*at..*at + px) else {
+                        return Err(CodecError::WrongPixelCount {
+                            codec: "rle",
+                            expected: dst.len(),
+                            got: *at + px,
+                        });
+                    };
+                    let n = over_raw_body("rle", &stage[..whole], d, dir)?;
+                    *at += px;
+                    stage.copy_within(whole..*fill, 0);
+                    *fill -= whole;
+                    Ok(n)
+                };
+                for pair in body.chunks_exact(2) {
+                    let (count, byte) = (pair[0], pair[1]);
+                    if count == 0 {
+                        return Err(CodecError::Corrupt {
+                            codec: "rle",
+                            what: "zero-length run",
+                        });
+                    }
+                    let mut left = count as usize;
+                    while left > 0 {
+                        let take = left.min(STAGE_BYTES - fill);
+                        stage[fill..fill + take].fill(byte);
+                        fill += take;
+                        left -= take;
+                        if fill == STAGE_BYTES {
+                            non_blank += flush(&mut stage, &mut fill, &mut at)?;
+                        }
+                    }
+                }
+                non_blank += flush(&mut stage, &mut fill, &mut at)?;
+                if fill != 0 || at != dst.len() {
+                    return Err(CodecError::WrongPixelCount {
+                        codec: "rle",
+                        expected: dst.len(),
+                        got: at,
+                    });
+                }
+                Ok(non_blank)
+            }
+            // Oversized pixel types (none today) fall back to the decoded
+            // path rather than growing the staging window unboundedly.
+            MODE_RLE => {
+                let raw = rle_decode_bytes(body)?;
+                if raw.len() != dst.len() * P::BYTES {
+                    return Err(CodecError::WrongPixelCount {
+                        codec: "rle",
+                        expected: dst.len(),
+                        got: raw.len() / P::BYTES,
+                    });
+                }
+                let pixels = pixels_from_bytes(&raw).map_err(|_| CodecError::Corrupt {
+                    codec: "rle",
+                    what: "undecodable pixel bytes",
+                })?;
+                Ok(over_decoded(&pixels, dst, dir))
+            }
+            _ => Err(CodecError::Corrupt {
+                codec: "rle",
+                what: "unknown mode byte",
+            }),
+        }
+    }
 }
+
+/// Staging-buffer size of the fused RLE kernel: a multiple of every shipped
+/// pixel size (the largest, `Rgba`, is 16 bytes), big enough to amortize
+/// the bulk-kernel call per flush, small enough to stay in L1.
+const STAGE_BYTES: usize = 4096;
 
 #[cfg(test)]
 mod tests {

@@ -13,16 +13,43 @@
 //!
 //! Phase marks (`compose:start`, `compose:end`, `gather:end`) delimit the
 //! stages for the virtual-clock replay.
+//!
+//! ### Execution paths
+//!
+//! The executor has two wall-clock paths that are **trace-identical** (same
+//! events, same virtual-clock charges, same composited frames):
+//!
+//! * [`ExecPath::Pooled`] (default) — sends encode straight from the frame's
+//!   span slice and receives stream through the codecs' fused
+//!   [`rt_compress::Codec::decode_over`] kernels directly into the
+//!   destination slice; deferred-back accumulators and gather staging reuse
+//!   buffers from a per-rank [`Scratch`], so the steady state of an
+//!   animation allocates nothing per transfer.
+//! * [`ExecPath::PerTransfer`] — the original extract → encode / decode →
+//!   merge path materializing a `Vec<P>` per transfer; kept as the
+//!   reference implementation and perf baseline.
 
 use crate::repair::{repair, DegradedInfo};
 use crate::schedule::{MergeDir, Schedule};
 use crate::CoreError;
 use rt_comm::{CommError, ComputeKind, FaultPlan, Multicomputer, RankCtx, Trace};
-use rt_compress::CodecKind;
+use rt_compress::{CodecKind, OverDir};
 use rt_imaging::pixel::Pixel;
 use rt_imaging::{Image, Span};
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// Which wall-clock implementation the executor runs (the virtual-clock
+/// trace is identical either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Fused zero-copy kernels plus scratch-buffer reuse (default).
+    #[default]
+    Pooled,
+    /// One decoded `Vec<P>` per transfer — the reference path.
+    PerTransfer,
+}
 
 /// Execution options for [`compose`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +71,8 @@ pub struct ComposeConfig {
     /// [`Multicomputer`] ([`run_composition`] and `rt-pvr`'s pipeline).
     /// `None` keeps the comm layer's default.
     pub timeout: Option<Duration>,
+    /// Which wall-clock execution path to run.
+    pub path: ExecPath,
 }
 
 impl Default for ComposeConfig {
@@ -54,6 +83,7 @@ impl Default for ComposeConfig {
             gather: true,
             resilient: false,
             timeout: None,
+            path: ExecPath::default(),
         }
     }
 }
@@ -88,6 +118,92 @@ impl ComposeConfig {
         self.timeout = Some(timeout);
         self
     }
+
+    /// Select the wall-clock execution path.
+    pub fn with_path(mut self, path: ExecPath) -> Self {
+        self.path = path;
+        self
+    }
+}
+
+/// Per-rank reusable buffers for the pooled execution path.
+///
+/// Holding one `Scratch` across [`compose`] calls (one per frame of an
+/// animation) lets deferred-back accumulators and the gather staging buffer
+/// reach a steady state where no per-transfer allocation happens at all.
+/// A fresh `Scratch` is still correct — the first frame merely pays the
+/// allocations once.
+#[derive(Debug)]
+pub struct Scratch<P: Pixel> {
+    /// Staging for the gather's concatenated owner spans.
+    gather_pixels: Vec<P>,
+    /// Retired deferred-back accumulators awaiting reuse.
+    spare_accs: Vec<Vec<P>>,
+}
+
+impl<P: Pixel> Default for Scratch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Pixel> Scratch<P> {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self {
+            gather_pixels: Vec::new(),
+            spare_accs: Vec::new(),
+        }
+    }
+
+    /// A blank-filled accumulator of `len` pixels, reusing a retired
+    /// buffer when one is available.
+    fn take_acc(&mut self, len: usize) -> Vec<P> {
+        let mut buf = self.spare_accs.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, P::blank());
+        buf
+    }
+
+    /// Retire an accumulator for later reuse.
+    fn put_acc(&mut self, buf: Vec<P>) {
+        self.spare_accs.push(buf);
+    }
+}
+
+/// A shared store of per-rank [`Scratch`] buffers, for harnesses that run
+/// many composes (the animation pipeline): each rank checks its scratch
+/// out for the duration of a frame and back in afterwards, so buffers
+/// persist across frames without any cross-rank sharing.
+#[derive(Debug, Default)]
+pub struct ScratchPool<P: Pixel> {
+    slots: Mutex<HashMap<usize, Scratch<P>>>,
+}
+
+impl<P: Pixel> ScratchPool<P> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Take rank `rank`'s scratch (fresh if none was checked in yet).
+    pub fn checkout(&self, rank: usize) -> Scratch<P> {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&rank)
+            .unwrap_or_default()
+    }
+
+    /// Return rank `rank`'s scratch for the next frame.
+    pub fn checkin(&self, rank: usize, scratch: Scratch<P>) {
+        self.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(rank, scratch);
+    }
 }
 
 /// What one rank gets back from [`compose`].
@@ -121,6 +237,18 @@ fn repair_tag(entry: usize, fetch: usize) -> u64 {
     REPAIR_TAG_BIT | ((entry as u64) << 16) | fetch as u64
 }
 
+/// Lowest-ranked survivor, for gather-root reassignment after failures.
+/// Every survivor computes the same answer from the agreed `crashed` set;
+/// if no rank survived there is nobody to assemble a frame at all.
+fn elect_root(
+    p: usize,
+    crashed: &std::collections::BTreeMap<usize, usize>,
+) -> Result<usize, CoreError> {
+    (0..p)
+        .find(|r| !crashed.contains_key(r))
+        .ok_or(CoreError::AllRanksFailed { p })
+}
+
 /// Execute `schedule` on this rank with `local` as the rank's rendered
 /// partial image. Depth order is rank order (rank 0 nearest the viewer);
 /// callers with a different depth order permute ranks beforehand (see
@@ -128,8 +256,21 @@ fn repair_tag(entry: usize, fetch: usize) -> u64 {
 pub fn compose<P: Pixel>(
     ctx: &mut RankCtx,
     schedule: &Schedule,
+    local: Image<P>,
+    config: &ComposeConfig,
+) -> Result<ComposeOutput<P>, CoreError> {
+    let mut scratch = Scratch::new();
+    compose_with_scratch(ctx, schedule, local, config, &mut scratch)
+}
+
+/// [`compose`] with caller-held [`Scratch`] buffers, so repeated composes
+/// (one per animation frame) reuse allocations across calls.
+pub fn compose_with_scratch<P: Pixel>(
+    ctx: &mut RankCtx,
+    schedule: &Schedule,
     mut local: Image<P>,
     config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
 ) -> Result<ComposeOutput<P>, CoreError> {
     let me = ctx.rank();
     if schedule.p != ctx.size() {
@@ -180,8 +321,14 @@ pub fn compose<P: Pixel>(
         // Ship all sends first (non-blocking), then consume receives: the
         // pairwise exchanges of every method progress without deadlock.
         for t in step.sends_of(me) {
-            let pixels = local.extract(t.span)?;
-            let encoded = codec.encode(&pixels);
+            let encoded = match config.path {
+                // Encode straight off the frame's span slice.
+                ExecPath::Pooled => codec.encode(local.span_pixels(t.span)?),
+                ExecPath::PerTransfer => {
+                    let pixels = local.extract(t.span)?;
+                    codec.encode(&pixels)
+                }
+            };
             if config.codec != CodecKind::Raw {
                 ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
             }
@@ -197,30 +344,45 @@ pub fn compose<P: Pixel>(
                 Err(e) => return Err(e.into()),
             };
             if config.codec != CodecKind::Raw {
-                ctx.compute(ComputeKind::Decode, (t.span.len * P::BYTES) as u64);
+                // Decoding walks the *encoded* stream, so the compute
+                // charge is the wire size, not the decompressed size — a
+                // compressed message must cost less to decode, or the
+                // paper's claim that compression cuts composition time
+                // (Section 3) is mispriced.
+                ctx.compute(ComputeKind::Decode, bytes.len() as u64);
             }
-            let pixels: Vec<P> = codec.decode(&bytes, t.span.len)?;
             // Blank pixels are the identity of `over`; the structured
             // codecs (TRLE templates, RLE runs, bounding intervals)
             // identify blank regions during decode, so — as the paper
             // argues in Section 1 — compression reduces the composition
             // *computation* as well as the traffic. Raw buffers carry no
             // such structure and are charged for the full span.
-            let over_units = if config.codec == CodecKind::Raw {
-                t.span.len
-            } else {
-                pixels.iter().filter(|p| !p.is_blank()).count()
-            };
-            ctx.compute(ComputeKind::Over, over_units as u64);
-            match t.dir {
-                MergeDir::Front => local.over_front(t.span, &pixels)?,
-                MergeDir::Back => local.over_back(t.span, &pixels)?,
-                MergeDir::BackDefer => match back_acc.entry(t.span.start) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert((t.span, pixels));
+            let raw = config.codec == CodecKind::Raw;
+            match config.path {
+                // Stream the encoded bytes through the fused kernels
+                // directly into the destination slice — no decoded Vec.
+                ExecPath::Pooled => match t.dir {
+                    MergeDir::Front | MergeDir::Back => {
+                        let dir = if t.dir == MergeDir::Front {
+                            OverDir::Front
+                        } else {
+                            OverDir::Back
+                        };
+                        let dst = local.span_pixels_mut(t.span)?;
+                        let non_blank = codec.decode_over(&bytes, dst, dir)?;
+                        let over_units = if raw { t.span.len } else { non_blank };
+                        ctx.compute(ComputeKind::Over, over_units as u64);
                     }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let (acc_span, acc) = e.get_mut();
+                    MergeDir::BackDefer => {
+                        let (acc_span, acc) = match back_acc.entry(t.span.start) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                // Blank is the identity of `over`, so
+                                // streaming the first arrival in front of a
+                                // blank accumulator reproduces it exactly.
+                                &mut *e.insert((t.span, scratch.take_acc(t.span.len)))
+                            }
+                            std::collections::hash_map::Entry::Occupied(e) => &mut *e.into_mut(),
+                        };
                         if *acc_span != t.span {
                             return Err(CoreError::InvalidSchedule {
                                 why: format!(
@@ -231,11 +393,46 @@ pub fn compose<P: Pixel>(
                         }
                         // Arriving pieces are deepest-first: the new piece
                         // goes in front of the accumulated deeper ones.
-                        for (dst, f) in acc.iter_mut().zip(&pixels) {
-                            *dst = f.over(dst);
-                        }
+                        let non_blank = codec.decode_over(&bytes, acc, OverDir::Front)?;
+                        let over_units = if raw { t.span.len } else { non_blank };
+                        ctx.compute(ComputeKind::Over, over_units as u64);
                     }
                 },
+                ExecPath::PerTransfer => {
+                    let pixels: Vec<P> = codec.decode(&bytes, t.span.len)?;
+                    let over_units = if raw {
+                        t.span.len
+                    } else {
+                        pixels.iter().filter(|p| !p.is_blank()).count()
+                    };
+                    ctx.compute(ComputeKind::Over, over_units as u64);
+                    match t.dir {
+                        MergeDir::Front => local.over_front(t.span, &pixels)?,
+                        MergeDir::Back => local.over_back(t.span, &pixels)?,
+                        MergeDir::BackDefer => match back_acc.entry(t.span.start) {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert((t.span, pixels));
+                            }
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let (acc_span, acc) = e.get_mut();
+                                if *acc_span != t.span {
+                                    return Err(CoreError::InvalidSchedule {
+                                        why: format!(
+                                            "deferred-back span mismatch: {acc_span} vs {}",
+                                            t.span
+                                        ),
+                                    });
+                                }
+                                // Arriving pieces are deepest-first: the new
+                                // piece goes in front of the accumulated
+                                // deeper ones.
+                                for (dst, f) in acc.iter_mut().zip(&pixels) {
+                                    *dst = f.over(dst);
+                                }
+                            }
+                        },
+                    }
+                }
             }
         }
     }
@@ -244,8 +441,18 @@ pub fn compose<P: Pixel>(
     let mut flushes: Vec<(Span, Vec<P>)> = back_acc.into_values().collect();
     flushes.sort_by_key(|(span, _)| span.start);
     for (span, acc) in flushes {
-        ctx.compute(ComputeKind::Over, span.len as u64);
+        // Mirror the per-step charging rule: under a structured codec only
+        // the non-blank accumulated pixels cost an `over`; charging the
+        // full span here would price the flush as if the codec had found
+        // no blank structure at all.
+        let over_units = if config.codec == CodecKind::Raw {
+            span.len
+        } else {
+            acc.iter().filter(|p| !p.is_blank()).count()
+        };
+        ctx.compute(ComputeKind::Over, over_units as u64);
         local.over_back(span, &acc)?;
+        scratch.put_acc(acc);
     }
 
     if my_crash == Some(steps_len) {
@@ -328,7 +535,9 @@ pub fn compose<P: Pixel>(
                     } else {
                         let bytes = ctx.recv(fetch.holder, repair_tag(ei, fi))?;
                         if config.codec != CodecKind::Raw {
-                            ctx.compute(ComputeKind::Decode, (e.span.len * P::BYTES) as u64);
+                            // Charged on the encoded wire size (see the
+                            // step-receive path).
+                            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
                         }
                         codec.decode(&bytes, e.span.len)?
                     };
@@ -351,11 +560,9 @@ pub fn compose<P: Pixel>(
             owners = plan.final_owners.clone();
             let mut info = plan.info;
             if crashed.contains_key(&root) {
-                let new_root = (0..schedule.p).find(|r| !crashed.contains_key(r));
-                if let Some(nr) = new_root {
-                    info.root_reassigned_to = Some(nr);
-                    root = nr;
-                }
+                let nr = elect_root(schedule.p, &crashed)?;
+                info.root_reassigned_to = Some(nr);
+                root = nr;
             }
             degraded = Some(info);
         }
@@ -390,11 +597,25 @@ pub fn compose<P: Pixel>(
         }
     }
     if me != root && !spans_of[me].is_empty() {
-        let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
-        for span in &spans_of[me] {
-            pixels.extend(local.extract(*span)?);
-        }
-        let encoded = codec.encode(&pixels);
+        let encoded = match config.path {
+            // Concatenate into the reusable staging buffer.
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for span in &spans_of[me] {
+                    scratch
+                        .gather_pixels
+                        .extend_from_slice(local.span_pixels(*span)?);
+                }
+                codec.encode(&scratch.gather_pixels)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
+                for span in &spans_of[me] {
+                    pixels.extend(local.extract(*span)?);
+                }
+                codec.encode(&pixels)
+            }
+        };
         if config.codec != CodecKind::Raw {
             ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
         }
@@ -406,23 +627,60 @@ pub fn compose<P: Pixel>(
                 continue;
             }
             let total: usize = owner_spans.iter().map(|s| s.len).sum();
-            let pixels: Vec<P> = if owner == me {
-                let mut pixels = Vec::with_capacity(total);
-                for span in owner_spans {
-                    pixels.extend(local.extract(*span)?);
+            if owner == me {
+                match config.path {
+                    // The root's own spans copy straight from its local
+                    // frame.
+                    ExecPath::Pooled => {
+                        for span in owner_spans {
+                            frame.insert(*span, local.span_pixels(*span)?)?;
+                        }
+                    }
+                    ExecPath::PerTransfer => {
+                        let mut pixels: Vec<P> = Vec::with_capacity(total);
+                        for span in owner_spans {
+                            pixels.extend(local.extract(*span)?);
+                        }
+                        let mut at = 0usize;
+                        for span in owner_spans {
+                            frame.insert(*span, &pixels[at..at + span.len])?;
+                            at += span.len;
+                        }
+                    }
                 }
-                pixels
-            } else {
-                let bytes = ctx.recv(owner, tag(gather_step, owner))?;
-                if config.codec != CodecKind::Raw {
-                    ctx.compute(ComputeKind::Decode, (total * P::BYTES) as u64);
+                continue;
+            }
+            let bytes = ctx.recv(owner, tag(gather_step, owner))?;
+            if config.codec != CodecKind::Raw {
+                // Charged on the encoded wire size (see the step-receive
+                // path).
+                ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+            }
+            match config.path {
+                ExecPath::Pooled => {
+                    if let [span] = owner_spans.as_slice() {
+                        // One span: stream straight into the blank frame
+                        // (`over` a blank destination is an exact copy).
+                        codec.decode_over(&bytes, frame.span_pixels_mut(*span)?, OverDir::Front)?;
+                    } else {
+                        let mut staged = scratch.take_acc(total);
+                        codec.decode_over(&bytes, &mut staged, OverDir::Front)?;
+                        let mut at = 0usize;
+                        for span in owner_spans {
+                            frame.insert(*span, &staged[at..at + span.len])?;
+                            at += span.len;
+                        }
+                        scratch.put_acc(staged);
+                    }
                 }
-                codec.decode(&bytes, total)?
-            };
-            let mut at = 0usize;
-            for span in owner_spans {
-                frame.insert(*span, &pixels[at..at + span.len])?;
-                at += span.len;
+                ExecPath::PerTransfer => {
+                    let pixels: Vec<P> = codec.decode(&bytes, total)?;
+                    let mut at = 0usize;
+                    for span in owner_spans {
+                        frame.insert(*span, &pixels[at..at + span.len])?;
+                        at += span.len;
+                    }
+                }
             }
         }
     }
@@ -480,6 +738,44 @@ pub fn run_composition_faulty<P: Pixel>(
                 why: format!("rank {} has no partial image to compose", ctx.rank()),
             })?;
         compose(ctx, schedule, local, config)
+    })
+}
+
+/// [`run_composition`] backed by a caller-held [`ScratchPool`], so repeated
+/// invocations (one per animation frame) reuse each rank's scratch buffers
+/// across frames. The config's [`ExecPath`] still selects the path; the
+/// pool only pays off under [`ExecPath::Pooled`].
+pub fn run_composition_pooled<P: Pixel>(
+    schedule: &Schedule,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    pool: &ScratchPool<P>,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        schedule.p,
+        "one partial image per rank required"
+    );
+    let mut mc = Multicomputer::new(schedule.p);
+    if let Some(timeout) = config.timeout {
+        mc = mc.with_timeout(timeout);
+    }
+    let partials = std::sync::Mutex::new(
+        partials
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<Image<P>>>>(),
+    );
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = pool.checkout(ctx.rank());
+        let out = compose_with_scratch(ctx, schedule, local, config, &mut scratch);
+        pool.checkin(ctx.rank(), scratch);
+        out
     })
 }
 
@@ -697,6 +993,121 @@ mod tests {
         assert_eq!(info.root_reassigned_to, Some(1));
         assert!(out1.frame.is_some(), "new root must hold the frame");
         assert!(results[2].as_ref().unwrap().frame.is_none());
+    }
+
+    #[test]
+    fn elect_root_picks_lowest_survivor_or_errors() {
+        use std::collections::BTreeMap;
+        let crashed: BTreeMap<usize, usize> = [(0, 0), (1, 2)].into_iter().collect();
+        assert_eq!(elect_root(4, &crashed).unwrap(), 2);
+        let all: BTreeMap<usize, usize> = (0..4).map(|r| (r, 0)).collect();
+        assert_eq!(
+            elect_root(4, &all).unwrap_err(),
+            CoreError::AllRanksFailed { p: 4 }
+        );
+    }
+
+    #[test]
+    fn pooled_and_per_transfer_paths_are_trace_identical() {
+        // The fused pooled path must be indistinguishable on the virtual
+        // clock: same events in the same order with the same units, and
+        // the same composited frame — across methods (incl. the pipelined
+        // method's deferred-back accumulators) and codecs.
+        for codec in CodecKind::ALL {
+            for schedule in [
+                crate::BinarySwap::new().build(4, 256).unwrap(),
+                crate::ParallelPipelined::new().build(4, 256).unwrap(),
+                crate::RotateTiling::two_n(2).build(4, 256).unwrap(),
+            ] {
+                let partials = provenance_partials(4, 16, 16);
+                let pooled = ComposeConfig::default()
+                    .with_codec(codec)
+                    .with_path(ExecPath::Pooled);
+                let baseline = pooled.with_path(ExecPath::PerTransfer);
+                let (r_pooled, t_pooled) = run_composition(&schedule, partials.clone(), &pooled);
+                let (r_base, t_base) = run_composition(&schedule, partials, &baseline);
+                assert_eq!(
+                    t_pooled, t_base,
+                    "{}/{codec:?}: traces must be bit-identical",
+                    schedule.method
+                );
+                assert_eq!(
+                    r_pooled, r_base,
+                    "{}/{codec:?}: outputs must be bit-identical",
+                    schedule.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_charge_equals_received_wire_bytes() {
+        // Decode walks the encoded stream: its compute charge must equal
+        // the wire size of the message just received — not the decompressed
+        // size, which would price compressed and raw messages identically.
+        use rt_comm::Event;
+        use rt_imaging::pixel::GrayAlpha8;
+        let schedule = crate::RotateTiling::two_n(2).build(4, 1024).unwrap();
+        let partials: Vec<Image<GrayAlpha8>> = (0..4)
+            .map(|r| {
+                Image::from_fn(32, 32, |x, y| {
+                    // Blank-heavy bands so the structured codecs compress.
+                    if (x + y + r) % 3 == 0 {
+                        GrayAlpha8::new((40 * r + x) as u8, 200)
+                    } else {
+                        GrayAlpha8::blank()
+                    }
+                })
+            })
+            .collect();
+        // What the old bug would have charged in total: span.len · P::BYTES
+        // for every step transfer plus every non-root gather message.
+        let step_pixels: usize = schedule
+            .steps
+            .iter()
+            .flat_map(|s| s.transfers.iter())
+            .map(|t| t.span.len)
+            .sum();
+        let gather_pixels: usize = schedule
+            .final_owners
+            .iter()
+            .filter(|(_, owner)| *owner != 0)
+            .map(|(span, _)| span.len)
+            .sum();
+        let old_charge = ((step_pixels + gather_pixels) * GrayAlpha8::BYTES) as u64;
+        for codec in [CodecKind::Rle, CodecKind::Trle] {
+            let config = ComposeConfig::default().with_codec(codec);
+            let (_, trace) = run_composition(&schedule, partials.clone(), &config);
+            let mut decodes = 0u64;
+            let mut total_units = 0u64;
+            for events in &trace.ranks {
+                let mut last_recv: Option<u64> = None;
+                for e in events {
+                    match e {
+                        Event::Recv { bytes, .. } => last_recv = Some(*bytes),
+                        Event::Compute {
+                            kind: ComputeKind::Decode,
+                            units,
+                        } => {
+                            let wire = last_recv
+                                .take()
+                                .expect("every Decode follows the Recv it prices");
+                            assert_eq!(*units, wire, "{codec:?}: decode charged off-wire");
+                            decodes += 1;
+                            total_units += units;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            assert!(decodes > 0, "{codec:?}: no decode events traced");
+            // These blank-heavy frames compress, so the wire total must sit
+            // strictly below the decompressed total the old accounting used.
+            assert!(
+                total_units < old_charge,
+                "{codec:?}: decode total {total_units} not below old span-based charge {old_charge}"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod tune;
 pub use analysis::{analyze, ScheduleCost};
 pub use binary_swap::BinarySwap;
 pub use direct::DirectSend;
-pub use exec::{compose, run_composition, run_composition_faulty, ComposeConfig, ComposeOutput};
+pub use exec::{
+    compose, compose_with_scratch, run_composition, run_composition_faulty, run_composition_pooled,
+    ComposeConfig, ComposeOutput, ExecPath, Scratch, ScratchPool,
+};
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;
 pub use repair::{repair, DegradedInfo, RepairEntry, RepairFetch, RepairPlan};
@@ -80,6 +83,13 @@ pub enum CoreError {
         /// Explanation of the violated invariant.
         why: String,
     },
+    /// Failure handling found no surviving rank to take over: every rank
+    /// in the machine has crashed, so no degraded composite (and no
+    /// gather root) exists.
+    AllRanksFailed {
+        /// Machine size.
+        p: usize,
+    },
     /// Communication failed while executing a schedule.
     Comm(rt_comm::CommError),
     /// A message failed to decode.
@@ -95,6 +105,12 @@ impl std::fmt::Display for CoreError {
                 write!(f, "{method}: unsupported shape: {why}")
             }
             CoreError::InvalidSchedule { why } => write!(f, "invalid schedule: {why}"),
+            CoreError::AllRanksFailed { p } => {
+                write!(
+                    f,
+                    "all {p} ranks failed: no survivor can recover the composite"
+                )
+            }
             CoreError::Comm(e) => write!(f, "communication error: {e}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
             CoreError::Imaging(e) => write!(f, "imaging error: {e}"),

@@ -169,6 +169,12 @@ pub fn repair(
     crashed: &BTreeMap<usize, usize>,
 ) -> Result<RepairPlan, CoreError> {
     let p = schedule.p;
+    if (0..p).all(|r| crashed.contains_key(&r)) {
+        // With no survivor there is nobody to hold a plan entry, own a
+        // span, or serve as gather root — an empty plan would silently
+        // present a blank frame as a valid degraded composite.
+        return Err(CoreError::AllRanksFailed { p });
+    }
     // rank ↔ depth translation (identity unless the schedule was permuted).
     let depth_of = |rank: usize| schedule.depth_of(rank);
     let mut rank_of_depth = vec![0usize; p];
@@ -472,9 +478,9 @@ mod tests {
     }
 
     #[test]
-    fn all_ranks_dead_yields_empty_plan() {
+    fn all_ranks_dead_is_a_typed_error() {
         let s = BinarySwap::new().build(2, 64).unwrap();
-        let plan = repair(&s, &crash(&[(0, 0), (1, 0)])).unwrap();
-        assert!(plan.entries.is_empty());
+        let err = repair(&s, &crash(&[(0, 0), (1, 0)])).unwrap_err();
+        assert_eq!(err, CoreError::AllRanksFailed { p: 2 });
     }
 }

@@ -129,6 +129,20 @@ impl<P: Pixel> Image<P> {
         Ok(self.data[span.range()].to_vec())
     }
 
+    /// Borrow the pixels covered by `span` (the allocation-free
+    /// counterpart of [`Image::extract`] — spans are contiguous).
+    pub fn span_pixels(&self, span: Span) -> Result<&[P], ImagingError> {
+        self.check_span(span)?;
+        Ok(&self.data[span.range()])
+    }
+
+    /// Mutably borrow the pixels covered by `span`, for in-place
+    /// composition directly from a wire-format stream.
+    pub fn span_pixels_mut(&mut self, span: Span) -> Result<&mut [P], ImagingError> {
+        self.check_span(span)?;
+        Ok(&mut self.data[span.range()])
+    }
+
     /// Overwrite the pixels covered by `span` with `src`.
     pub fn insert(&mut self, span: Span, src: &[P]) -> Result<(), ImagingError> {
         self.check_span(span)?;

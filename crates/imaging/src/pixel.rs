@@ -47,6 +47,17 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Append exactly [`Pixel::BYTES`] bytes encoding this pixel.
     fn write_bytes(&self, out: &mut Vec<u8>);
 
+    /// Append the wire encoding of a whole pixel slice. Must be equivalent
+    /// to calling [`Pixel::write_bytes`] per pixel; the fixed-point types
+    /// override it with a bulk store, since per-pixel `Vec` pushes dominate
+    /// the encode cost of large raw messages.
+    fn extend_wire_bytes(pixels: &[Self], out: &mut Vec<u8>) {
+        out.reserve(pixels.len() * Self::BYTES);
+        for p in pixels {
+            p.write_bytes(out);
+        }
+    }
+
     /// Decode a pixel from exactly [`Pixel::BYTES`] bytes.
     fn read_bytes(bytes: &[u8]) -> Result<Self, ImagingError>;
 
@@ -54,6 +65,55 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     ///
     /// Exact types ignore `tol`.
     fn approx_eq(&self, other: &Self, tol: f64) -> bool;
+
+    /// Composite a wire-format pixel stream **in front of** `dst`, in place
+    /// (`dst[i] = src[i] over dst[i]`), returning the number of non-blank
+    /// source pixels. `src` must hold exactly `dst.len() * BYTES` bytes.
+    ///
+    /// The default decodes pixel by pixel via [`Pixel::read_bytes`]; the
+    /// fixed-point types override it with fused byte-level kernels that
+    /// never materialize an intermediate pixel. Overrides must be
+    /// bit-identical to the default (decode-then-`over`) path.
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_front_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        for (d, chunk) in dst.iter_mut().zip(src.chunks_exact(Self::BYTES)) {
+            let f = Self::read_bytes(chunk)?;
+            if !f.is_blank() {
+                non_blank += 1;
+            }
+            *d = f.over(d);
+        }
+        Ok(non_blank)
+    }
+
+    /// Composite a wire-format pixel stream **behind** `dst`, in place
+    /// (`dst[i] = dst[i] over src[i]`), returning the number of non-blank
+    /// source pixels. Same contract as [`Pixel::over_front_bytes`].
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_back_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        for (d, chunk) in dst.iter_mut().zip(src.chunks_exact(Self::BYTES)) {
+            let b = Self::read_bytes(chunk)?;
+            if !b.is_blank() {
+                non_blank += 1;
+            }
+            *d = d.over(&b);
+        }
+        Ok(non_blank)
+    }
 }
 
 fn f32_from(bytes: &[u8], at: usize) -> f32 {
@@ -318,11 +378,110 @@ impl Pixel for GrayAlpha8 {
         })
     }
 
+    fn extend_wire_bytes(pixels: &[Self], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + pixels.len() * 2, 0);
+        for (pair, p) in out[start..].chunks_exact_mut(2).zip(pixels) {
+            pair[0] = p.v;
+            pair[1] = p.a;
+        }
+    }
+
     #[inline]
     fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         ((self.v as f64 - other.v as f64).abs()) <= tol * 255.0
             && ((self.a as f64 - other.a as f64).abs()) <= tol * 255.0
     }
+
+    // Fused byte-level kernels: the wire format IS the pixel layout
+    // (`[v, a]`), so the stream is composited without decoding. Arithmetic
+    // is the same `mul255` as `over`, and the shortcuts below are exact
+    // identities of that arithmetic (`mul255(255, x) = x`,
+    // `mul255(0, x) = 0`), keeping results bit-identical:
+    //   * blank source pixels leave `dst` untouched, so runs of zero bytes
+    //     are skipped a machine word at a time — on sparse partials (the
+    //     regime the structured codecs target) this is most of the stream;
+    //   * an opaque (`a = 255`) front pixel replaces `dst` outright, and an
+    //     opaque `dst` hides a behind-merge entirely.
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_front_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        let mut i = 0;
+        let n = dst.len();
+        while i < n {
+            let (fv, fa) = (src[2 * i], src[2 * i + 1]);
+            if fv == 0 && fa == 0 {
+                i += 1;
+                i = skip_zero_pairs(src, i, n);
+                continue;
+            }
+            non_blank += 1;
+            let d = &mut dst[i];
+            if fa == 255 {
+                d.v = fv;
+                d.a = 255;
+            } else {
+                let t = 255 - fa as u16;
+                d.v = (fv as u16 + mul255(t, d.v as u16)).min(255) as u8;
+                d.a = (fa as u16 + mul255(t, d.a as u16)).min(255) as u8;
+            }
+            i += 1;
+        }
+        Ok(non_blank)
+    }
+
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_back_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        let mut i = 0;
+        let n = dst.len();
+        while i < n {
+            let (bv, ba) = (src[2 * i], src[2 * i + 1]);
+            if bv == 0 && ba == 0 {
+                i += 1;
+                i = skip_zero_pairs(src, i, n);
+                continue;
+            }
+            non_blank += 1;
+            let d = &mut dst[i];
+            if d.a != 255 {
+                let t = 255 - d.a as u16;
+                d.v = (d.v as u16 + mul255(t, bv as u16)).min(255) as u8;
+                d.a = (d.a as u16 + mul255(t, ba as u16)).min(255) as u8;
+            }
+            i += 1;
+        }
+        Ok(non_blank)
+    }
+}
+
+/// Advance `i` past consecutive all-zero 2-byte pairs of `src` (up to pair
+/// index `n`), testing eight bytes at a time where possible.
+#[inline]
+fn skip_zero_pairs(src: &[u8], mut i: usize, n: usize) -> usize {
+    while i + 4 <= n {
+        let w = u64::from_le_bytes(src[2 * i..2 * i + 8].try_into().unwrap());
+        if w != 0 {
+            break;
+        }
+        i += 4;
+    }
+    while i < n && src[2 * i] == 0 && src[2 * i + 1] == 0 {
+        i += 1;
+    }
+    i
 }
 
 /// Exact algebraic pixel recording *which depth ranks* have been composited.
@@ -435,9 +594,7 @@ impl Pixel for Provenance {
 /// Encode a pixel slice into a fresh byte vector (`pixels.len() * P::BYTES`).
 pub fn pixels_to_bytes<P: Pixel>(pixels: &[P]) -> Vec<u8> {
     let mut out = Vec::with_capacity(pixels.len() * P::BYTES);
-    for p in pixels {
-        p.write_bytes(&mut out);
-    }
+    P::extend_wire_bytes(pixels, &mut out);
     out
 }
 
@@ -616,6 +773,60 @@ mod tests {
             p.write_bytes(&mut buf);
             prop_assert_eq!(GrayAlpha8::read_bytes(&buf).unwrap(), p);
         }
+
+        #[test]
+        fn gray8_byte_kernels_match_decode_then_over(
+            pairs in proptest::collection::vec(((0u8..=255, 0u8..=255), (0u8..=255, 0u8..=255)), 0..128)
+        ) {
+            let src: Vec<GrayAlpha8> = pairs.iter().map(|&((v, a), _)| GrayAlpha8::new(v, a)).collect();
+            let dst: Vec<GrayAlpha8> = pairs.iter().map(|&(_, (v, a))| GrayAlpha8::new(v, a)).collect();
+            let bytes = pixels_to_bytes(&src);
+
+            let mut fused = dst.clone();
+            let n_front = GrayAlpha8::over_front_bytes(&mut fused, &bytes).unwrap();
+            let want: Vec<GrayAlpha8> = src.iter().zip(&dst).map(|(f, b)| f.over(b)).collect();
+            prop_assert_eq!(&fused, &want);
+            prop_assert_eq!(n_front, src.iter().filter(|p| !p.is_blank()).count());
+
+            let mut fused = dst.clone();
+            let n_back = GrayAlpha8::over_back_bytes(&mut fused, &bytes).unwrap();
+            let want: Vec<GrayAlpha8> = src.iter().zip(&dst).map(|(b, f)| f.over(b)).collect();
+            prop_assert_eq!(&fused, &want);
+            prop_assert_eq!(n_back, n_front);
+        }
+    }
+
+    #[test]
+    fn byte_kernels_reject_length_mismatch() {
+        let mut dst = vec![GrayAlpha8::blank(); 3];
+        assert!(GrayAlpha8::over_front_bytes(&mut dst, &[0u8; 5]).is_err());
+        assert!(GrayAlpha8::over_back_bytes(&mut dst, &[0u8; 8]).is_err());
+        let mut dst = vec![Provenance::blank(); 2];
+        assert!(Provenance::over_front_bytes(&mut dst, &[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn default_byte_kernels_work_for_exact_pixels() {
+        // Provenance uses the trait defaults: stream rank-1 contributions
+        // in front of rank-2 ones and check the algebra composes.
+        let src = vec![Provenance::rank(1), Provenance::blank()];
+        let bytes = pixels_to_bytes(&src);
+        let mut dst = vec![Provenance::rank(2), Provenance::rank(2)];
+        let n = Provenance::over_front_bytes(&mut dst, &bytes).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(dst, vec![Provenance { lo: 1, hi: 3 }, Provenance::rank(2)]);
+    }
+
+    #[test]
+    fn byte_kernels_saturate_at_255() {
+        // Two near-opaque contributions: channel sums exceed 255 and must
+        // clamp exactly like `GrayAlpha8::over`.
+        let src = vec![GrayAlpha8::new(250, 200)];
+        let bytes = pixels_to_bytes(&src);
+        let mut dst = vec![GrayAlpha8::new(250, 200)];
+        GrayAlpha8::over_front_bytes(&mut dst, &bytes).unwrap();
+        assert_eq!(dst[0], src[0].over(&GrayAlpha8::new(250, 200)));
+        assert_eq!(dst[0].v, 255);
     }
 }
 
@@ -708,6 +919,17 @@ impl Pixel for Rgba8 {
         })
     }
 
+    fn extend_wire_bytes(pixels: &[Self], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + pixels.len() * 4, 0);
+        for (quad, p) in out[start..].chunks_exact_mut(4).zip(pixels) {
+            quad[0] = p.r;
+            quad[1] = p.g;
+            quad[2] = p.b;
+            quad[3] = p.a;
+        }
+    }
+
     #[inline]
     fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         let t = tol * 255.0;
@@ -715,6 +937,58 @@ impl Pixel for Rgba8 {
             && ((self.g as f64 - other.g as f64).abs()) <= t
             && ((self.b as f64 - other.b as f64).abs()) <= t
             && ((self.a as f64 - other.a as f64).abs()) <= t
+    }
+
+    // Fused byte-level kernels, as for `GrayAlpha8`: the wire format is the
+    // channel layout `[r, g, b, a]`.
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_front_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
+            if s != [0, 0, 0, 0] {
+                non_blank += 1;
+            }
+            let t = 255 - s[3] as u16;
+            let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
+            *d = Self {
+                r: ch(s[0], d.r),
+                g: ch(s[1], d.g),
+                b: ch(s[2], d.b),
+                a: ch(s[3], d.a),
+            };
+        }
+        Ok(non_blank)
+    }
+
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+        if src.len() != dst.len() * Self::BYTES {
+            return Err(ImagingError::ShapeMismatch {
+                what: "Pixel::over_back_bytes",
+                lhs: dst.len() * Self::BYTES,
+                rhs: src.len(),
+            });
+        }
+        let mut non_blank = 0;
+        for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
+            if s != [0, 0, 0, 0] {
+                non_blank += 1;
+            }
+            let t = 255 - d.a as u16;
+            let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
+            *d = Self {
+                r: ch(d.r, s[0]),
+                g: ch(d.g, s[1]),
+                b: ch(d.b, s[2]),
+                a: ch(d.a, s[3]),
+            };
+        }
+        Ok(non_blank)
     }
 }
 

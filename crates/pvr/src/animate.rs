@@ -8,9 +8,11 @@
 //! reports per-frame virtual timings, so regressions in view-dependent
 //! code paths show up as timing or correctness jumps across the sweep.
 
-use crate::pipeline::{render_frame, PipelineConfig, PipelineOutput};
+use crate::pipeline::{render_frame_pooled, PipelineConfig, PipelineOutput};
 use crate::PvrError;
-use rt_comm::{replay, CostModel};
+use rt_comm::{replay, CostModel, FaultPlan};
+use rt_core::exec::ScratchPool;
+use rt_imaging::GrayAlpha;
 use serde::{Deserialize, Serialize};
 
 /// An orbit sweep specification.
@@ -66,6 +68,9 @@ pub fn render_orbit(
 ) -> Result<Vec<(PipelineOutput, FrameStats)>, PvrError> {
     assert!(orbit.frames > 0, "an orbit needs at least one frame");
     let mut out = Vec::with_capacity(orbit.frames);
+    // One scratch pool for the whole sweep: frame i+1 composites in the
+    // buffers frame i grew, so steady-state frames allocate nothing.
+    let pool = ScratchPool::<GrayAlpha>::new();
     for i in 0..orbit.frames {
         let t = if orbit.frames == 1 {
             0.0
@@ -75,7 +80,7 @@ pub fn render_orbit(
         let yaw = orbit.start_yaw + t * (orbit.end_yaw - orbit.start_yaw);
         let mut config = *base;
         config.camera = rt_render::camera::Camera::yaw_pitch(yaw, orbit.pitch);
-        let frame = render_frame(p, &config)?;
+        let frame = render_frame_pooled(p, &config, FaultPlan::none(), &pool)?;
         let report = replay(&frame.trace, cost).map_err(|e| PvrError::Config {
             what: format!("trace replay failed: {e}"),
         })?;

@@ -28,7 +28,9 @@ pub mod scene;
 
 pub use animate::{render_orbit, FrameStats, OrbitConfig};
 pub use permute::permute_schedule;
-pub use pipeline::{render_frame, PipelineConfig, PipelineOutput};
+pub use pipeline::{
+    render_frame, render_frame_pooled, render_frame_with_faults, PipelineConfig, PipelineOutput,
+};
 pub use scene::{compose_scene, prepare_scene, Scene};
 
 /// Errors from the end-to-end pipeline.

@@ -10,7 +10,7 @@ use crate::permute::permute_schedule;
 use crate::PvrError;
 use rt_comm::{ComputeKind, FaultPlan, Multicomputer, Trace};
 use rt_compress::CodecKind;
-use rt_core::exec::{compose, ComposeConfig};
+use rt_core::exec::{compose_with_scratch, ComposeConfig, ScratchPool};
 use rt_core::method::{CompositionMethod, Method};
 use rt_core::repair::DegradedInfo;
 use rt_core::schedule::verify_schedule;
@@ -92,6 +92,29 @@ pub fn render_frame_with_faults(
     config: &PipelineConfig,
     faults: FaultPlan,
 ) -> Result<PipelineOutput, PvrError> {
+    render_frame_inner(p, config, faults, None)
+}
+
+/// [`render_frame_with_faults`] with per-rank scratch buffers checked out
+/// of `pool`, so an animation loop reuses its compositing allocations
+/// across frames instead of paying them per frame (the per-frame constant
+/// factor the paper's interactive scenario is sensitive to). The pool is
+/// updated in place; pass the same pool to every frame.
+pub fn render_frame_pooled(
+    p: usize,
+    config: &PipelineConfig,
+    faults: FaultPlan,
+    pool: &ScratchPool<GrayAlpha>,
+) -> Result<PipelineOutput, PvrError> {
+    render_frame_inner(p, config, faults, Some(pool))
+}
+
+fn render_frame_inner(
+    p: usize,
+    config: &PipelineConfig,
+    faults: FaultPlan,
+    pool: Option<&ScratchPool<GrayAlpha>>,
+) -> Result<PipelineOutput, PvrError> {
     // Data partitioning stage (host side, as the paper's stage 1): rank r
     // owns slab r along the view's principal axis.
     let volume = config.dataset.generate(config.volume_size, config.seed);
@@ -137,7 +160,15 @@ pub fn render_frame_with_faults(
         ctx.compute(ComputeKind::Render, sub.vol.len() as u64);
         ctx.mark("render:end");
         ctx.barrier();
-        let out = compose(ctx, &schedule, partial, &compose_config)?;
+        let mut scratch = match pool {
+            Some(pool) => pool.checkout(ctx.rank()),
+            None => Default::default(),
+        };
+        let composed = compose_with_scratch(ctx, &schedule, partial, &compose_config, &mut scratch);
+        if let Some(pool) = pool {
+            pool.checkin(ctx.rank(), scratch);
+        }
+        let out = composed?;
         if let Some(inter) = out.frame {
             ctx.compute(
                 ComputeKind::Render,
@@ -259,6 +290,24 @@ mod tests {
         let config = PipelineConfig::small(Method::BinarySwap);
         let err = render_frame(5, &config).unwrap_err();
         assert!(matches!(err, PvrError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn pooled_frames_match_unpooled_bit_for_bit() {
+        // Reusing scratch buffers across frames must not leak state: the
+        // second pooled frame composites in buffers the first frame dirtied
+        // and still matches the fresh-allocation run exactly, trace included.
+        let config = PipelineConfig::small(Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 4,
+        });
+        let pool = rt_core::exec::ScratchPool::new();
+        let fresh = render_frame(4, &config).unwrap();
+        let first = render_frame_pooled(4, &config, FaultPlan::none(), &pool).unwrap();
+        let reused = render_frame_pooled(4, &config, FaultPlan::none(), &pool).unwrap();
+        assert_eq!(fresh.frame.pixels(), first.frame.pixels());
+        assert_eq!(fresh.frame.pixels(), reused.frame.pixels());
+        assert_eq!(fresh.trace, reused.trace);
     }
 
     #[test]

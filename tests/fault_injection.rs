@@ -87,6 +87,50 @@ fn severed_channel_surfaces_a_typed_error() {
 }
 
 #[test]
+fn all_ranks_crashed_is_a_typed_error() {
+    // With every rank dead there is no survivor to degrade onto and no
+    // gather root: repair must refuse with the dedicated error, not hand
+    // back an empty plan the caller would silently execute.
+    let schedule = RotateTiling::two_n(2).build(4, 256).unwrap();
+    let crashed: std::collections::BTreeMap<usize, usize> = (0..4).map(|r| (r, 0)).collect();
+    let err = rotate_tiling::core::repair(&schedule, &crashed).unwrap_err();
+    assert_eq!(err, CoreError::AllRanksFailed { p: 4 });
+}
+
+#[test]
+fn sole_survivor_is_elected_root() {
+    // Three of four ranks (including the configured root) crash at step 0;
+    // the lone survivor must take over the gather root and finish with a
+    // degraded frame rather than hang or error.
+    let p = 4;
+    let schedule = RotateTiling::two_n(2).build(p, 256).unwrap();
+    let config = ComposeConfig {
+        codec: CodecKind::Raw,
+        root: 0,
+        gather: true,
+        ..Default::default()
+    }
+    .resilient(true);
+    let imgs = std::sync::Mutex::new(partials(p, 256).into_iter().map(Some).collect::<Vec<_>>());
+    let faults = FaultPlan::none()
+        .crash_rank_at_step(0, 0)
+        .crash_rank_at_step(1, 0)
+        .crash_rank_at_step(2, 0);
+    let mc = Multicomputer::new(p)
+        .with_timeout(Duration::from_millis(300))
+        .with_faults(faults);
+    let (results, _) = mc.run(|ctx| {
+        let local = imgs.lock().unwrap()[ctx.rank()].take().unwrap();
+        compose(ctx, &schedule, local, &config)
+    });
+    let out = results[3].as_ref().expect("survivor must complete");
+    let info = out.degraded.as_ref().expect("run must be flagged degraded");
+    assert_eq!(info.root_reassigned_to, Some(3));
+    let frame = out.frame.as_ref().expect("survivor assembles the frame");
+    assert_eq!(frame.pixels().len(), 256);
+}
+
+#[test]
 fn corrupted_tag_is_rejected_not_misapplied() {
     let schedule = RotateTiling::two_n(2).build(4, 256).unwrap();
     let t = schedule.steps[0].transfers[0];
