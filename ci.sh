@@ -19,6 +19,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== docs =="
+# Rustdoc must be warning-free (broken intra-doc links, missing docs on
+# public items under the crates' #![warn(missing_docs)]).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== tests (PROPTEST_CASES=$PROPTEST_CASES) =="
 cargo test --workspace -q
 
@@ -48,5 +53,15 @@ rm -f "$smoke_out"
 cargo run -q --release -p rt-bench --bin perf -- --smoke --out "$smoke_out"
 test -s "$smoke_out"
 grep -q '"schema": "bench-compose/v1"' "$smoke_out"
+
+echo "== profile smoke =="
+# One-rep observed cell per method x codec at P=8: runs the observability
+# layer end to end, asserts the bit-exact span-vs-replay reconciliation
+# inside the binary, and re-validates every emitted Chrome-trace artifact.
+profile_dir=target/profile_smoke
+rm -rf "$profile_dir"
+mkdir -p "$profile_dir"
+cargo run -q --release -p rt-bench --bin profile -- --smoke --out-dir "$profile_dir"
+ls "$profile_dir"/PROFILE_*.json >/dev/null
 
 echo "CI gate passed."

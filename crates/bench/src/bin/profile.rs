@@ -1,0 +1,295 @@
+//! Profiling harness: observed runs of the Figure 6/7 method lineup with
+//! Chrome-trace export.
+//!
+//! For every `(method, codec, P)` cell this binary:
+//!
+//! 1. runs the pooled executor with an [`rt_obs::Observer`] attached, so
+//!    every rank records wall-clock phase spans and counters;
+//! 2. replays the event trace on the virtual clock with
+//!    [`rt_comm::replay_timeline`], yielding per-rank virtual-clock spans;
+//! 3. **reconciles** the two books: per-phase virtual span sums must equal
+//!    the replay cost model's per-rank totals bit-exactly (the binary
+//!    aborts otherwise);
+//! 4. emits `PROFILE_<method>_<codec>_p<P>.json` — a Chrome-trace (open in
+//!    `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) carrying
+//!    both clocks as separate processes plus per-rank counter events — and
+//!    prints a compact text flamegraph per cell.
+//!
+//! Usage:
+//! `cargo run --release -p rt-bench --bin profile -- [--p 32] [--frame 256]
+//!  [--reps 2] [--codecs raw,rle,trle] [--cost paper|sp2] [--out-dir .]
+//!  [--smoke]`
+//!
+//! `--smoke` shrinks the grid to one machine size at a small frame for CI
+//! and re-validates every emitted artifact with
+//! [`rt_obs::validate_chrome_trace`].
+
+use rt_comm::{replay_timeline, CostModel};
+use rt_compress::CodecKind;
+use rt_core::exec::{run_composition_observed, ComposeConfig, ExecPath, ScratchPool};
+use rt_core::method::{CompositionMethod, Method};
+use rt_core::schedule::verify_schedule;
+use rt_core::CoreError;
+use rt_imaging::pixel::{GrayAlpha8, Pixel};
+use rt_imaging::Image;
+use rt_obs::{phase_summary, reconcile_all, ChromeTrace, Observer, PID_VIRTUAL, PID_WALL};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct ProfileArgs {
+    reps: usize,
+    frame: usize,
+    ps: Vec<usize>,
+    codecs: Vec<CodecKind>,
+    cost: CostModel,
+    cost_name: String,
+    out_dir: String,
+    smoke: bool,
+}
+
+impl Default for ProfileArgs {
+    fn default() -> Self {
+        Self {
+            reps: 2,
+            frame: 256,
+            ps: vec![32],
+            codecs: vec![CodecKind::Raw, CodecKind::Rle, CodecKind::Trle],
+            cost: CostModel::PAPER_EXAMPLE,
+            cost_name: "paper".into(),
+            out_dir: ".".into(),
+            smoke: false,
+        }
+    }
+}
+
+fn parse_codec(s: &str) -> CodecKind {
+    match s {
+        "raw" => CodecKind::Raw,
+        "rle" => CodecKind::Rle,
+        "trle" => CodecKind::Trle,
+        other => panic!("unknown codec '{other}' (raw|rle|trle)"),
+    }
+}
+
+impl ProfileArgs {
+    fn parse() -> Self {
+        let mut out = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--reps" => out.reps = value("--reps").parse().expect("bad --reps"),
+                "--frame" => out.frame = value("--frame").parse().expect("bad --frame"),
+                "--p" => {
+                    out.ps = value("--p")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --p"))
+                        .collect();
+                }
+                "--codecs" => {
+                    out.codecs = value("--codecs")
+                        .split(',')
+                        .map(|s| parse_codec(s.trim()))
+                        .collect();
+                }
+                "--cost" => {
+                    out.cost_name = value("--cost");
+                    out.cost = match out.cost_name.as_str() {
+                        "paper" => CostModel::PAPER_EXAMPLE,
+                        "sp2" => CostModel::SP2,
+                        other => panic!("unknown cost model '{other}' (paper|sp2)"),
+                    };
+                }
+                "--out-dir" => out.out_dir = value("--out-dir"),
+                "--smoke" => out.smoke = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --reps N  --frame N  --p 8,32  --codecs raw,rle,trle  \
+                         --cost paper|sp2  --out-dir DIR  --smoke"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if out.smoke {
+            // CI cell: one rep, one small machine, all codecs (the
+            // reconciliation must hold for every codec, so keep them).
+            out.reps = 1;
+            out.frame = 128;
+            out.ps = vec![8];
+        }
+        assert!(out.reps > 0, "--reps must be positive");
+        out
+    }
+}
+
+/// Depth-ordered synthetic partials: rank `r` contributes a horizontal
+/// band of semi-transparent 8-pixel runs, blank elsewhere (same profile as
+/// the `perf` binary, so the two harnesses measure the same workload).
+fn band_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+    (0..p)
+        .map(|r| {
+            let lo = r * h / p;
+            let hi = (r + 1) * h / p;
+            Image::from_fn(w, h, |x, y| {
+                if y >= lo && y < hi {
+                    GrayAlpha8::new((((x / 8) * 7 + r) % 151) as u8, 200)
+                } else {
+                    GrayAlpha8::blank()
+                }
+            })
+        })
+        .collect()
+}
+
+fn codec_label(c: CodecKind) -> &'static str {
+    match c {
+        CodecKind::Raw => "raw",
+        CodecKind::Rle => "rle",
+        CodecKind::Trle => "trle",
+        CodecKind::Bounds => "bounds",
+    }
+}
+
+/// `"2N_RT(B=4)"` → `"2n_rt_b4"`: lowercase, `(` → `_`, drop `)`/`=`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .filter_map(|c| match c {
+            '(' => Some('_'),
+            ')' | '=' => None,
+            c => Some(c.to_ascii_lowercase()),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = ProfileArgs::parse();
+    let mut emitted: Vec<String> = Vec::new();
+
+    for &p in &args.ps {
+        let partials = band_partials(p, args.frame, args.frame);
+        for method in Method::figure6_lineup() {
+            let schedule = match method.build(p, args.frame * args.frame) {
+                Ok(s) => s,
+                Err(CoreError::UnsupportedShape { why, .. }) => {
+                    eprintln!("skip {} at P={p}: {why}", method.name());
+                    continue;
+                }
+                Err(e) => panic!("{}: {e}", method.name()),
+            };
+            verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            for &codec in &args.codecs {
+                let cfg = ComposeConfig::default()
+                    .with_codec(codec)
+                    .with_path(ExecPath::Pooled);
+                let label = format!("{}/{}/p={p}", method.name(), codec_label(codec));
+
+                // Observed runs. The observer accumulates wall spans and
+                // counters across reps; the trace of the last rep feeds the
+                // replay (every rep's trace is identical by determinism).
+                let observer = Arc::new(Observer::new());
+                let pool = ScratchPool::<GrayAlpha8>::new();
+                let mut last_trace = None;
+                for _ in 0..args.reps {
+                    let (outs, trace) = run_composition_observed(
+                        &schedule,
+                        partials.clone(),
+                        &cfg,
+                        &pool,
+                        Arc::clone(&observer),
+                    );
+                    for (rank, out) in outs.iter().enumerate() {
+                        if let Err(e) = out {
+                            panic!("{label}: rank {rank} failed: {e}");
+                        }
+                    }
+                    last_trace = Some(trace);
+                }
+                let trace = last_trace.expect("at least one rep ran");
+
+                // Virtual-clock replay + the books check: per-phase span
+                // sums must equal the replay totals bit-exactly.
+                let (report, vtimelines) =
+                    replay_timeline(&trace, &args.cost).expect("trace replays");
+                let totals: Vec<_> = report.ranks.iter().map(|s| s.phase_totals()).collect();
+                if let Err(e) = reconcile_all(&vtimelines, &totals) {
+                    panic!("{label}: phase spans drifted from replay accounting: {e}");
+                }
+
+                // Chrome-trace artifact: virtual and wall clocks as two
+                // processes, counters as per-rank instant events.
+                let mut ct = ChromeTrace::new();
+                ct.meta_process(PID_VIRTUAL, "virtual clock (cost-model replay)");
+                ct.meta_process(PID_WALL, "wall clock (threaded execution)");
+                for tl in &vtimelines {
+                    ct.add_timeline(PID_VIRTUAL, tl);
+                }
+                let wall = observer.timelines();
+                for tl in &wall {
+                    ct.add_timeline(PID_WALL, tl);
+                }
+                for (rank, counters) in observer.counters() {
+                    let ts = wall
+                        .iter()
+                        .find(|t| t.rank == rank)
+                        .map(|t| t.end())
+                        .unwrap_or(0.0);
+                    ct.add_counters(PID_WALL, rank, ts, &counters);
+                }
+                let path = format!(
+                    "{}/PROFILE_{}_{}_p{p}.json",
+                    args.out_dir,
+                    sanitize(&method.name()),
+                    codec_label(codec),
+                );
+                std::fs::write(&path, ct.to_json()).expect("write profile artifact");
+                emitted.push(path.clone());
+
+                // Text flamegraph of the virtual clock plus headline
+                // counters.
+                println!(
+                    "{}",
+                    phase_summary(
+                        &format!("{label} [virtual, cost={}]", args.cost_name),
+                        &vtimelines
+                    )
+                );
+                let total = observer.counters_total();
+                println!(
+                    "  counters: {} sends, {} retransmits, {} wire bytes ({}), \
+                     pool {}H/{}M, {} blank-skipped, {} opaque-fast",
+                    total.sends,
+                    total.retransmits,
+                    total.wire_bytes_for(codec_label(codec)),
+                    codec_label(codec),
+                    total.pool_hits,
+                    total.pool_misses,
+                    total.blank_skipped,
+                    total.opaque_fast,
+                );
+                println!("  reconcile: OK (phase sums == replay totals, {} ranks)", p);
+                println!("  -> {path}");
+                println!();
+            }
+        }
+    }
+
+    assert!(!emitted.is_empty(), "no profile cells ran");
+    if args.smoke {
+        // Re-read every artifact and validate it as a Chrome trace, so CI
+        // proves the export is well-formed end to end.
+        for path in &emitted {
+            let text = std::fs::read_to_string(path).expect("re-read artifact");
+            let value = serde_json::parse_value_str(&text).expect("artifact parses");
+            let events = rt_obs::validate_chrome_trace(&value)
+                .unwrap_or_else(|e| panic!("{path}: invalid chrome trace: {e}"));
+            assert!(events > 0, "{path}: empty chrome trace");
+            println!("validated {path}: {events} events");
+        }
+    }
+    println!("emitted {} profile artifact(s)", emitted.len());
+}

@@ -36,6 +36,7 @@
 use crate::trace::{Event, RankTrace, Trace};
 use crate::ComputeKind;
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use rt_obs::{Counters, Observer, Phase, Recorder};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -377,6 +378,12 @@ pub struct RankCtx {
     /// Ranks known to have failed, with the schedule step they announced.
     dead: BTreeMap<usize, usize>,
     checksum_rejects: u64,
+    /// Wall-clock recorder; `None` when the run is not observed, so every
+    /// instrumentation hook is a single branch.
+    obs: Option<Recorder>,
+    /// Current composition step for wall-span attribution, tracked from the
+    /// executor's `step:`/`flush:`/`compose:` marks (observed runs only).
+    obs_step: Option<u32>,
 }
 
 /// Tag namespace reserved for the built-in gather; algorithm tags must keep
@@ -406,6 +413,39 @@ impl RankCtx {
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Timestamp for a wall-clock span, `None` when the run is unobserved
+    /// (the zero-cost disabled path: no clock read, no allocation).
+    #[inline]
+    pub fn obs_start(&self) -> Option<Instant> {
+        self.obs.as_ref().map(|_| Instant::now())
+    }
+
+    /// Close a wall-clock span opened by [`RankCtx::obs_start`]. A `None`
+    /// start (unobserved run) is a no-op. The span is attributed to the
+    /// composition step most recently announced via a `step:K` mark.
+    #[inline]
+    pub fn obs_span(&mut self, phase: Phase, started: Option<Instant>) {
+        if let (Some(rec), Some(t)) = (self.obs.as_mut(), started) {
+            let step = self.obs_step;
+            rec.record_span(phase, step, t);
+        }
+    }
+
+    /// Update this rank's observability counters; `f` runs only when a
+    /// recorder is attached.
+    #[inline]
+    pub fn obs_counters(&mut self, f: impl FnOnce(&mut Counters)) {
+        if let Some(rec) = self.obs.as_mut() {
+            f(rec.counters_mut());
+        }
+    }
+
+    /// Whether a wall-clock recorder is attached to this rank.
+    #[inline]
+    pub fn observed(&self) -> bool {
+        self.obs.is_some()
     }
 
     fn check_rank(&self, rank: usize) -> Result<(), CommError> {
@@ -449,8 +489,14 @@ impl RankCtx {
         tag: u64,
         payload: impl Into<Payload>,
     ) -> Result<(), CommError> {
+        let started = self.obs_start();
+        let result = self.send_inner(to, tag, payload.into());
+        self.obs_span(Phase::Send, started);
+        result
+    }
+
+    fn send_inner(&mut self, to: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         self.check_rank(to)?;
-        let payload: Payload = payload.into();
         let seq = self.send_seq[to];
         self.send_seq[to] += 1;
         let bytes = payload.len() as u64;
@@ -475,6 +521,14 @@ impl RankCtx {
                     attempt,
                 });
             }
+            self.obs_counters(|c| {
+                if attempt == 0 {
+                    c.sends += 1;
+                } else {
+                    c.retransmits += 1;
+                }
+                c.bytes_sent += bytes;
+            });
             let dropped = (attempt == 0 && faults.drops.contains(&key))
                 || faults.severed.contains(&(self.rank, to))
                 || faults.chance(DROP_SALT, self.rank, to, seq, attempt) < faults.drop_rate;
@@ -482,6 +536,7 @@ impl RankCtx {
                 // Vanished into the network: wait one backoff window for
                 // the acknowledgement that never comes, then retry.
                 self.events.push(Event::AckWait { to, seq, attempt });
+                self.obs_counters(|c| c.ack_timeouts += 1);
                 continue;
             }
             let corrupted = (attempt == 0 && faults.payload_corruptions.contains(&key))
@@ -510,6 +565,7 @@ impl RankCtx {
                     },
                 )?;
                 self.events.push(Event::AckWait { to, seq, attempt });
+                self.obs_counters(|c| c.ack_timeouts += 1);
                 continue;
             }
             let checksum = fnv1a(&payload);
@@ -545,6 +601,7 @@ impl RankCtx {
         }
         if fnv1a(&msg.payload) != msg.checksum {
             self.checksum_rejects += 1;
+            self.obs_counters(|c| c.checksum_rejects += 1);
             return;
         }
         self.pending[msg.from].push_back(msg);
@@ -577,17 +634,29 @@ impl RankCtx {
     /// and no matching message is queued, returns
     /// [`CommError::RankFailed`] immediately instead of waiting.
     pub fn recv(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
+        let span_started = self.obs_start();
+        let result = self.recv_inner(from, tag);
+        self.obs_span(Phase::Recv, span_started);
+        result
+    }
+
+    fn recv_inner(&mut self, from: usize, tag: u64) -> Result<Payload, CommError> {
         self.check_rank(from)?;
         let started = Instant::now();
         let deadline = started + self.timeout;
         loop {
             if let Some(idx) = self.pending[from].iter().position(|m| m.tag == tag) {
                 let msg = self.pending[from].remove(idx).expect("index just found");
+                let bytes = msg.payload.len() as u64;
                 self.events.push(Event::Recv {
                     from,
                     tag,
-                    bytes: msg.payload.len() as u64,
+                    bytes,
                     seq: msg.seq,
+                });
+                self.obs_counters(|c| {
+                    c.recvs += 1;
+                    c.bytes_received += bytes;
                 });
                 return Ok(msg.payload);
             }
@@ -598,7 +667,12 @@ impl RankCtx {
                 Some(d) => d,
                 None => return Err(self.recv_failure(from, tag, started)),
             };
-            match self.rx.recv_timeout(remaining) {
+            // The blocking poll is bracketed as a nested `Wait` span inside
+            // the enclosing `Recv` span.
+            let wait_started = self.obs_start();
+            let polled = self.rx.recv_timeout(remaining);
+            self.obs_span(Phase::Wait, wait_started);
+            match polled {
                 Ok(msg) => self.stash(msg),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                     return Err(self.recv_failure(from, tag, started))
@@ -762,10 +836,24 @@ impl RankCtx {
     }
 
     /// Record a named phase boundary (e.g. `"compose:start"`).
+    ///
+    /// On observed runs the executor's step marks (`step:K`,
+    /// `flush:start`, `compose:start`/`compose:end`) also drive the step
+    /// attribution of subsequent wall-clock spans, mirroring how
+    /// `replay_timeline` attributes virtual spans from the same labels.
     pub fn mark(&mut self, label: impl Into<String>) {
-        self.events.push(Event::Mark {
-            label: label.into(),
-        });
+        let label = label.into();
+        if self.obs.is_some() {
+            if let Some(step) = label.strip_prefix("step:") {
+                self.obs_step = step.parse().ok();
+            } else if label == "flush:start" {
+                // Flush work stays attributed to no particular step.
+                self.obs_step = None;
+            } else if label == "compose:start" || label == "compose:end" {
+                self.obs_step = None;
+            }
+        }
+        self.events.push(Event::Mark { label });
     }
 
     /// Synchronize all ranks. Must not be called after any rank has
@@ -774,7 +862,9 @@ impl RankCtx {
         let generation = self.barrier_gen;
         self.barrier_gen += 1;
         self.events.push(Event::Barrier { generation });
+        let started = self.obs_start();
         self.barrier.wait();
+        self.obs_span(Phase::Wait, started);
     }
 
     /// Gather one buffer from every rank at `root`.
@@ -819,6 +909,7 @@ pub struct Multicomputer {
     size: usize,
     timeout: Duration,
     faults: Arc<FaultPlan>,
+    observer: Option<Arc<Observer>>,
 }
 
 impl Multicomputer {
@@ -832,6 +923,7 @@ impl Multicomputer {
             size,
             timeout: Duration::from_secs(10),
             faults: Arc::new(FaultPlan::none()),
+            observer: None,
         }
     }
 
@@ -845,6 +937,15 @@ impl Multicomputer {
     /// Install a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Arc::new(faults);
+        self
+    }
+
+    /// Attach a wall-clock [`Observer`]: every rank gets a recorder and the
+    /// run checks the recorders back in when all threads have joined.
+    /// Wall-clock data never enters the event trace, so observed and
+    /// unobserved runs produce bit-identical traces.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -895,6 +996,8 @@ impl Multicomputer {
                 faults: Arc::clone(&self.faults),
                 dead: BTreeMap::new(),
                 checksum_rejects: 0,
+                obs: self.observer.as_ref().map(|o| o.recorder(rank)),
+                obs_step: None,
             })
             .collect();
         drop(txs);
@@ -925,6 +1028,15 @@ impl Multicomputer {
                 }
             }
         });
+        // Check recorders back in even if some rank panicked — whatever was
+        // observed up to the failure is still valid data.
+        if let Some(observer) = &self.observer {
+            for ctx in &mut ctxs {
+                if let Some(rec) = ctx.obs.take() {
+                    observer.checkin(rec);
+                }
+            }
+        }
         if !panics.is_empty() {
             let report = panics
                 .iter()

@@ -23,6 +23,25 @@
 //! cost-model statement; Figures 5–8 are that model plus measured message
 //! sizes. Replay uses the *actual* message sizes and counts of the executed
 //! algorithm, so schedule inefficiencies show up faithfully.
+//!
+//! ```
+//! use rt_comm::{replay, CostModel, Multicomputer};
+//!
+//! // Two ranks exchange a message; the trace prices it afterwards.
+//! let mc = Multicomputer::new(2);
+//! let (results, trace) = mc.run(|ctx| {
+//!     if ctx.rank() == 0 {
+//!         ctx.send(1, 42, vec![1, 2, 3]).unwrap();
+//!         Vec::new()
+//!     } else {
+//!         ctx.recv(0, 42).unwrap().to_vec()
+//!     }
+//! });
+//! assert_eq!(results[1], vec![1, 2, 3]);
+//!
+//! let report = replay(&trace, &CostModel::PAPER_EXAMPLE).unwrap();
+//! assert!(report.makespan > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -35,5 +54,5 @@ pub mod trace;
 pub use collective::{all_gather, broadcast, reduce};
 pub use comm::{CommError, FaultPlan, Multicomputer, Payload, RankCtx};
 pub use cost::{ComputeKind, CostModel};
-pub use replay::{replay, RankStats, ReplayReport};
+pub use replay::{replay, replay_timeline, RankStats, ReplayError, ReplayReport};
 pub use trace::{Event, RankTrace, Trace};

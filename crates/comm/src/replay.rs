@@ -20,6 +20,7 @@
 
 use crate::cost::{ComputeKind, CostModel};
 use crate::trace::{Event, Trace};
+use rt_obs::{Phase, PhaseTotals, RankTimeline, SpanRec};
 use std::collections::{BTreeMap, HashMap};
 
 /// Replay failure: the trace is internally inconsistent.
@@ -69,8 +70,27 @@ pub struct RankStats {
     pub retransmits: u64,
     /// Time spent in acknowledgement-timeout backoff before retransmitting.
     pub backoff_time: f64,
+    /// Receiver-side per-message overhead (`Σ tr`; zero in the presets).
+    pub recv_overhead_time: f64,
     /// Bytes sent (post-compression, as recorded, including retransmits).
     pub bytes_sent: u64,
+}
+
+impl RankStats {
+    /// This rank's accounts in the shape `rt-obs` reconciles against a
+    /// virtual timeline (see [`rt_obs::reconcile()`]).
+    pub fn phase_totals(&self) -> PhaseTotals {
+        PhaseTotals {
+            finish: self.finish,
+            send: self.send_time,
+            wait: self.wait_time,
+            backoff: self.backoff_time,
+            over: self.over_time,
+            codec: self.codec_time,
+            render: self.render_time,
+            recv_overhead: self.recv_overhead_time,
+        }
+    }
 }
 
 /// The priced outcome of a replay.
@@ -114,6 +134,50 @@ impl ReplayReport {
 
 /// Price `trace` under `cost`. See the module docs for the clock rules.
 pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayError> {
+    replay_inner(trace, cost, None)
+}
+
+/// Price `trace` under `cost` **and** derive per-rank virtual-clock phase
+/// timelines from the same walk.
+///
+/// Spans are emitted at the very program points that advance the clock and
+/// the [`RankStats`] accumulators, with the identical `f64` durations in
+/// the identical order — so re-summing a timeline's spans reproduces the
+/// stats **bit-exactly** ([`rt_obs::reconcile()`] enforces this). Step
+/// attribution comes from the `Mark` events the executor already records:
+/// `step:K` opens step `K`, `flush:start` routes subsequent over-charges to
+/// [`Phase::Flush`], and `compose:start`/`compose:end` reset both.
+///
+/// Zero-duration charges are elided from the timeline (adding `+0.0` to a
+/// non-negative accumulator cannot change its bits, so reconciliation is
+/// unaffected), which keeps e.g. the per-message `tr = 0` receive overhead
+/// of the preset cost models from flooding the trace.
+///
+/// ```
+/// use rt_comm::{replay_timeline, ComputeKind, CostModel, Multicomputer};
+///
+/// let (_, trace) = Multicomputer::new(1).run(|ctx| {
+///     ctx.compute(ComputeKind::Over, 100);
+/// });
+/// let (report, timelines) = replay_timeline(&trace, &CostModel::PAPER_EXAMPLE).unwrap();
+/// // The one rank's spans re-sum to exactly its replay totals.
+/// assert_eq!(timelines[0].total_all(), report.ranks[0].finish);
+/// rt_obs::reconcile(&timelines[0], &report.ranks[0].phase_totals()).unwrap();
+/// ```
+pub fn replay_timeline(
+    trace: &Trace,
+    cost: &CostModel,
+) -> Result<(ReplayReport, Vec<RankTimeline>), ReplayError> {
+    let mut timelines: Vec<RankTimeline> = (0..trace.size()).map(RankTimeline::new).collect();
+    let report = replay_inner(trace, cost, Some(&mut timelines))?;
+    Ok((report, timelines))
+}
+
+fn replay_inner(
+    trace: &Trace,
+    cost: &CostModel,
+    mut timelines: Option<&mut Vec<RankTimeline>>,
+) -> Result<ReplayReport, ReplayError> {
     let p = trace.size();
     let mut clocks = vec![0.0f64; p];
     let mut idx = vec![0usize; p];
@@ -142,6 +206,31 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
     // Barrier bookkeeping: generation -> (arrival clock per rank).
     let mut barrier_entries: HashMap<u64, Vec<Option<f64>>> = HashMap::new();
     let mut marks: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
+    // Step attribution for derived spans, driven by the executor's marks.
+    let mut cur_step: Vec<Option<u32>> = vec![None; p];
+    let mut in_flush = vec![false; p];
+
+    // Emit a virtual span; zero-duration charges are elided (see
+    // `replay_timeline` docs for why that preserves reconciliation).
+    fn emit(
+        timelines: &mut Option<&mut Vec<RankTimeline>>,
+        r: usize,
+        phase: Phase,
+        step: Option<u32>,
+        start: f64,
+        dur: f64,
+    ) {
+        if dur != 0.0 {
+            if let Some(tl) = timelines {
+                tl[r].spans.push(SpanRec {
+                    phase,
+                    step,
+                    start,
+                    dur,
+                });
+            }
+        }
+    }
 
     loop {
         let mut progressed = false;
@@ -152,6 +241,7 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                 match &events[idx[r]] {
                     Event::Send { to, bytes, seq, .. } => {
                         let dur = cost.message_time(*bytes);
+                        emit(&mut timelines, r, Phase::Send, cur_step[r], clocks[r], dur);
                         clocks[r] += dur;
                         stats[r].send_time += dur;
                         stats[r].messages_sent += 1;
@@ -170,6 +260,7 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                         // A retransmission occupies the sender exactly like a
                         // fresh send of the same payload.
                         let dur = cost.message_time(*bytes);
+                        emit(&mut timelines, r, Phase::Send, cur_step[r], clocks[r], dur);
                         clocks[r] += dur;
                         stats[r].send_time += dur;
                         stats[r].retransmits += 1;
@@ -180,6 +271,14 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                     }
                     Event::AckWait { attempt, .. } => {
                         let dur = cost.backoff_time(*attempt);
+                        emit(
+                            &mut timelines,
+                            r,
+                            Phase::Backoff,
+                            cur_step[r],
+                            clocks[r],
+                            dur,
+                        );
                         clocks[r] += dur;
                         stats[r].backoff_time += dur;
                     }
@@ -195,14 +294,36 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                             break; // sender not replayed this far yet
                         };
                         if arrival > clocks[r] {
-                            stats[r].wait_time += arrival - clocks[r];
-                            clocks[r] = arrival;
+                            let dur = arrival - clocks[r];
+                            emit(&mut timelines, r, Phase::Wait, cur_step[r], clocks[r], dur);
+                            stats[r].wait_time += dur;
+                            // Additive (not `= arrival`) so the clock stays
+                            // bit-identical to the fold of emitted span
+                            // durations — the reconciliation invariant.
+                            clocks[r] += dur;
                         }
                         // LogGP-style receiver overhead (0 in the presets).
+                        emit(
+                            &mut timelines,
+                            r,
+                            Phase::Recv,
+                            cur_step[r],
+                            clocks[r],
+                            cost.tr,
+                        );
                         clocks[r] += cost.tr;
+                        stats[r].recv_overhead_time += cost.tr;
                     }
                     Event::Compute { kind, units } => {
                         let dur = cost.compute_time(*kind, *units);
+                        let phase = match kind {
+                            ComputeKind::Over if in_flush[r] => Phase::Flush,
+                            ComputeKind::Over => Phase::Over,
+                            ComputeKind::Encode => Phase::Encode,
+                            ComputeKind::Decode => Phase::Decode,
+                            ComputeKind::Render => Phase::Render,
+                        };
+                        emit(&mut timelines, r, phase, cur_step[r], clocks[r], dur);
                         clocks[r] += dur;
                         match kind {
                             ComputeKind::Over => stats[r].over_time += dur,
@@ -227,8 +348,12 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                             let release = t;
                             barrier_entries.insert(*generation, vec![Some(release); p]);
                             if release > clocks[r] {
-                                stats[r].wait_time += release - clocks[r];
-                                clocks[r] = release;
+                                let dur = release - clocks[r];
+                                emit(&mut timelines, r, Phase::Wait, cur_step[r], clocks[r], dur);
+                                stats[r].wait_time += dur;
+                                // Additive for the same bit-exactness
+                                // reason as the `Recv` wait above.
+                                clocks[r] += dur;
                             }
                         } else {
                             break; // wait for the others
@@ -237,6 +362,16 @@ pub fn replay(trace: &Trace, cost: &CostModel) -> Result<ReplayReport, ReplayErr
                     Event::Mark { label } => {
                         marks.entry(label.clone()).or_insert_with(|| vec![None; p])[r] =
                             Some(clocks[r]);
+                        // Step attribution for derived spans.
+                        if let Some(step) = label.strip_prefix("step:") {
+                            cur_step[r] = step.parse().ok();
+                            in_flush[r] = false;
+                        } else if label == "flush:start" {
+                            in_flush[r] = true;
+                        } else if label == "compose:start" || label == "compose:end" {
+                            cur_step[r] = None;
+                            in_flush[r] = false;
+                        }
                     }
                 }
                 idx[r] += 1;
@@ -408,6 +543,75 @@ mod tests {
         let r1 = replay(&t1, &cost111()).unwrap();
         let r2 = replay(&t2, &cost111()).unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn timeline_reconciles_with_stats_bit_exactly() {
+        // A program touching every account: sends, recvs (with waits),
+        // computes of all kinds, a barrier, plus a retransmission with
+        // backoff — and a cost model where no term is zero so every phase
+        // actually emits spans.
+        let mc =
+            Multicomputer::new(3).with_faults(crate::comm::FaultPlan::none().drop_message(0, 1, 0));
+        let (_, trace) = mc.run(|ctx| {
+            let me = ctx.rank();
+            let p = ctx.size();
+            ctx.compute(ComputeKind::Render, 5 + me as u64);
+            ctx.mark("compose:start");
+            for k in 0..2u32 {
+                ctx.mark(format!("step:{k}"));
+                ctx.compute(ComputeKind::Encode, 10);
+                ctx.send((me + 1) % p, k as u64, vec![me as u8; 8 * (me + 1)])
+                    .unwrap();
+                ctx.recv((me + p - 1) % p, k as u64).unwrap();
+                ctx.compute(ComputeKind::Decode, 10);
+                ctx.compute(ComputeKind::Over, 64);
+            }
+            ctx.mark("flush:start");
+            ctx.compute(ComputeKind::Over, 32);
+            ctx.mark("compose:end");
+            ctx.barrier();
+        });
+        let cost = cost111().with_tc(0.3).with_tr(0.25).with_render_unit(0.7);
+        let (report, timelines) = replay_timeline(&trace, &cost).unwrap();
+        assert_eq!(timelines.len(), 3);
+        for (tl, stats) in timelines.iter().zip(&report.ranks) {
+            // Exact f64 equality per account and on the finish time.
+            rt_obs::reconcile(tl, &stats.phase_totals()).unwrap();
+            // Virtual spans are strictly sequential.
+            tl.check_nesting(0.0).unwrap();
+            // Flush attribution: the post-"flush:start" over charge.
+            assert!(tl.spans.iter().any(|s| s.phase == Phase::Flush));
+            // Step attribution: both steps appear on span records.
+            for k in [0u32, 1] {
+                assert!(tl.spans.iter().any(|s| s.step == Some(k)));
+            }
+            // recv overhead was actually charged (tr > 0 here).
+            assert!(stats.recv_overhead_time > 0.0);
+        }
+        // The priced report must be identical with and without timelines.
+        assert_eq!(replay(&trace, &cost).unwrap(), report);
+    }
+
+    #[test]
+    fn zero_cost_terms_emit_no_spans() {
+        // With tr = 0 and tc = 0 there must be no Recv/Encode/Decode spans
+        // (zero-duration charges are elided) yet reconciliation still holds.
+        let mc = Multicomputer::new(2);
+        let (_, trace) = mc.run(|ctx| {
+            let other = 1 - ctx.rank();
+            ctx.compute(ComputeKind::Encode, 100);
+            ctx.send(other, 0, vec![0u8; 10]).unwrap();
+            ctx.recv(other, 0).unwrap();
+        });
+        let (report, timelines) = replay_timeline(&trace, &cost111()).unwrap();
+        for (tl, stats) in timelines.iter().zip(&report.ranks) {
+            assert!(tl
+                .spans
+                .iter()
+                .all(|s| !matches!(s.phase, Phase::Recv | Phase::Encode | Phase::Decode)));
+            rt_obs::reconcile(tl, &stats.phase_totals()).unwrap();
+        }
     }
 
     #[test]

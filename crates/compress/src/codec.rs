@@ -1,6 +1,6 @@
 //! The [`Codec`] trait and the identity [`RawCodec`].
 
-use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, Pixel};
+use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, OverStats, Pixel};
 use serde::{Deserialize, Serialize};
 
 /// Errors produced while decoding a compressed pixel block.
@@ -88,34 +88,43 @@ pub trait Codec<P: Pixel>: Send + Sync {
     fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError>;
 
     /// Fused decode-and-composite: `over` the encoded stream directly into
-    /// `dst` (which fixes the pixel count), returning the number of
-    /// **non-blank** stream pixels — the structured codecs' `Over` cost
-    /// unit. Blank stream pixels are the identity of `over` and leave
-    /// their destination untouched.
+    /// `dst` (which fixes the pixel count), returning [`OverStats`] over
+    /// the stream pixels — [`OverStats::non_blank`] is the structured
+    /// codecs' `Over` cost unit. Blank stream pixels are the identity of
+    /// `over` and leave their destination untouched.
     ///
     /// The default decodes then merges; the shipped codecs override it with
     /// streaming byte-level kernels that never materialize a `Vec<P>`.
-    /// Overrides must stay bit-identical to this default.
-    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+    /// Overrides must leave `dst` bit-identical to this default and report
+    /// the same `non_blank` / `blank_skipped` counts (`opaque_fast` may
+    /// differ — it is zero on this reference path).
+    fn decode_over(
+        &self,
+        data: &[u8],
+        dst: &mut [P],
+        dir: OverDir,
+    ) -> Result<OverStats, CodecError> {
         let pixels = self.decode(data, dst.len())?;
         Ok(over_decoded(&pixels, dst, dir))
     }
 }
 
-/// Merge already-decoded pixels into `dst`, returning the non-blank count —
-/// the reference semantics every fused [`Codec::decode_over`] must match.
-pub(crate) fn over_decoded<P: Pixel>(pixels: &[P], dst: &mut [P], dir: OverDir) -> usize {
-    let mut non_blank = 0;
+/// Merge already-decoded pixels into `dst`, returning [`OverStats`] — the
+/// reference semantics every fused [`Codec::decode_over`] must match.
+pub(crate) fn over_decoded<P: Pixel>(pixels: &[P], dst: &mut [P], dir: OverDir) -> OverStats {
+    let mut stats = OverStats::default();
     for (d, s) in dst.iter_mut().zip(pixels) {
         if !s.is_blank() {
-            non_blank += 1;
+            stats.non_blank += 1;
+        } else {
+            stats.blank_skipped += 1;
         }
         *d = match dir {
             OverDir::Front => s.over(d),
             OverDir::Back => d.over(s),
         };
     }
-    non_blank
+    stats
 }
 
 /// Shared raw-stream kernel: composite `body` (exactly `dst.len() *
@@ -125,7 +134,7 @@ pub(crate) fn over_raw_body<P: Pixel>(
     body: &[u8],
     dst: &mut [P],
     dir: OverDir,
-) -> Result<usize, CodecError> {
+) -> Result<OverStats, CodecError> {
     if body.len() != dst.len() * P::BYTES {
         return Err(CodecError::WrongPixelCount {
             codec,
@@ -172,7 +181,12 @@ impl<P: Pixel> Codec<P> for RawCodec {
         })
     }
 
-    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+    fn decode_over(
+        &self,
+        data: &[u8],
+        dst: &mut [P],
+        dir: OverDir,
+    ) -> Result<OverStats, CodecError> {
         over_raw_body("raw", data, dst, dir)
     }
 }

@@ -30,6 +30,26 @@
 //! All codecs are lossless for the blank/non-blank structure and the
 //! non-blank pixel values: `decode(encode(x)) == x` exactly, which the
 //! property tests enforce.
+//!
+//! ```
+//! use rt_compress::{Codec, CodecKind, OverDir};
+//! use rt_imaging::pixel::{GrayAlpha8, Pixel};
+//!
+//! let codec = CodecKind::Trle.build::<GrayAlpha8>();
+//! let pixels: Vec<GrayAlpha8> = (0..64u8)
+//!     .map(|i| if i % 3 == 0 { GrayAlpha8::new(i, 200) } else { GrayAlpha8::blank() })
+//!     .collect();
+//!
+//! // Lossless roundtrip, smaller on the wire than the raw stream.
+//! let enc = codec.encode(&pixels);
+//! assert_eq!(codec.decode(&enc.bytes, pixels.len()).unwrap(), pixels);
+//! assert!(enc.bytes.len() < enc.raw_bytes);
+//!
+//! // Fused decode-and-composite counts the work it skipped.
+//! let mut dst = vec![GrayAlpha8::blank(); pixels.len()];
+//! let stats = codec.decode_over(&enc.bytes, &mut dst, OverDir::Front).unwrap();
+//! assert_eq!(stats.non_blank + stats.blank_skipped, pixels.len());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -42,4 +62,5 @@ pub mod trle2d;
 pub use bounds::BoundsCodec;
 pub use codec::{Codec, CodecError, CodecKind, Encoded, OverDir, RawCodec};
 pub use rle::RleCodec;
+pub use rt_imaging::pixel::OverStats;
 pub use trle::TrleCodec;

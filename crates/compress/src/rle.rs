@@ -10,7 +10,7 @@
 //! never more than doubles (plus one byte) and is exactly reversible.
 
 use crate::codec::{over_decoded, over_raw_body, Codec, CodecError, Encoded, OverDir};
-use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, Pixel};
+use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, OverStats, Pixel};
 
 const MODE_RAW: u8 = 0;
 const MODE_RLE: u8 = 1;
@@ -107,10 +107,15 @@ impl<P: Pixel> Codec<P> for RleCodec {
         })
     }
 
-    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+    fn decode_over(
+        &self,
+        data: &[u8],
+        dst: &mut [P],
+        dir: OverDir,
+    ) -> Result<OverStats, CodecError> {
         let Some((&mode, body)) = data.split_first() else {
             if dst.is_empty() {
-                return Ok(0);
+                return Ok(OverStats::default());
             }
             return Err(CodecError::Truncated { codec: "rle" });
         };
@@ -129,11 +134,11 @@ impl<P: Pixel> Codec<P> for RleCodec {
                 let mut stage = [0u8; STAGE_BYTES];
                 let mut fill = 0usize; // staged bytes
                 let mut at = 0usize; // next destination pixel
-                let mut non_blank = 0usize;
+                let mut stats = OverStats::default();
                 let mut flush = |stage: &mut [u8; STAGE_BYTES],
                                  fill: &mut usize,
                                  at: &mut usize|
-                 -> Result<usize, CodecError> {
+                 -> Result<OverStats, CodecError> {
                     let whole = *fill / P::BYTES * P::BYTES;
                     let px = whole / P::BYTES;
                     let Some(d) = dst.get_mut(*at..*at + px) else {
@@ -164,11 +169,11 @@ impl<P: Pixel> Codec<P> for RleCodec {
                         fill += take;
                         left -= take;
                         if fill == STAGE_BYTES {
-                            non_blank += flush(&mut stage, &mut fill, &mut at)?;
+                            stats += flush(&mut stage, &mut fill, &mut at)?;
                         }
                     }
                 }
-                non_blank += flush(&mut stage, &mut fill, &mut at)?;
+                stats += flush(&mut stage, &mut fill, &mut at)?;
                 if fill != 0 || at != dst.len() {
                     return Err(CodecError::WrongPixelCount {
                         codec: "rle",
@@ -176,7 +181,7 @@ impl<P: Pixel> Codec<P> for RleCodec {
                         got: at,
                     });
                 }
-                Ok(non_blank)
+                Ok(stats)
             }
             // Oversized pixel types (none today) fall back to the decoded
             // path rather than growing the staging window unboundedly.

@@ -21,7 +21,7 @@
 //! header.
 
 use crate::codec::{over_raw_body, Codec, CodecError, Encoded, OverDir};
-use rt_imaging::pixel::{pixels_to_bytes, Pixel};
+use rt_imaging::pixel::{pixels_to_bytes, OverStats, Pixel};
 
 const MODE_RAW: u8 = 0;
 const MODE_TRLE: u8 = 1;
@@ -198,10 +198,15 @@ impl<P: Pixel> Codec<P> for TrleCodec {
         }
     }
 
-    fn decode_over(&self, data: &[u8], dst: &mut [P], dir: OverDir) -> Result<usize, CodecError> {
+    fn decode_over(
+        &self,
+        data: &[u8],
+        dst: &mut [P],
+        dir: OverDir,
+    ) -> Result<OverStats, CodecError> {
         let Some((&mode, body)) = data.split_first() else {
             if dst.is_empty() {
-                return Ok(0);
+                return Ok(OverStats::default());
             }
             return Err(CodecError::Truncated { codec: "trle" });
         };
@@ -225,7 +230,7 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                 let expected_tiles = n_pixels.div_ceil(TILE);
                 let mut tile_idx = 0usize;
                 let mut at = 0usize; // payload byte cursor
-                let mut non_blank = 0usize;
+                let mut stats = OverStats::default();
                 for &code in codes {
                     let template = code & 0x0F;
                     let run = ((code >> 4) as usize) + 1;
@@ -239,7 +244,12 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                         for j in 0..TILE {
                             let pixel_idx = tile_idx * TILE + j;
                             if template & (1 << j) == 0 {
-                                continue; // blank: identity, no work
+                                // Blank: identity, no work. Padding past the
+                                // image is not a skipped source pixel.
+                                if pixel_idx < n_pixels {
+                                    stats.blank_skipped += 1;
+                                }
+                                continue;
                             }
                             if pixel_idx >= n_pixels {
                                 return Err(CodecError::Corrupt {
@@ -250,7 +260,7 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                             if at + P::BYTES > payload.len() {
                                 return Err(CodecError::Truncated { codec: "trle" });
                             }
-                            over_raw_body(
+                            let merged = over_raw_body(
                                 "trle",
                                 &payload[at..at + P::BYTES],
                                 &mut dst[pixel_idx..pixel_idx + 1],
@@ -261,7 +271,11 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                                 what: "undecodable payload pixel",
                             })?;
                             at += P::BYTES;
-                            non_blank += 1;
+                            // A set template bit is a non-blank stream pixel
+                            // by construction; the kernel's opacity shortcut
+                            // count still flows through.
+                            stats.non_blank += 1;
+                            stats.opaque_fast += merged.opaque_fast;
                         }
                         tile_idx += 1;
                     }
@@ -278,7 +292,7 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                         what: "trailing payload bytes",
                     });
                 }
-                Ok(non_blank)
+                Ok(stats)
             }
             _ => Err(CodecError::Corrupt {
                 codec: "trle",

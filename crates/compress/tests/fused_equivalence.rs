@@ -9,26 +9,29 @@ use rt_compress::{Codec, CodecKind, OverDir};
 use rt_imaging::pixel::{GrayAlpha8, Pixel, Provenance};
 
 /// Reference semantics: decode the stream, then merge pixel by pixel,
-/// counting non-blank stream pixels.
+/// counting non-blank and blank stream pixels.
 fn reference_over<P: Pixel>(
     codec: &dyn Codec<P>,
     data: &[u8],
     dst: &[P],
     dir: OverDir,
-) -> (Vec<P>, usize) {
+) -> (Vec<P>, usize, usize) {
     let pixels = codec.decode(data, dst.len()).expect("valid stream");
     let mut out = dst.to_vec();
     let mut non_blank = 0;
+    let mut blank = 0;
     for (d, s) in out.iter_mut().zip(&pixels) {
         if !s.is_blank() {
             non_blank += 1;
+        } else {
+            blank += 1;
         }
         *d = match dir {
             OverDir::Front => s.over(d),
             OverDir::Back => d.over(s),
         };
     }
-    (out, non_blank)
+    (out, non_blank, blank)
 }
 
 fn check_equivalence<P: Pixel>(src: &[P], dst: &[P]) {
@@ -36,13 +39,26 @@ fn check_equivalence<P: Pixel>(src: &[P], dst: &[P]) {
         let codec = kind.build::<P>();
         let enc = codec.encode(src);
         for dir in [OverDir::Front, OverDir::Back] {
-            let (want, want_count) = reference_over(codec.as_ref(), &enc.bytes, dst, dir);
+            let (want, want_count, want_blank) =
+                reference_over(codec.as_ref(), &enc.bytes, dst, dir);
             let mut got = dst.to_vec();
-            let got_count = codec
+            let stats = codec
                 .decode_over(&enc.bytes, &mut got, dir)
                 .unwrap_or_else(|e| panic!("{kind:?}/{dir:?}: {e}"));
             assert_eq!(got, want, "{kind:?}/{dir:?}: composited pixels differ");
-            assert_eq!(got_count, want_count, "{kind:?}/{dir:?}: non-blank count");
+            assert_eq!(
+                stats.non_blank, want_count,
+                "{kind:?}/{dir:?}: non-blank count"
+            );
+            assert_eq!(
+                stats.blank_skipped, want_blank,
+                "{kind:?}/{dir:?}: blank-skipped count"
+            );
+            assert_eq!(
+                stats.source_pixels(),
+                dst.len(),
+                "{kind:?}/{dir:?}: stats must cover every stream pixel"
+            );
         }
     }
 }
@@ -95,8 +111,9 @@ proptest! {
             let enc = codec.encode(&src);
             for dir in [OverDir::Front, OverDir::Back] {
                 let mut got = dst.clone();
-                let count = codec.decode_over(&enc.bytes, &mut got, dir).unwrap();
-                prop_assert_eq!(count, 0, "{:?}: blank stream has no content", kind);
+                let stats = codec.decode_over(&enc.bytes, &mut got, dir).unwrap();
+                prop_assert_eq!(stats.non_blank, 0, "{:?}: blank stream has no content", kind);
+                prop_assert_eq!(stats.blank_skipped, dst.len());
                 prop_assert_eq!(&got, &dst, "{:?}/{:?}: blank must be the identity", kind, dir);
             }
         }

@@ -11,8 +11,9 @@
 //! 4. finally, the owners ship their fully-composited spans to the gather
 //!    root, which assembles the output frame.
 //!
-//! Phase marks (`compose:start`, `compose:end`, `gather:end`) delimit the
-//! stages for the virtual-clock replay.
+//! Phase marks (`compose:start`, `step:K`, `flush:start`, `compose:end`,
+//! `gather:end`) delimit the stages for the virtual-clock replay and let
+//! [`rt_comm::replay_timeline`] attribute every charge to a step and phase.
 //!
 //! ### Execution paths
 //!
@@ -36,8 +37,9 @@ use rt_comm::{CommError, ComputeKind, FaultPlan, Multicomputer, RankCtx, Trace};
 use rt_compress::{CodecKind, OverDir};
 use rt_imaging::pixel::Pixel;
 use rt_imaging::{Image, Span};
+use rt_obs::{Observer, Phase};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which wall-clock implementation the executor runs (the virtual-clock
@@ -64,7 +66,7 @@ pub struct ComposeConfig {
     pub gather: bool,
     /// Degrade gracefully on confirmed rank failures instead of erroring:
     /// skip dead peers' contributions, re-pair the survivors via
-    /// [`crate::repair`], and report what is missing in
+    /// [`crate::repair()`], and report what is missing in
     /// [`ComposeOutput::degraded`].
     pub resilient: bool,
     /// Receive-deadline override for the harnesses that build their own
@@ -157,8 +159,17 @@ impl<P: Pixel> Scratch<P> {
     }
 
     /// A blank-filled accumulator of `len` pixels, reusing a retired
-    /// buffer when one is available.
-    fn take_acc(&mut self, len: usize) -> Vec<P> {
+    /// buffer when one is available. Reuses and fresh allocations are
+    /// tallied as pool hits/misses on observed runs.
+    fn take_acc(&mut self, len: usize, ctx: &mut RankCtx) -> Vec<P> {
+        let reused = !self.spare_accs.is_empty();
+        ctx.obs_counters(|c| {
+            if reused {
+                c.pool_hits += 1;
+            } else {
+                c.pool_misses += 1;
+            }
+        });
         let mut buf = self.spare_accs.pop().unwrap_or_default();
         buf.clear();
         buf.resize(len, P::blank());
@@ -318,9 +329,13 @@ pub fn compose_with_scratch<P: Pixel>(
                 degraded: Some(DegradedInfo::self_crash(me, k)),
             });
         }
+        // Step boundary for phase attribution (wall and virtual spans
+        // alike); identical on both execution paths.
+        ctx.mark(format!("step:{k}"));
         // Ship all sends first (non-blocking), then consume receives: the
         // pairwise exchanges of every method progress without deadlock.
         for t in step.sends_of(me) {
+            let enc_started = ctx.obs_start();
             let encoded = match config.path {
                 // Encode straight off the frame's span slice.
                 ExecPath::Pooled => codec.encode(local.span_pixels(t.span)?),
@@ -329,9 +344,12 @@ pub fn compose_with_scratch<P: Pixel>(
                     codec.encode(&pixels)
                 }
             };
+            ctx.obs_span(Phase::Encode, enc_started);
             if config.codec != CodecKind::Raw {
                 ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
             }
+            let wire = encoded.bytes.len() as u64;
+            ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
             ctx.send(t.dst, tag(k, t.span.start), encoded.bytes)?;
         }
         for t in step.recvs_of(me) {
@@ -368,9 +386,16 @@ pub fn compose_with_scratch<P: Pixel>(
                         } else {
                             OverDir::Back
                         };
+                        let over_started = ctx.obs_start();
                         let dst = local.span_pixels_mut(t.span)?;
-                        let non_blank = codec.decode_over(&bytes, dst, dir)?;
-                        let over_units = if raw { t.span.len } else { non_blank };
+                        let stats = codec.decode_over(&bytes, dst, dir)?;
+                        ctx.obs_span(Phase::Over, over_started);
+                        ctx.obs_counters(|c| {
+                            c.non_blank_merged += stats.non_blank as u64;
+                            c.blank_skipped += stats.blank_skipped as u64;
+                            c.opaque_fast += stats.opaque_fast as u64;
+                        });
+                        let over_units = if raw { t.span.len } else { stats.non_blank };
                         ctx.compute(ComputeKind::Over, over_units as u64);
                     }
                     MergeDir::BackDefer => {
@@ -379,7 +404,7 @@ pub fn compose_with_scratch<P: Pixel>(
                                 // Blank is the identity of `over`, so
                                 // streaming the first arrival in front of a
                                 // blank accumulator reproduces it exactly.
-                                &mut *e.insert((t.span, scratch.take_acc(t.span.len)))
+                                &mut *e.insert((t.span, scratch.take_acc(t.span.len, ctx)))
                             }
                             std::collections::hash_map::Entry::Occupied(e) => &mut *e.into_mut(),
                         };
@@ -393,19 +418,29 @@ pub fn compose_with_scratch<P: Pixel>(
                         }
                         // Arriving pieces are deepest-first: the new piece
                         // goes in front of the accumulated deeper ones.
-                        let non_blank = codec.decode_over(&bytes, acc, OverDir::Front)?;
-                        let over_units = if raw { t.span.len } else { non_blank };
+                        let over_started = ctx.obs_start();
+                        let stats = codec.decode_over(&bytes, acc, OverDir::Front)?;
+                        ctx.obs_span(Phase::Over, over_started);
+                        ctx.obs_counters(|c| {
+                            c.non_blank_merged += stats.non_blank as u64;
+                            c.blank_skipped += stats.blank_skipped as u64;
+                            c.opaque_fast += stats.opaque_fast as u64;
+                        });
+                        let over_units = if raw { t.span.len } else { stats.non_blank };
                         ctx.compute(ComputeKind::Over, over_units as u64);
                     }
                 },
                 ExecPath::PerTransfer => {
+                    let dec_started = ctx.obs_start();
                     let pixels: Vec<P> = codec.decode(&bytes, t.span.len)?;
+                    ctx.obs_span(Phase::Decode, dec_started);
                     let over_units = if raw {
                         t.span.len
                     } else {
                         pixels.iter().filter(|p| !p.is_blank()).count()
                     };
                     ctx.compute(ComputeKind::Over, over_units as u64);
+                    let over_started = ctx.obs_start();
                     match t.dir {
                         MergeDir::Front => local.over_front(t.span, &pixels)?,
                         MergeDir::Back => local.over_back(t.span, &pixels)?,
@@ -432,12 +467,16 @@ pub fn compose_with_scratch<P: Pixel>(
                             }
                         },
                     }
+                    ctx.obs_span(Phase::Over, over_started);
                 }
             }
         }
     }
 
-    // Flush deferred accumulators: local over deferred-back.
+    // Flush deferred accumulators: local over deferred-back. The mark is
+    // emitted on both execution paths so replay can attribute the trailing
+    // `over` computes to the flush phase.
+    ctx.mark("flush:start");
     let mut flushes: Vec<(Span, Vec<P>)> = back_acc.into_values().collect();
     flushes.sort_by_key(|(span, _)| span.start);
     for (span, acc) in flushes {
@@ -450,8 +489,10 @@ pub fn compose_with_scratch<P: Pixel>(
         } else {
             acc.iter().filter(|p| !p.is_blank()).count()
         };
+        let flush_started = ctx.obs_start();
         ctx.compute(ComputeKind::Over, over_units as u64);
         local.over_back(span, &acc)?;
+        ctx.obs_span(Phase::Flush, flush_started);
         scratch.put_acc(acc);
     }
 
@@ -509,6 +550,8 @@ pub fn compose_with_scratch<P: Pixel>(
                         if config.codec != CodecKind::Raw {
                             ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
                         }
+                        let wire = encoded.bytes.len() as u64;
+                        ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
                         ctx.send(e.owner, repair_tag(ei, fi), encoded.bytes)?;
                     }
                 }
@@ -597,6 +640,7 @@ pub fn compose_with_scratch<P: Pixel>(
         }
     }
     if me != root && !spans_of[me].is_empty() {
+        let enc_started = ctx.obs_start();
         let encoded = match config.path {
             // Concatenate into the reusable staging buffer.
             ExecPath::Pooled => {
@@ -619,6 +663,9 @@ pub fn compose_with_scratch<P: Pixel>(
         if config.codec != CodecKind::Raw {
             ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
         }
+        ctx.obs_span(Phase::Encode, enc_started);
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
         ctx.send(root, tag(gather_step, me), encoded.bytes)?;
     }
     if let Some(frame) = frame.as_mut() {
@@ -658,28 +705,37 @@ pub fn compose_with_scratch<P: Pixel>(
             }
             match config.path {
                 ExecPath::Pooled => {
-                    if let [span] = owner_spans.as_slice() {
+                    let dec_started = ctx.obs_start();
+                    let stats = if let [span] = owner_spans.as_slice() {
                         // One span: stream straight into the blank frame
                         // (`over` a blank destination is an exact copy).
-                        codec.decode_over(&bytes, frame.span_pixels_mut(*span)?, OverDir::Front)?;
+                        codec.decode_over(&bytes, frame.span_pixels_mut(*span)?, OverDir::Front)?
                     } else {
-                        let mut staged = scratch.take_acc(total);
-                        codec.decode_over(&bytes, &mut staged, OverDir::Front)?;
+                        let mut staged = scratch.take_acc(total, ctx);
+                        let stats = codec.decode_over(&bytes, &mut staged, OverDir::Front)?;
                         let mut at = 0usize;
                         for span in owner_spans {
                             frame.insert(*span, &staged[at..at + span.len])?;
                             at += span.len;
                         }
                         scratch.put_acc(staged);
-                    }
+                        stats
+                    };
+                    ctx.obs_span(Phase::Decode, dec_started);
+                    ctx.obs_counters(|c| {
+                        c.blank_skipped += stats.blank_skipped as u64;
+                        c.opaque_fast += stats.opaque_fast as u64;
+                    });
                 }
                 ExecPath::PerTransfer => {
+                    let dec_started = ctx.obs_start();
                     let pixels: Vec<P> = codec.decode(&bytes, total)?;
                     let mut at = 0usize;
                     for span in owner_spans {
                         frame.insert(*span, &pixels[at..at + span.len])?;
                         at += span.len;
                     }
+                    ctx.obs_span(Phase::Decode, dec_started);
                 }
             }
         }
@@ -761,6 +817,48 @@ pub fn run_composition_pooled<P: Pixel>(
         mc = mc.with_timeout(timeout);
     }
     let partials = std::sync::Mutex::new(
+        partials
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<Image<P>>>>(),
+    );
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = pool.checkout(ctx.rank());
+        let out = compose_with_scratch(ctx, schedule, local, config, &mut scratch);
+        pool.checkin(ctx.rank(), scratch);
+        out
+    })
+}
+
+/// [`run_composition_pooled`] with observability: every rank records
+/// wall-clock phase spans and counters into `observer`, which accumulates
+/// across repeated invocations (one per animation frame).
+///
+/// The recorded trace and composited frames are identical to an unobserved
+/// run — observation only adds wall-clock measurements, which never enter
+/// the [`Trace`].
+pub fn run_composition_observed<P: Pixel>(
+    schedule: &Schedule,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    pool: &ScratchPool<P>,
+    observer: Arc<Observer>,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        schedule.p,
+        "one partial image per rank required"
+    );
+    let mut mc = Multicomputer::new(schedule.p).with_observer(observer);
+    if let Some(timeout) = config.timeout {
+        mc = mc.with_timeout(timeout);
+    }
+    let partials = Mutex::new(
         partials
             .into_iter()
             .map(Some)

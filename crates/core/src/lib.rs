@@ -39,6 +39,30 @@
 //! re-derived from the paper's invariants (see `DESIGN.md`): `⌈log₂P⌉`
 //! steps, `B` initial blocks halved after every step, rotating pairings of
 //! depth-adjacent partial holders, balanced final ownership.
+//!
+//! ```
+//! use rt_core::exec::{run_composition, ComposeConfig};
+//! use rt_core::method::{CompositionMethod, Method};
+//! use rt_core::rotate::RtVariant;
+//! use rt_imaging::pixel::{GrayAlpha8, Pixel};
+//! use rt_imaging::Image;
+//!
+//! // Build the paper's 2N_RT schedule for 4 ranks on a 64-pixel frame.
+//! let method = Method::RotateTiling { variant: RtVariant::TwoN, blocks: 4 };
+//! let schedule = method.build(4, 64).unwrap();
+//!
+//! // Rank r renders depth-r content; compose and gather at rank 0.
+//! let partials: Vec<Image<GrayAlpha8>> = (0..4)
+//!     .map(|r| Image::from_fn(64, 1, |_, _| GrayAlpha8::new(60 * r as u8, 128)))
+//!     .collect();
+//! let (outputs, trace) = run_composition(&schedule, partials, &ComposeConfig::default());
+//! let frame = outputs[0].as_ref().unwrap().frame.as_ref().unwrap();
+//! assert_eq!(frame.pixels().len(), 64);
+//!
+//! // The same trace prices on the virtual clock.
+//! let report = rt_comm::replay(&trace, &rt_comm::CostModel::PAPER_EXAMPLE).unwrap();
+//! assert!(report.makespan > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -58,8 +82,9 @@ pub use analysis::{analyze, ScheduleCost};
 pub use binary_swap::BinarySwap;
 pub use direct::DirectSend;
 pub use exec::{
-    compose, compose_with_scratch, run_composition, run_composition_faulty, run_composition_pooled,
-    ComposeConfig, ComposeOutput, ExecPath, Scratch, ScratchPool,
+    compose, compose_with_scratch, run_composition, run_composition_faulty,
+    run_composition_observed, run_composition_pooled, ComposeConfig, ComposeOutput, ExecPath,
+    Scratch, ScratchPool,
 };
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;

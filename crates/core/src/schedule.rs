@@ -84,7 +84,7 @@ pub struct Schedule {
     /// in the back-to-front compositing order). `None` means the identity
     /// (rank *r* holds depth *r*), which is how every method builds its
     /// schedule; `rt-pvr`'s rank permutation fills it in when relabeling
-    /// ranks for a camera. Recovery planning ([`crate::repair`]) needs it
+    /// ranks for a camera. Recovery planning ([`crate::repair()`]) needs it
     /// to re-pair depth-contiguous survivors.
     pub depth_of_rank: Option<Vec<usize>>,
 }

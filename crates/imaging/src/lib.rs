@@ -26,7 +26,7 @@ pub mod rect;
 pub mod span;
 
 pub use image::Image;
-pub use pixel::{GrayAlpha, GrayAlpha8, Pixel, Provenance, Rgba, Rgba8};
+pub use pixel::{GrayAlpha, GrayAlpha8, OverStats, Pixel, Provenance, Rgba, Rgba8};
 pub use rect::Rect;
 pub use span::Span;
 

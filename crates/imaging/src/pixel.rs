@@ -24,6 +24,74 @@
 
 use crate::ImagingError;
 
+/// Statistics returned by the byte-level composition kernels
+/// ([`Pixel::over_front_bytes`] / [`Pixel::over_back_bytes`] and the codec
+/// `decode_over` kernels built on them).
+///
+/// Every source pixel is either *blank* (the identity of `over`, counted in
+/// [`OverStats::blank_skipped`]) or *non-blank* (counted in
+/// [`OverStats::non_blank`]), so
+/// `non_blank + blank_skipped == source pixel count` always holds.
+/// [`OverStats::opaque_fast`] additionally counts non-blank merges that a
+/// fused kernel resolved through an opacity shortcut; reference
+/// (decode-then-`over`) paths report `0` there, and equivalence tests must
+/// therefore only compare the first two fields.
+///
+/// ```
+/// use rt_imaging::pixel::OverStats;
+/// let mut total = OverStats::default();
+/// total += OverStats { non_blank: 3, blank_skipped: 5, opaque_fast: 1 };
+/// total += OverStats { non_blank: 2, blank_skipped: 0, opaque_fast: 2 };
+/// assert_eq!(total.non_blank, 5);
+/// assert_eq!(total.source_pixels(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverStats {
+    /// Non-blank source pixels merged (the structured codecs' `Over` cost
+    /// unit).
+    pub non_blank: usize,
+    /// Blank source pixels that contributed nothing (skipped outright by
+    /// the fused kernels; walked but identity for reference paths).
+    pub blank_skipped: usize,
+    /// Non-blank merges short-circuited by an opacity fast path (an opaque
+    /// front pixel replacing the destination, or an opaque destination
+    /// hiding a behind-merge). Zero on reference paths.
+    pub opaque_fast: usize,
+}
+
+impl OverStats {
+    /// Stats for a single non-blank merge with no fast path.
+    #[inline]
+    pub fn one_non_blank() -> Self {
+        Self {
+            non_blank: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Total source pixels walked: `non_blank + blank_skipped`.
+    #[inline]
+    pub fn source_pixels(&self) -> usize {
+        self.non_blank + self.blank_skipped
+    }
+}
+
+impl std::ops::AddAssign for OverStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.non_blank += rhs.non_blank;
+        self.blank_skipped += rhs.blank_skipped;
+        self.opaque_fast += rhs.opaque_fast;
+    }
+}
+
+impl std::ops::Add for OverStats {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
 /// A composable pixel.
 ///
 /// `over` must satisfy, for all pixels `a`, `b`, `c` (exactly for
@@ -67,14 +135,16 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     fn approx_eq(&self, other: &Self, tol: f64) -> bool;
 
     /// Composite a wire-format pixel stream **in front of** `dst`, in place
-    /// (`dst[i] = src[i] over dst[i]`), returning the number of non-blank
+    /// (`dst[i] = src[i] over dst[i]`), returning [`OverStats`] over the
     /// source pixels. `src` must hold exactly `dst.len() * BYTES` bytes.
     ///
     /// The default decodes pixel by pixel via [`Pixel::read_bytes`]; the
     /// fixed-point types override it with fused byte-level kernels that
-    /// never materialize an intermediate pixel. Overrides must be
-    /// bit-identical to the default (decode-then-`over`) path.
-    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    /// never materialize an intermediate pixel. Overrides must leave `dst`
+    /// bit-identical to the default (decode-then-`over`) path and report
+    /// the same `non_blank` / `blank_skipped` counts; only
+    /// [`OverStats::opaque_fast`] may differ.
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -82,21 +152,23 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         for (d, chunk) in dst.iter_mut().zip(src.chunks_exact(Self::BYTES)) {
             let f = Self::read_bytes(chunk)?;
             if !f.is_blank() {
-                non_blank += 1;
+                stats.non_blank += 1;
+            } else {
+                stats.blank_skipped += 1;
             }
             *d = f.over(d);
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 
     /// Composite a wire-format pixel stream **behind** `dst`, in place
-    /// (`dst[i] = dst[i] over src[i]`), returning the number of non-blank
+    /// (`dst[i] = dst[i] over src[i]`), returning [`OverStats`] over the
     /// source pixels. Same contract as [`Pixel::over_front_bytes`].
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -104,15 +176,17 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         for (d, chunk) in dst.iter_mut().zip(src.chunks_exact(Self::BYTES)) {
             let b = Self::read_bytes(chunk)?;
             if !b.is_blank() {
-                non_blank += 1;
+                stats.non_blank += 1;
+            } else {
+                stats.blank_skipped += 1;
             }
             *d = d.over(&b);
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 }
 
@@ -403,7 +477,7 @@ impl Pixel for GrayAlpha8 {
     //     regime the structured codecs target) this is most of the stream;
     //   * an opaque (`a = 255`) front pixel replaces `dst` outright, and an
     //     opaque `dst` hides a behind-merge entirely.
-    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -411,21 +485,24 @@ impl Pixel for GrayAlpha8 {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         let mut i = 0;
         let n = dst.len();
         while i < n {
             let (fv, fa) = (src[2 * i], src[2 * i + 1]);
             if fv == 0 && fa == 0 {
+                let run_start = i;
                 i += 1;
                 i = skip_zero_pairs(src, i, n);
+                stats.blank_skipped += i - run_start;
                 continue;
             }
-            non_blank += 1;
+            stats.non_blank += 1;
             let d = &mut dst[i];
             if fa == 255 {
                 d.v = fv;
                 d.a = 255;
+                stats.opaque_fast += 1;
             } else {
                 let t = 255 - fa as u16;
                 d.v = (fv as u16 + mul255(t, d.v as u16)).min(255) as u8;
@@ -433,10 +510,10 @@ impl Pixel for GrayAlpha8 {
             }
             i += 1;
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -444,26 +521,30 @@ impl Pixel for GrayAlpha8 {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         let mut i = 0;
         let n = dst.len();
         while i < n {
             let (bv, ba) = (src[2 * i], src[2 * i + 1]);
             if bv == 0 && ba == 0 {
+                let run_start = i;
                 i += 1;
                 i = skip_zero_pairs(src, i, n);
+                stats.blank_skipped += i - run_start;
                 continue;
             }
-            non_blank += 1;
+            stats.non_blank += 1;
             let d = &mut dst[i];
             if d.a != 255 {
                 let t = 255 - d.a as u16;
                 d.v = (d.v as u16 + mul255(t, bv as u16)).min(255) as u8;
                 d.a = (d.a as u16 + mul255(t, ba as u16)).min(255) as u8;
+            } else {
+                stats.opaque_fast += 1;
             }
             i += 1;
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 }
 
@@ -783,16 +864,22 @@ mod tests {
             let bytes = pixels_to_bytes(&src);
 
             let mut fused = dst.clone();
-            let n_front = GrayAlpha8::over_front_bytes(&mut fused, &bytes).unwrap();
+            let front = GrayAlpha8::over_front_bytes(&mut fused, &bytes).unwrap();
             let want: Vec<GrayAlpha8> = src.iter().zip(&dst).map(|(f, b)| f.over(b)).collect();
             prop_assert_eq!(&fused, &want);
-            prop_assert_eq!(n_front, src.iter().filter(|p| !p.is_blank()).count());
+            prop_assert_eq!(front.non_blank, src.iter().filter(|p| !p.is_blank()).count());
+            prop_assert_eq!(front.source_pixels(), src.len());
+            prop_assert_eq!(
+                front.opaque_fast,
+                src.iter().filter(|p| !p.is_blank() && p.a == 255).count()
+            );
 
             let mut fused = dst.clone();
-            let n_back = GrayAlpha8::over_back_bytes(&mut fused, &bytes).unwrap();
+            let back = GrayAlpha8::over_back_bytes(&mut fused, &bytes).unwrap();
             let want: Vec<GrayAlpha8> = src.iter().zip(&dst).map(|(b, f)| f.over(b)).collect();
             prop_assert_eq!(&fused, &want);
-            prop_assert_eq!(n_back, n_front);
+            prop_assert_eq!(back.non_blank, front.non_blank);
+            prop_assert_eq!(back.blank_skipped, front.blank_skipped);
         }
     }
 
@@ -812,8 +899,10 @@ mod tests {
         let src = vec![Provenance::rank(1), Provenance::blank()];
         let bytes = pixels_to_bytes(&src);
         let mut dst = vec![Provenance::rank(2), Provenance::rank(2)];
-        let n = Provenance::over_front_bytes(&mut dst, &bytes).unwrap();
-        assert_eq!(n, 1);
+        let stats = Provenance::over_front_bytes(&mut dst, &bytes).unwrap();
+        assert_eq!(stats.non_blank, 1);
+        assert_eq!(stats.blank_skipped, 1);
+        assert_eq!(stats.opaque_fast, 0);
         assert_eq!(dst, vec![Provenance { lo: 1, hi: 3 }, Provenance::rank(2)]);
     }
 
@@ -941,7 +1030,7 @@ impl Pixel for Rgba8 {
 
     // Fused byte-level kernels, as for `GrayAlpha8`: the wire format is the
     // channel layout `[r, g, b, a]`.
-    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -949,10 +1038,12 @@ impl Pixel for Rgba8 {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
             if s != [0, 0, 0, 0] {
-                non_blank += 1;
+                stats.non_blank += 1;
+            } else {
+                stats.blank_skipped += 1;
             }
             let t = 255 - s[3] as u16;
             let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
@@ -963,10 +1054,10 @@ impl Pixel for Rgba8 {
                 a: ch(s[3], d.a),
             };
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<usize, ImagingError> {
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -974,10 +1065,12 @@ impl Pixel for Rgba8 {
                 rhs: src.len(),
             });
         }
-        let mut non_blank = 0;
+        let mut stats = OverStats::default();
         for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
             if s != [0, 0, 0, 0] {
-                non_blank += 1;
+                stats.non_blank += 1;
+            } else {
+                stats.blank_skipped += 1;
             }
             let t = 255 - d.a as u16;
             let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
@@ -988,7 +1081,7 @@ impl Pixel for Rgba8 {
                 a: ch(d.a, s[3]),
             };
         }
-        Ok(non_blank)
+        Ok(stats)
     }
 }
 

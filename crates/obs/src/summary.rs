@@ -1,0 +1,102 @@
+//! Compact text flamegraph-style summary of a set of timelines.
+
+use crate::phase::Phase;
+use crate::span::RankTimeline;
+
+const BAR_WIDTH: usize = 40;
+
+/// Render a per-phase breakdown of `timelines` as aligned text rows with
+/// proportional unicode bars — a flamegraph squashed to one line per
+/// phase. `label` heads the block (e.g. the method/codec under test).
+///
+/// ```
+/// use rt_obs::{phase_summary, Phase, RankTimeline, SpanRec};
+///
+/// let tl = RankTimeline {
+///     rank: 0,
+///     spans: vec![
+///         SpanRec { phase: Phase::Send, step: None, start: 0.0, dur: 3.0 },
+///         SpanRec { phase: Phase::Wait, step: None, start: 3.0, dur: 1.0 },
+///     ],
+/// };
+/// let text = phase_summary("demo", &[tl]);
+/// assert!(text.contains("send"));
+/// assert!(text.contains("75.0%"));
+/// ```
+pub fn phase_summary(label: &str, timelines: &[RankTimeline]) -> String {
+    let mut out = String::new();
+    let ranks = timelines.len();
+    let mut totals: Vec<(Phase, f64)> = Phase::ALL.iter().map(|&p| (p, 0.0)).collect();
+    let mut grand = 0.0f64;
+    for tl in timelines {
+        for slot in totals.iter_mut() {
+            let t = tl.total(slot.0);
+            slot.1 += t;
+            grand += t;
+        }
+    }
+    let makespan = timelines
+        .iter()
+        .map(RankTimeline::end)
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "{label}: {ranks} ranks, makespan {makespan:.6}s, busy {grand:.6}s\n"
+    ));
+    for (phase, total) in &totals {
+        if *total == 0.0 {
+            continue;
+        }
+        let frac = if grand > 0.0 { total / grand } else { 0.0 };
+        let filled = (frac * BAR_WIDTH as f64).round() as usize;
+        let filled = filled.min(BAR_WIDTH);
+        let bar: String = std::iter::repeat_n('█', filled)
+            .chain(std::iter::repeat_n('·', BAR_WIDTH - filled))
+            .collect();
+        out.push_str(&format!(
+            "  {:<8} {bar} {:>6.1}%  {:.6}s\n",
+            phase.name(),
+            frac * 100.0,
+            total
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRec;
+
+    #[test]
+    fn summary_lists_only_nonzero_phases() {
+        let tl = RankTimeline {
+            rank: 0,
+            spans: vec![
+                SpanRec {
+                    phase: Phase::Send,
+                    step: None,
+                    start: 0.0,
+                    dur: 1.0,
+                },
+                SpanRec {
+                    phase: Phase::Over,
+                    step: None,
+                    start: 1.0,
+                    dur: 1.0,
+                },
+            ],
+        };
+        let text = phase_summary("t", &[tl]);
+        assert!(text.contains("send"));
+        assert!(text.contains("over"));
+        assert!(!text.contains("backoff"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn empty_input_renders_header_only() {
+        let text = phase_summary("empty", &[]);
+        assert!(text.starts_with("empty: 0 ranks"));
+        assert_eq!(text.lines().count(), 1);
+    }
+}

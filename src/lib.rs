@@ -1,12 +1,20 @@
 //! Facade crate re-exporting the rotate-tiling reproduction workspace.
 //!
+//! The README below is included as the crate documentation, so every Rust
+//! code block in it is compiled and run by `cargo test --doc`.
+//!
 //! See the individual crates for full documentation:
 //! [`rt_core`] (composition methods & theory), [`rt_comm`] (multicomputer
-//! substrate), [`rt_imaging`], [`rt_compress`], [`rt_render`], [`rt_pvr`].
+//! substrate), [`rt_obs`] (observability), [`rt_imaging`], [`rt_compress`],
+//! [`rt_render`], [`rt_pvr`].
+//!
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
 
 pub use rt_comm as comm;
 pub use rt_compress as compress;
 pub use rt_core as core;
 pub use rt_imaging as imaging;
+pub use rt_obs as obs;
 pub use rt_pvr as pvr;
 pub use rt_render as render;
