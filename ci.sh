@@ -54,6 +54,19 @@ cargo run -q --release -p rt-bench --bin perf -- --smoke --out "$smoke_out"
 test -s "$smoke_out"
 grep -q '"schema": "bench-compose/v1"' "$smoke_out"
 
+echo "== kernels smoke =="
+# One-rep scalar-vs-wide microbench cell on a small frame: proves every
+# wide kernel still produces bit-identical pixels and stats against its
+# scalar reference (asserted inside the binary before any timing is
+# trusted) and that the bench-kernels/v1 artifact is emitted and parses.
+# Speedup floors are only enforced on full-size runs, not in CI, where
+# shared-runner wall clocks are meaningless.
+kernels_out=target/kernels_smoke.json
+rm -f "$kernels_out"
+cargo run -q --release -p rt-bench --bin kernels -- --smoke --out "$kernels_out"
+test -s "$kernels_out"
+grep -q '"schema": "bench-kernels/v1"' "$kernels_out"
+
 echo "== profile smoke =="
 # One-rep observed cell per method x codec at P=8: runs the observability
 # layer end to end, asserts the bit-exact span-vs-replay reconciliation

@@ -32,7 +32,9 @@ use rt_core::schedule::verify_schedule;
 use rt_core::CoreError;
 use rt_imaging::pixel::{GrayAlpha8, Pixel};
 use rt_imaging::Image;
-use rt_obs::{phase_summary, reconcile_all, ChromeTrace, Observer, PID_VIRTUAL, PID_WALL};
+use rt_obs::{
+    phase_summary_with_counters, reconcile_all, ChromeTrace, Observer, PID_VIRTUAL, PID_WALL,
+};
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -250,15 +252,16 @@ fn main() {
                 emitted.push(path.clone());
 
                 // Text flamegraph of the virtual clock plus headline
-                // counters.
+                // counters (including the kernel-path block).
+                let total = observer.counters_total();
                 println!(
                     "{}",
-                    phase_summary(
+                    phase_summary_with_counters(
                         &format!("{label} [virtual, cost={}]", args.cost_name),
-                        &vtimelines
+                        &vtimelines,
+                        &total,
                     )
                 );
-                let total = observer.counters_total();
                 println!(
                     "  counters: {} sends, {} retransmits, {} wire bytes ({}), \
                      pool {}H/{}M, {} blank-skipped, {} opaque-fast",

@@ -133,6 +133,7 @@ impl ScreenScene {
             width: args.frame,
             height: args.frame,
             early_termination: 1.0,
+            parallel: false,
         };
         let scene = prepare_scene_screen(args.p, dataset, args.volume, args.seed, &camera, &opts)
             .expect("scene preparation failed");

@@ -1,6 +1,7 @@
 //! The [`Codec`] trait and the identity [`RawCodec`].
 
 use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, OverStats, Pixel};
+use rt_imaging::KernelPath;
 use serde::{Deserialize, Serialize};
 
 /// Errors produced while decoding a compressed pixel block.
@@ -83,6 +84,15 @@ pub trait Codec<P: Pixel>: Send + Sync {
     /// Encode a pixel block.
     fn encode(&self, pixels: &[P]) -> Encoded;
 
+    /// [`Codec::encode`] with an explicit [`KernelPath`]. Codecs with
+    /// word-wise scan paths (RLE run detection, TRLE template
+    /// classification) override this; the wide path must produce
+    /// **byte-identical wire output** to the scalar one — only the time to
+    /// produce it changes. The default ignores `kernel`.
+    fn encode_with(&self, pixels: &[P], _kernel: KernelPath) -> Encoded {
+        self.encode(pixels)
+    }
+
     /// Decode a buffer produced by [`Codec::encode`] back into exactly
     /// `n_pixels` pixels.
     fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError>;
@@ -93,16 +103,33 @@ pub trait Codec<P: Pixel>: Send + Sync {
     /// codecs' `Over` cost unit. Blank stream pixels are the identity of
     /// `over` and leave their destination untouched.
     ///
-    /// The default decodes then merges; the shipped codecs override it with
-    /// streaming byte-level kernels that never materialize a `Vec<P>`.
-    /// Overrides must leave `dst` bit-identical to this default and report
-    /// the same `non_blank` / `blank_skipped` counts (`opaque_fast` may
-    /// differ — it is zero on this reference path).
+    /// Convenience wrapper over [`Codec::decode_over_with`] using the
+    /// default [`KernelPath`].
     fn decode_over(
         &self,
         data: &[u8],
         dst: &mut [P],
         dir: OverDir,
+    ) -> Result<OverStats, CodecError> {
+        self.decode_over_with(data, dst, dir, KernelPath::default())
+    }
+
+    /// [`Codec::decode_over`] with an explicit kernel selection.
+    ///
+    /// The default decodes then merges regardless of `kernel`; the shipped
+    /// codecs override it with streaming byte-level kernels that never
+    /// materialize a `Vec<P>` and thread `kernel` down into the pixel
+    /// kernels. Overrides must leave `dst` bit-identical to this default on
+    /// every kernel path and report the same `non_blank` / `blank_skipped`
+    /// counts (`opaque_fast` may differ — it is zero on this reference
+    /// path). On *invalid* streams only the returned error is pinned, not
+    /// the partial contents of `dst`.
+    fn decode_over_with(
+        &self,
+        data: &[u8],
+        dst: &mut [P],
+        dir: OverDir,
+        _kernel: KernelPath,
     ) -> Result<OverStats, CodecError> {
         let pixels = self.decode(data, dst.len())?;
         Ok(over_decoded(&pixels, dst, dir))
@@ -128,12 +155,14 @@ pub(crate) fn over_decoded<P: Pixel>(pixels: &[P], dst: &mut [P], dir: OverDir) 
 }
 
 /// Shared raw-stream kernel: composite `body` (exactly `dst.len() *
-/// P::BYTES` wire bytes) into `dst`, mapping shape errors to `codec`.
-pub(crate) fn over_raw_body<P: Pixel>(
+/// P::BYTES` wire bytes) into `dst` through the selected pixel kernel,
+/// mapping shape errors to `codec`.
+pub(crate) fn over_raw_body_with<P: Pixel>(
     codec: &'static str,
     body: &[u8],
     dst: &mut [P],
     dir: OverDir,
+    kernel: KernelPath,
 ) -> Result<OverStats, CodecError> {
     if body.len() != dst.len() * P::BYTES {
         return Err(CodecError::WrongPixelCount {
@@ -143,8 +172,8 @@ pub(crate) fn over_raw_body<P: Pixel>(
         });
     }
     let merged = match dir {
-        OverDir::Front => P::over_front_bytes(dst, body),
-        OverDir::Back => P::over_back_bytes(dst, body),
+        OverDir::Front => P::over_front_bytes_with(dst, body, kernel),
+        OverDir::Back => P::over_back_bytes_with(dst, body, kernel),
     };
     merged.map_err(|_| CodecError::Corrupt {
         codec,
@@ -181,13 +210,14 @@ impl<P: Pixel> Codec<P> for RawCodec {
         })
     }
 
-    fn decode_over(
+    fn decode_over_with(
         &self,
         data: &[u8],
         dst: &mut [P],
         dir: OverDir,
+        kernel: KernelPath,
     ) -> Result<OverStats, CodecError> {
-        over_raw_body("raw", data, dst, dir)
+        over_raw_body_with("raw", data, dst, dir, kernel)
     }
 }
 

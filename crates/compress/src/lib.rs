@@ -63,4 +63,5 @@ pub use bounds::BoundsCodec;
 pub use codec::{Codec, CodecError, CodecKind, Encoded, OverDir, RawCodec};
 pub use rle::RleCodec;
 pub use rt_imaging::pixel::OverStats;
+pub use rt_imaging::KernelPath;
 pub use trle::TrleCodec;

@@ -9,8 +9,10 @@
 //! A one-byte header selects between `RLE` and a raw fallback, so the codec
 //! never more than doubles (plus one byte) and is exactly reversible.
 
-use crate::codec::{over_decoded, over_raw_body, Codec, CodecError, Encoded, OverDir};
+use crate::codec::{over_decoded, over_raw_body_with, Codec, CodecError, Encoded, OverDir};
+use rt_imaging::kernels::byte_run_len;
 use rt_imaging::pixel::{pixels_from_bytes, pixels_to_bytes, OverStats, Pixel};
+use rt_imaging::KernelPath;
 
 const MODE_RAW: u8 = 0;
 const MODE_RLE: u8 = 1;
@@ -36,7 +38,41 @@ pub fn rle_encode_bytes(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Run-length encode a byte slice with memchr-style word-wise run
+/// detection: each run is found by XORing eight bytes at a time against the
+/// broadcast run byte. Output is byte-identical to [`rle_encode_bytes`];
+/// the scan slice is capped at the 255-byte run limit so detection stays
+/// linear on long runs.
+pub fn rle_encode_bytes_wide(data: &[u8]) -> Vec<u8> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(n / 2 + 8);
+    let mut i = 0;
+    while i < n {
+        let b = data[i];
+        // One-byte peek: a length-1 run (every byte of dense content with
+        // per-pixel variation) exits without paying the word-wise setup, so
+        // the wide path never loses to the scalar loop on incompressible
+        // spans and wins on the long blank runs that dominate partials.
+        if i + 1 >= n || data[i + 1] != b {
+            out.push(1);
+            out.push(b);
+            i += 1;
+            continue;
+        }
+        let cap = (i + 255).min(n);
+        let run = byte_run_len(&data[i..cap], b);
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
 /// Invert [`rle_encode_bytes`].
+///
+/// An odd-length buffer cannot be a whole number of `(count, byte)` pairs,
+/// so it is rejected as [`CodecError::Truncated`] up front rather than
+/// silently dropping the trailing byte (`chunks_exact(2)` alone would).
 pub fn rle_decode_bytes(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if !data.len().is_multiple_of(2) {
         return Err(CodecError::Truncated { codec: "rle" });
@@ -61,8 +97,15 @@ impl<P: Pixel> Codec<P> for RleCodec {
     }
 
     fn encode(&self, pixels: &[P]) -> Encoded {
+        self.encode_with(pixels, KernelPath::default())
+    }
+
+    fn encode_with(&self, pixels: &[P], kernel: KernelPath) -> Encoded {
         let raw = pixels_to_bytes(pixels);
-        let rle = rle_encode_bytes(&raw);
+        let rle = match kernel {
+            KernelPath::Scalar => rle_encode_bytes(&raw),
+            KernelPath::Wide => rle_encode_bytes_wide(&raw),
+        };
         let raw_bytes = raw.len();
         let mut bytes;
         if rle.len() < raw.len() {
@@ -107,11 +150,12 @@ impl<P: Pixel> Codec<P> for RleCodec {
         })
     }
 
-    fn decode_over(
+    fn decode_over_with(
         &self,
         data: &[u8],
         dst: &mut [P],
         dir: OverDir,
+        kernel: KernelPath,
     ) -> Result<OverStats, CodecError> {
         let Some((&mode, body)) = data.split_first() else {
             if dst.is_empty() {
@@ -120,7 +164,7 @@ impl<P: Pixel> Codec<P> for RleCodec {
             return Err(CodecError::Truncated { codec: "rle" });
         };
         match mode {
-            MODE_RAW => over_raw_body("rle", body, dst, dir),
+            MODE_RAW => over_raw_body_with("rle", body, dst, dir, kernel),
             // Runs do not align to pixel boundaries, so the stream is
             // expanded through a bounded staging buffer: runs fill the
             // buffer, and every buffer-full of *whole* pixels is composited
@@ -128,6 +172,10 @@ impl<P: Pixel> Codec<P> for RleCodec {
             // carries over to the next fill). No decoded image-sized buffer
             // ever exists.
             MODE_RLE if P::BYTES <= STAGE_BYTES => {
+                // The pair walk below uses `chunks_exact(2)`, which would
+                // silently drop a trailing odd byte — the explicit parity
+                // check keeps truncated streams an error here exactly as in
+                // `rle_decode_bytes`.
                 if !body.len().is_multiple_of(2) {
                     return Err(CodecError::Truncated { codec: "rle" });
                 }
@@ -148,7 +196,7 @@ impl<P: Pixel> Codec<P> for RleCodec {
                             got: *at + px,
                         });
                     };
-                    let n = over_raw_body("rle", &stage[..whole], d, dir)?;
+                    let n = over_raw_body_with("rle", &stage[..whole], d, dir, kernel)?;
                     *at += px;
                     stage.copy_within(whole..*fill, 0);
                     *fill -= whole;
@@ -272,6 +320,96 @@ mod tests {
         let px = vec![GrayAlpha8::blank(); 4];
         let enc = Codec::<GrayAlpha8>::encode(&RleCodec, &px);
         assert!(Codec::<GrayAlpha8>::decode(&RleCodec, &enc.bytes, 3).is_err());
+    }
+
+    #[test]
+    fn trailing_odd_byte_is_rejected_not_dropped() {
+        // Regression guard: an RLE body with a dangling count byte must be
+        // a Truncated error everywhere a pair stream is walked — never a
+        // silent drop of the remainder (`chunks_exact(2)` alone would eat
+        // it). A valid 2-pixel stream plus one stray byte would otherwise
+        // still decode to 4 raw bytes.
+        let mut body = rle_encode_bytes(&[7, 7, 9, 9]);
+        body.push(3); // dangling count with no byte
+        assert_eq!(
+            rle_decode_bytes(&body),
+            Err(CodecError::Truncated { codec: "rle" })
+        );
+        // Same stream through the fused staging path.
+        let mut data = vec![MODE_RLE];
+        data.extend_from_slice(&body);
+        let mut dst = vec![GrayAlpha8::blank(); 2];
+        for kernel in rt_imaging::KernelPath::ALL {
+            assert_eq!(
+                Codec::<GrayAlpha8>::decode_over_with(
+                    &RleCodec,
+                    &data,
+                    &mut dst,
+                    OverDir::Front,
+                    kernel
+                ),
+                Err(CodecError::Truncated { codec: "rle" })
+            );
+        }
+        // And through decode().
+        assert_eq!(
+            Codec::<GrayAlpha8>::decode(&RleCodec, &data, 2),
+            Err(CodecError::Truncated { codec: "rle" })
+        );
+    }
+
+    #[test]
+    fn wide_encode_matches_scalar_on_run_edges() {
+        // Runs that straddle the 255 cap and the 8-byte word width.
+        for len in [0usize, 1, 7, 8, 9, 254, 255, 256, 300, 511, 1000] {
+            let data = vec![42u8; len];
+            assert_eq!(rle_encode_bytes_wide(&data), rle_encode_bytes(&data));
+        }
+        let mixed: Vec<u8> = (0..1000u32).map(|i| (i / 13 % 7) as u8).collect();
+        assert_eq!(rle_encode_bytes_wide(&mixed), rle_encode_bytes(&mixed));
+    }
+
+    proptest! {
+        #[test]
+        fn wide_encode_is_byte_identical(
+            runs in proptest::collection::vec((any::<u8>(), 1usize..600), 0..30)
+        ) {
+            // Adjacent runs may share a byte value, exercising merges.
+            let mut data = Vec::new();
+            for (b, n) in runs {
+                data.extend(std::iter::repeat_n(b, n));
+            }
+            prop_assert_eq!(rle_encode_bytes_wide(&data), rle_encode_bytes(&data));
+        }
+
+        #[test]
+        fn decode_over_kernels_agree(
+            values in proptest::collection::vec(
+                prop_oneof![2 => Just((0u8, 0u8)), 3 => (any::<u8>(), any::<u8>())],
+                0..500,
+            )
+        ) {
+            let px: Vec<GrayAlpha8> = values.iter().map(|&(v, a)| GrayAlpha8::new(v, a)).collect();
+            let enc_s = Codec::<GrayAlpha8>::encode_with(&RleCodec, &px, rt_imaging::KernelPath::Scalar);
+            let enc_w = Codec::<GrayAlpha8>::encode_with(&RleCodec, &px, rt_imaging::KernelPath::Wide);
+            prop_assert_eq!(&enc_s.bytes, &enc_w.bytes);
+            let dst: Vec<GrayAlpha8> = (0..px.len())
+                .map(|i| GrayAlpha8::new((i * 31 % 256) as u8, (i * 17 % 256) as u8))
+                .collect();
+            for dir in [OverDir::Front, OverDir::Back] {
+                let mut scalar = dst.clone();
+                let mut wide = dst.clone();
+                let s = Codec::<GrayAlpha8>::decode_over_with(
+                    &RleCodec, &enc_s.bytes, &mut scalar, dir, rt_imaging::KernelPath::Scalar,
+                ).unwrap();
+                let w = Codec::<GrayAlpha8>::decode_over_with(
+                    &RleCodec, &enc_w.bytes, &mut wide, dir, rt_imaging::KernelPath::Wide,
+                ).unwrap();
+                prop_assert_eq!(&scalar, &wide);
+                prop_assert_eq!(s.non_blank, w.non_blank);
+                prop_assert_eq!(s.blank_skipped, w.blank_skipped);
+            }
+        }
     }
 
     proptest! {

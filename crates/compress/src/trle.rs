@@ -20,8 +20,10 @@
 //! with a raw-fallback mode so the codec never expands beyond one byte of
 //! header.
 
-use crate::codec::{over_raw_body, Codec, CodecError, Encoded, OverDir};
+use crate::codec::{over_raw_body_with, Codec, CodecError, Encoded, OverDir};
+use rt_imaging::kernels::nonzero_byte_mask;
 use rt_imaging::pixel::{pixels_to_bytes, OverStats, Pixel};
+use rt_imaging::KernelPath;
 
 const MODE_RAW: u8 = 0;
 const MODE_TRLE: u8 = 1;
@@ -54,8 +56,14 @@ pub fn tile_template<P: Pixel>(pixels: &[P]) -> u8 {
 
 /// Encode the template masks of `pixels` into TRLE codes.
 pub fn encode_codes<P: Pixel>(pixels: &[P]) -> Vec<u8> {
+    codes_from_templates(pixels.chunks(TILE).map(tile_template::<P>))
+}
+
+/// Run-encode an explicit template sequence into TRLE codes — the same
+/// packing as [`encode_codes`], for callers that already classified tiles.
+pub fn codes_from_templates(templates: impl IntoIterator<Item = u8>) -> Vec<u8> {
     let mut codes = Vec::new();
-    let mut tiles = pixels.chunks(TILE).map(tile_template::<P>);
+    let mut tiles = templates.into_iter();
     let Some(mut current) = tiles.next() else {
         return codes;
     };
@@ -73,6 +81,67 @@ pub fn encode_codes<P: Pixel>(pixels: &[P]) -> Vec<u8> {
     codes
 }
 
+/// Maps the [`nonzero_byte_mask`] of a `u64` holding four 2-byte pixels to
+/// the tile template: bit `j` of the template is set iff byte pair
+/// `2j, 2j+1` has any non-zero byte. Valid only for pixel types with
+/// [`Pixel::BLANK_IS_ZERO_BYTES`].
+const PAIR_TEMPLATE: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut mask = 0usize;
+    while mask < 256 {
+        let mut t = 0u8;
+        let mut j = 0;
+        while j < 4 {
+            if (mask >> (2 * j)) & 0b11 != 0 {
+                t |= 1 << j;
+            }
+            j += 1;
+        }
+        table[mask] = t;
+        mask += 1;
+    }
+    table
+};
+
+/// Classify every tile of a wire-byte stream (`n_pixels` pixels of
+/// `P::BYTES` each) into templates by byte inspection alone. Requires
+/// [`Pixel::BLANK_IS_ZERO_BYTES`] (blank ⟺ all-zero bytes); 2-byte pixels
+/// go through a word load + movemask + table lookup per full tile.
+fn templates_from_bytes<P: Pixel>(raw: &[u8], n_pixels: usize) -> Vec<u8> {
+    debug_assert!(P::BLANK_IS_ZERO_BYTES);
+    let n_tiles = n_pixels.div_ceil(TILE);
+    let full = n_pixels / TILE;
+    let mut out = Vec::with_capacity(n_tiles);
+    if P::BYTES == 2 {
+        for i in 0..full {
+            let w = u64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
+            out.push(PAIR_TEMPLATE[nonzero_byte_mask(w) as usize]);
+        }
+    } else {
+        for i in 0..full {
+            let mut t = 0u8;
+            for j in 0..TILE {
+                let o = (i * TILE + j) * P::BYTES;
+                if raw[o..o + P::BYTES].iter().any(|&b| b != 0) {
+                    t |= 1 << j;
+                }
+            }
+            out.push(t);
+        }
+    }
+    if full < n_tiles {
+        let mut t = 0u8;
+        for j in 0..n_pixels - full * TILE {
+            let o = (full * TILE + j) * P::BYTES;
+            if raw[o..o + P::BYTES].iter().any(|&b| b != 0) {
+                t |= 1 << j;
+            }
+        }
+        out.push(t);
+    }
+    out
+}
+
 /// Expand TRLE codes back into per-tile templates.
 pub fn decode_codes(codes: &[u8]) -> Vec<u8> {
     let mut tiles = Vec::new();
@@ -84,33 +153,102 @@ pub fn decode_codes(codes: &[u8]) -> Vec<u8> {
     tiles
 }
 
+/// Reference TRLE encoder: per-pixel `is_blank` classification and
+/// per-pixel payload writes.
+fn trle_encode_scalar<P: Pixel>(pixels: &[P]) -> Encoded {
+    let raw_bytes = pixels.len() * P::BYTES;
+    let codes = encode_codes(pixels);
+    let mut payload = Vec::new();
+    for p in pixels {
+        if !p.is_blank() {
+            p.write_bytes(&mut payload);
+        }
+    }
+    assemble_trle(pixels, raw_bytes, codes, payload)
+}
+
+/// Wide TRLE encoder: serialize once, classify tiles from the wire bytes
+/// (word load + movemask + template table for 2-byte pixels), then build
+/// the payload with bulk slice copies — skipping blank tiles outright and
+/// copying full tiles in one go. Wire output is byte-identical to
+/// [`trle_encode_scalar`] because [`Pixel::BLANK_IS_ZERO_BYTES`] makes the
+/// byte-level classification agree with `is_blank` exactly.
+fn trle_encode_wide<P: Pixel>(pixels: &[P]) -> Encoded {
+    let raw = pixels_to_bytes(pixels);
+    let raw_bytes = raw.len();
+    let templates = templates_from_bytes::<P>(&raw, pixels.len());
+    let codes = codes_from_templates(templates.iter().copied());
+    let mut payload = Vec::new();
+    for (tile_idx, &t) in templates.iter().enumerate() {
+        if t == 0 {
+            continue;
+        }
+        let base = tile_idx * TILE;
+        if t == 0x0F {
+            // Full tiles can only be classified 15 when wholly in bounds.
+            payload.extend_from_slice(&raw[base * P::BYTES..(base + TILE) * P::BYTES]);
+            continue;
+        }
+        for j in 0..TILE {
+            if t & (1 << j) != 0 {
+                let o = (base + j) * P::BYTES;
+                payload.extend_from_slice(&raw[o..o + P::BYTES]);
+            }
+        }
+    }
+    let trle_len = 1 + 4 + codes.len() + payload.len();
+    if trle_len > raw_bytes {
+        let mut bytes = Vec::with_capacity(raw_bytes + 1);
+        bytes.push(MODE_RAW);
+        bytes.extend_from_slice(&raw);
+        return Encoded { bytes, raw_bytes };
+    }
+    let mut bytes = Vec::with_capacity(trle_len);
+    bytes.push(MODE_TRLE);
+    bytes.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&codes);
+    bytes.extend_from_slice(&payload);
+    Encoded { bytes, raw_bytes }
+}
+
+/// Shared tail of the scalar encoder: pick TRLE or the raw fallback.
+fn assemble_trle<P: Pixel>(
+    pixels: &[P],
+    raw_bytes: usize,
+    codes: Vec<u8>,
+    payload: Vec<u8>,
+) -> Encoded {
+    let trle_len = 1 + 4 + codes.len() + payload.len();
+    if trle_len > raw_bytes {
+        let mut bytes = Vec::with_capacity(raw_bytes + 1);
+        bytes.push(MODE_RAW);
+        bytes.extend_from_slice(&pixels_to_bytes(pixels));
+        return Encoded { bytes, raw_bytes };
+    }
+    let mut bytes = Vec::with_capacity(trle_len);
+    bytes.push(MODE_TRLE);
+    bytes.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&codes);
+    bytes.extend_from_slice(&payload);
+    Encoded { bytes, raw_bytes }
+}
+
 impl<P: Pixel> Codec<P> for TrleCodec {
     fn name(&self) -> &'static str {
         "trle"
     }
 
     fn encode(&self, pixels: &[P]) -> Encoded {
-        let raw_bytes = pixels.len() * P::BYTES;
-        let codes = encode_codes(pixels);
-        let mut payload = Vec::new();
-        for p in pixels {
-            if !p.is_blank() {
-                p.write_bytes(&mut payload);
-            }
+        self.encode_with(pixels, KernelPath::default())
+    }
+
+    fn encode_with(&self, pixels: &[P], kernel: KernelPath) -> Encoded {
+        match kernel {
+            // The wide classifier reads wire bytes, so it is only valid
+            // when blankness is exactly the all-zero byte pattern.
+            KernelPath::Wide if P::BLANK_IS_ZERO_BYTES => trle_encode_wide(pixels),
+            _ => trle_encode_scalar(pixels),
         }
-        let trle_len = 1 + 4 + codes.len() + payload.len();
-        if trle_len > raw_bytes {
-            let mut bytes = Vec::with_capacity(raw_bytes + 1);
-            bytes.push(MODE_RAW);
-            bytes.extend_from_slice(&pixels_to_bytes(pixels));
-            return Encoded { bytes, raw_bytes };
-        }
-        let mut bytes = Vec::with_capacity(trle_len);
-        bytes.push(MODE_TRLE);
-        bytes.extend_from_slice(&(codes.len() as u32).to_le_bytes());
-        bytes.extend_from_slice(&codes);
-        bytes.extend_from_slice(&payload);
-        Encoded { bytes, raw_bytes }
     }
 
     fn decode(&self, data: &[u8], n_pixels: usize) -> Result<Vec<P>, CodecError> {
@@ -198,11 +336,12 @@ impl<P: Pixel> Codec<P> for TrleCodec {
         }
     }
 
-    fn decode_over(
+    fn decode_over_with(
         &self,
         data: &[u8],
         dst: &mut [P],
         dir: OverDir,
+        kernel: KernelPath,
     ) -> Result<OverStats, CodecError> {
         let Some((&mode, body)) = data.split_first() else {
             if dst.is_empty() {
@@ -211,7 +350,7 @@ impl<P: Pixel> Codec<P> for TrleCodec {
             return Err(CodecError::Truncated { codec: "trle" });
         };
         match mode {
-            MODE_RAW => over_raw_body("trle", body, dst, dir),
+            MODE_RAW => over_raw_body_with("trle", body, dst, dir, kernel),
             // Walk the code stream tile by tile, compositing only the
             // pixels whose template bit is set: blank pixels are the
             // identity of `over`, so they ship no bytes AND cost no work —
@@ -226,73 +365,10 @@ impl<P: Pixel> Codec<P> for TrleCodec {
                 }
                 let codes = &body[4..4 + n_codes];
                 let payload = &body[4 + n_codes..];
-                let n_pixels = dst.len();
-                let expected_tiles = n_pixels.div_ceil(TILE);
-                let mut tile_idx = 0usize;
-                let mut at = 0usize; // payload byte cursor
-                let mut stats = OverStats::default();
-                for &code in codes {
-                    let template = code & 0x0F;
-                    let run = ((code >> 4) as usize) + 1;
-                    for _ in 0..run {
-                        if tile_idx >= expected_tiles {
-                            return Err(CodecError::Corrupt {
-                                codec: "trle",
-                                what: "tile count does not match pixel count",
-                            });
-                        }
-                        for j in 0..TILE {
-                            let pixel_idx = tile_idx * TILE + j;
-                            if template & (1 << j) == 0 {
-                                // Blank: identity, no work. Padding past the
-                                // image is not a skipped source pixel.
-                                if pixel_idx < n_pixels {
-                                    stats.blank_skipped += 1;
-                                }
-                                continue;
-                            }
-                            if pixel_idx >= n_pixels {
-                                return Err(CodecError::Corrupt {
-                                    codec: "trle",
-                                    what: "non-blank bit set in padding",
-                                });
-                            }
-                            if at + P::BYTES > payload.len() {
-                                return Err(CodecError::Truncated { codec: "trle" });
-                            }
-                            let merged = over_raw_body(
-                                "trle",
-                                &payload[at..at + P::BYTES],
-                                &mut dst[pixel_idx..pixel_idx + 1],
-                                dir,
-                            )
-                            .map_err(|_| CodecError::Corrupt {
-                                codec: "trle",
-                                what: "undecodable payload pixel",
-                            })?;
-                            at += P::BYTES;
-                            // A set template bit is a non-blank stream pixel
-                            // by construction; the kernel's opacity shortcut
-                            // count still flows through.
-                            stats.non_blank += 1;
-                            stats.opaque_fast += merged.opaque_fast;
-                        }
-                        tile_idx += 1;
-                    }
+                match kernel {
+                    KernelPath::Wide => trle_over_codes_wide(codes, payload, dst, dir),
+                    KernelPath::Scalar => trle_over_codes_scalar(codes, payload, dst, dir, kernel),
                 }
-                if tile_idx != expected_tiles {
-                    return Err(CodecError::Corrupt {
-                        codec: "trle",
-                        what: "tile count does not match pixel count",
-                    });
-                }
-                if at != payload.len() {
-                    return Err(CodecError::Corrupt {
-                        codec: "trle",
-                        what: "trailing payload bytes",
-                    });
-                }
-                Ok(stats)
             }
             _ => Err(CodecError::Corrupt {
                 codec: "trle",
@@ -300,6 +376,194 @@ impl<P: Pixel> Codec<P> for TrleCodec {
             }),
         }
     }
+}
+
+/// Reference TRLE merge walk: one `over` kernel call per set template bit.
+fn trle_over_codes_scalar<P: Pixel>(
+    codes: &[u8],
+    payload: &[u8],
+    dst: &mut [P],
+    dir: OverDir,
+    kernel: KernelPath,
+) -> Result<OverStats, CodecError> {
+    let n_pixels = dst.len();
+    let expected_tiles = n_pixels.div_ceil(TILE);
+    let mut tile_idx = 0usize;
+    let mut at = 0usize; // payload byte cursor
+    let mut stats = OverStats::default();
+    for &code in codes {
+        let template = code & 0x0F;
+        let run = ((code >> 4) as usize) + 1;
+        for _ in 0..run {
+            if tile_idx >= expected_tiles {
+                return Err(CodecError::Corrupt {
+                    codec: "trle",
+                    what: "tile count does not match pixel count",
+                });
+            }
+            for j in 0..TILE {
+                let pixel_idx = tile_idx * TILE + j;
+                if template & (1 << j) == 0 {
+                    // Blank: identity, no work. Padding past the
+                    // image is not a skipped source pixel.
+                    if pixel_idx < n_pixels {
+                        stats.blank_skipped += 1;
+                    }
+                    continue;
+                }
+                if pixel_idx >= n_pixels {
+                    return Err(CodecError::Corrupt {
+                        codec: "trle",
+                        what: "non-blank bit set in padding",
+                    });
+                }
+                if at + P::BYTES > payload.len() {
+                    return Err(CodecError::Truncated { codec: "trle" });
+                }
+                let merged = over_raw_body_with(
+                    "trle",
+                    &payload[at..at + P::BYTES],
+                    &mut dst[pixel_idx..pixel_idx + 1],
+                    dir,
+                    kernel,
+                )
+                .map_err(|_| CodecError::Corrupt {
+                    codec: "trle",
+                    what: "undecodable payload pixel",
+                })?;
+                at += P::BYTES;
+                // A set template bit is a non-blank stream pixel
+                // by construction; the kernel's opacity shortcut
+                // count still flows through.
+                stats.non_blank += 1;
+                stats.opaque_fast += merged.opaque_fast;
+            }
+            tile_idx += 1;
+        }
+    }
+    if tile_idx != expected_tiles {
+        return Err(CodecError::Corrupt {
+            codec: "trle",
+            what: "tile count does not match pixel count",
+        });
+    }
+    if at != payload.len() {
+        return Err(CodecError::Corrupt {
+            codec: "trle",
+            what: "trailing payload bytes",
+        });
+    }
+    Ok(stats)
+}
+
+/// Chunked TRLE merge walk: a run of all-blank tiles is skipped in one
+/// step, and a run of all-non-blank tiles that lies wholly in bounds is
+/// merged with a single bulk kernel call over `run · TILE` contiguous
+/// payload pixels. Mixed templates fall back to the per-bit walk. Stats
+/// stay equal to the scalar walk because `non_blank` is derived from the
+/// templates (a set bit is a non-blank stream pixel by construction),
+/// never from payload byte inspection; only `opaque_fast` flows up from
+/// the bulk kernel.
+fn trle_over_codes_wide<P: Pixel>(
+    codes: &[u8],
+    payload: &[u8],
+    dst: &mut [P],
+    dir: OverDir,
+) -> Result<OverStats, CodecError> {
+    let n_pixels = dst.len();
+    let expected_tiles = n_pixels.div_ceil(TILE);
+    let mut tile_idx = 0usize;
+    let mut at = 0usize; // payload byte cursor
+    let mut stats = OverStats::default();
+    for &code in codes {
+        let template = code & 0x0F;
+        let run = ((code >> 4) as usize) + 1;
+        if tile_idx + run > expected_tiles {
+            return Err(CodecError::Corrupt {
+                codec: "trle",
+                what: "tile count does not match pixel count",
+            });
+        }
+        let base = tile_idx * TILE;
+        if template == 0 {
+            // Whole-run blank skip; tiles padding past the image are not
+            // skipped source pixels.
+            stats.blank_skipped += (run * TILE).min(n_pixels - base);
+            tile_idx += run;
+            continue;
+        }
+        if template == 0x0F && base + run * TILE <= n_pixels {
+            let px = run * TILE;
+            let need = px * P::BYTES;
+            if at + need > payload.len() {
+                return Err(CodecError::Truncated { codec: "trle" });
+            }
+            let merged = over_raw_body_with(
+                "trle",
+                &payload[at..at + need],
+                &mut dst[base..base + px],
+                dir,
+                KernelPath::Wide,
+            )
+            .map_err(|_| CodecError::Corrupt {
+                codec: "trle",
+                what: "undecodable payload pixel",
+            })?;
+            at += need;
+            stats.non_blank += px;
+            stats.opaque_fast += merged.opaque_fast;
+            tile_idx += run;
+            continue;
+        }
+        for _ in 0..run {
+            for j in 0..TILE {
+                let pixel_idx = tile_idx * TILE + j;
+                if template & (1 << j) == 0 {
+                    if pixel_idx < n_pixels {
+                        stats.blank_skipped += 1;
+                    }
+                    continue;
+                }
+                if pixel_idx >= n_pixels {
+                    return Err(CodecError::Corrupt {
+                        codec: "trle",
+                        what: "non-blank bit set in padding",
+                    });
+                }
+                if at + P::BYTES > payload.len() {
+                    return Err(CodecError::Truncated { codec: "trle" });
+                }
+                let merged = over_raw_body_with(
+                    "trle",
+                    &payload[at..at + P::BYTES],
+                    &mut dst[pixel_idx..pixel_idx + 1],
+                    dir,
+                    KernelPath::Wide,
+                )
+                .map_err(|_| CodecError::Corrupt {
+                    codec: "trle",
+                    what: "undecodable payload pixel",
+                })?;
+                at += P::BYTES;
+                stats.non_blank += 1;
+                stats.opaque_fast += merged.opaque_fast;
+            }
+            tile_idx += 1;
+        }
+    }
+    if tile_idx != expected_tiles {
+        return Err(CodecError::Corrupt {
+            codec: "trle",
+            what: "tile count does not match pixel count",
+        });
+    }
+    if at != payload.len() {
+        return Err(CodecError::Corrupt {
+            codec: "trle",
+            what: "trailing payload bytes",
+        });
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -437,6 +701,112 @@ mod tests {
         );
     }
 
+    #[test]
+    fn wide_walk_covers_bulk_blank_and_bulk_full_runs() {
+        // Long all-blank prefix (bulk skip), long dense middle (bulk merge),
+        // mixed tail and a partial final tile (per-bit fallback) — all three
+        // wide-walk arms in one stream, checked against the scalar walk.
+        let mut pixels = vec![blank(); 64];
+        pixels.extend((0..64u32).map(|i| px((i % 254) as u8 + 1)));
+        pixels.extend([px(1), blank(), px(3), blank(), px(5), px(6)]);
+        let enc = Codec::<GrayAlpha8>::encode(&TrleCodec, &pixels);
+        assert_eq!(enc.bytes[0], MODE_TRLE);
+        for dir in [OverDir::Front, OverDir::Back] {
+            let base: Vec<GrayAlpha8> = (0..pixels.len())
+                .map(|i| GrayAlpha8::new((i % 256) as u8, (i * 7 % 256) as u8))
+                .collect();
+            let mut dst_s = base.clone();
+            let mut dst_w = base;
+            let ss = Codec::<GrayAlpha8>::decode_over_with(
+                &TrleCodec,
+                &enc.bytes,
+                &mut dst_s,
+                dir,
+                KernelPath::Scalar,
+            )
+            .unwrap();
+            let sw = Codec::<GrayAlpha8>::decode_over_with(
+                &TrleCodec,
+                &enc.bytes,
+                &mut dst_w,
+                dir,
+                KernelPath::Wide,
+            )
+            .unwrap();
+            assert_eq!(dst_s, dst_w);
+            assert_eq!(ss, sw);
+            assert_eq!(ss.non_blank, 68);
+            assert_eq!(ss.blank_skipped, 66);
+        }
+    }
+
+    #[test]
+    fn wide_walk_rejects_same_corrupt_streams_as_scalar() {
+        // Every decode_error_paths stream must fail on the wide walk too
+        // (only the error itself is pinned, not partial dst contents).
+        let cases: [(&[u8], usize); 5] = [
+            (&[MODE_TRLE, 1, 0], 4),                   // truncated header
+            (&[MODE_TRLE, 9, 0, 0, 0, 0xF0], 4),       // code count beyond buffer
+            (&[MODE_TRLE, 1, 0, 0, 0, 0x00], 9),       // tile count mismatch
+            (&[MODE_TRLE, 1, 0, 0, 0, 0x01], 4),       // payload missing
+            (&[MODE_TRLE, 1, 0, 0, 0, 0x08, 1, 1], 3), // padding bit set
+        ];
+        for (data, n) in cases {
+            for kernel in KernelPath::ALL {
+                let mut dst = vec![blank(); n];
+                let got = Codec::<GrayAlpha8>::decode_over_with(
+                    &TrleCodec,
+                    data,
+                    &mut dst,
+                    OverDir::Front,
+                    kernel,
+                );
+                assert!(got.is_err(), "{data:?} with {kernel:?}");
+            }
+        }
+        // Trailing payload bytes after a fully-blank stream.
+        for kernel in KernelPath::ALL {
+            let mut dst = vec![blank(); 4];
+            let got = Codec::<GrayAlpha8>::decode_over_with(
+                &TrleCodec,
+                &[MODE_TRLE, 1, 0, 0, 0, 0x00, 9, 9],
+                &mut dst,
+                OverDir::Front,
+                kernel,
+            );
+            assert_eq!(
+                got,
+                Err(CodecError::Corrupt {
+                    codec: "trle",
+                    what: "trailing payload bytes",
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn pixel_without_zero_blank_bytes_uses_scalar_classification() {
+        // Provenance's blank test is lo == hi, not all-zero bytes, so the
+        // byte-level wide classifier must not engage; encode_with(Wide) has
+        // to fall back to the scalar encoder and stay byte-identical.
+        use rt_imaging::pixel::Provenance;
+        const { assert!(!Provenance::BLANK_IS_ZERO_BYTES) };
+        let pixels: Vec<Provenance> = (0..40u16)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Provenance::blank()
+                } else {
+                    Provenance { lo: i, hi: i + 1 }
+                }
+            })
+            .collect();
+        let scalar = Codec::<Provenance>::encode_with(&TrleCodec, &pixels, KernelPath::Scalar);
+        let wide = Codec::<Provenance>::encode_with(&TrleCodec, &pixels, KernelPath::Wide);
+        assert_eq!(scalar, wide);
+        let dec = Codec::<Provenance>::decode(&TrleCodec, &wide.bytes, pixels.len()).unwrap();
+        assert_eq!(dec, pixels);
+    }
+
     prop_compose! {
         fn arb_pixels()(spec in proptest::collection::vec((any::<bool>(), any::<u8>(), 1u8..=255), 0..600)) -> Vec<GrayAlpha8> {
             spec.into_iter()
@@ -457,6 +827,39 @@ mod tests {
         fn trle_never_expands_past_header(pixels in arb_pixels()) {
             let enc = Codec::<GrayAlpha8>::encode(&TrleCodec, &pixels);
             prop_assert!(enc.bytes.len() <= pixels.len() * 2 + 1);
+        }
+
+        #[test]
+        fn wide_encode_is_byte_identical(pixels in arb_pixels()) {
+            let scalar = Codec::<GrayAlpha8>::encode_with(&TrleCodec, &pixels, KernelPath::Scalar);
+            let wide = Codec::<GrayAlpha8>::encode_with(&TrleCodec, &pixels, KernelPath::Wide);
+            prop_assert_eq!(scalar, wide);
+        }
+
+        #[test]
+        fn decode_over_kernels_agree(
+            pixels in arb_pixels(),
+            seed in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..600),
+            front in any::<bool>(),
+        ) {
+            let enc = Codec::<GrayAlpha8>::encode(&TrleCodec, &pixels);
+            let dir = if front { OverDir::Front } else { OverDir::Back };
+            let base: Vec<GrayAlpha8> = (0..pixels.len())
+                .map(|i| {
+                    let (v, a) = seed.get(i).copied().unwrap_or((0, 0));
+                    GrayAlpha8::new(v, a)
+                })
+                .collect();
+            let mut dst_s = base.clone();
+            let mut dst_w = base;
+            let ss = Codec::<GrayAlpha8>::decode_over_with(
+                &TrleCodec, &enc.bytes, &mut dst_s, dir, KernelPath::Scalar).unwrap();
+            let sw = Codec::<GrayAlpha8>::decode_over_with(
+                &TrleCodec, &enc.bytes, &mut dst_w, dir, KernelPath::Wide).unwrap();
+            prop_assert_eq!(dst_s, dst_w);
+            prop_assert_eq!(ss.non_blank, sw.non_blank);
+            prop_assert_eq!(ss.blank_skipped, sw.blank_skipped);
+            prop_assert_eq!(ss.opaque_fast, sw.opaque_fast);
         }
 
         #[test]

@@ -5,7 +5,7 @@
 //! change when the fused path replaces the allocating one).
 
 use proptest::prelude::*;
-use rt_compress::{Codec, CodecKind, OverDir};
+use rt_compress::{Codec, CodecKind, KernelPath, OverDir};
 use rt_imaging::pixel::{GrayAlpha8, Pixel, Provenance};
 
 /// Reference semantics: decode the stream, then merge pixel by pixel,
@@ -37,28 +37,41 @@ fn reference_over<P: Pixel>(
 fn check_equivalence<P: Pixel>(src: &[P], dst: &[P]) {
     for kind in [CodecKind::Raw, CodecKind::Rle, CodecKind::Trle] {
         let codec = kind.build::<P>();
-        let enc = codec.encode(src);
-        for dir in [OverDir::Front, OverDir::Back] {
-            let (want, want_count, want_blank) =
-                reference_over(codec.as_ref(), &enc.bytes, dst, dir);
-            let mut got = dst.to_vec();
-            let stats = codec
-                .decode_over(&enc.bytes, &mut got, dir)
-                .unwrap_or_else(|e| panic!("{kind:?}/{dir:?}: {e}"));
-            assert_eq!(got, want, "{kind:?}/{dir:?}: composited pixels differ");
+        for encode_kernel in KernelPath::ALL {
+            let enc = codec.encode_with(src, encode_kernel);
+            // Wide scan paths must produce byte-identical wire output.
             assert_eq!(
-                stats.non_blank, want_count,
-                "{kind:?}/{dir:?}: non-blank count"
+                enc,
+                codec.encode(src),
+                "{kind:?}/{encode_kernel:?}: wire bytes differ from default encode"
             );
-            assert_eq!(
-                stats.blank_skipped, want_blank,
-                "{kind:?}/{dir:?}: blank-skipped count"
-            );
-            assert_eq!(
-                stats.source_pixels(),
-                dst.len(),
-                "{kind:?}/{dir:?}: stats must cover every stream pixel"
-            );
+            for dir in [OverDir::Front, OverDir::Back] {
+                let (want, want_count, want_blank) =
+                    reference_over(codec.as_ref(), &enc.bytes, dst, dir);
+                for kernel in KernelPath::ALL {
+                    let mut got = dst.to_vec();
+                    let stats = codec
+                        .decode_over_with(&enc.bytes, &mut got, dir, kernel)
+                        .unwrap_or_else(|e| panic!("{kind:?}/{dir:?}/{kernel:?}: {e}"));
+                    assert_eq!(
+                        got, want,
+                        "{kind:?}/{dir:?}/{kernel:?}: composited pixels differ"
+                    );
+                    assert_eq!(
+                        stats.non_blank, want_count,
+                        "{kind:?}/{dir:?}/{kernel:?}: non-blank count"
+                    );
+                    assert_eq!(
+                        stats.blank_skipped, want_blank,
+                        "{kind:?}/{dir:?}/{kernel:?}: blank-skipped count"
+                    );
+                    assert_eq!(
+                        stats.source_pixels(),
+                        dst.len(),
+                        "{kind:?}/{dir:?}/{kernel:?}: stats must cover every stream pixel"
+                    );
+                }
+            }
         }
     }
 }

@@ -34,7 +34,7 @@ use crate::repair::{repair, DegradedInfo};
 use crate::schedule::{MergeDir, Schedule};
 use crate::CoreError;
 use rt_comm::{CommError, ComputeKind, FaultPlan, Multicomputer, RankCtx, Trace};
-use rt_compress::{CodecKind, OverDir};
+use rt_compress::{CodecKind, KernelPath, OverDir};
 use rt_imaging::pixel::Pixel;
 use rt_imaging::{Image, Span};
 use rt_obs::{Observer, Phase};
@@ -75,6 +75,12 @@ pub struct ComposeConfig {
     pub timeout: Option<Duration>,
     /// Which wall-clock execution path to run.
     pub path: ExecPath,
+    /// Which pixel/codec kernel implementation the pooled path drives
+    /// (word-wise wide kernels by default; the scalar reference loops for
+    /// A/B runs). Frames, traces and virtual-clock charges are identical
+    /// on either setting — only wall-clock time and the observability
+    /// kernel counters change.
+    pub kernel: KernelPath,
 }
 
 impl Default for ComposeConfig {
@@ -86,6 +92,7 @@ impl Default for ComposeConfig {
             resilient: false,
             timeout: None,
             path: ExecPath::default(),
+            kernel: KernelPath::default(),
         }
     }
 }
@@ -124,6 +131,12 @@ impl ComposeConfig {
     /// Select the wall-clock execution path.
     pub fn with_path(mut self, path: ExecPath) -> Self {
         self.path = path;
+        self
+    }
+
+    /// Select the compositing/codec kernel implementation.
+    pub fn with_kernel(mut self, kernel: KernelPath) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -303,6 +316,21 @@ pub fn compose_with_scratch<P: Pixel>(
         });
     }
     let codec = config.codec.build::<P>();
+    // Which kernel implementation actually runs: the wide path engages only
+    // for pixel types with a word-wise kernel; other types fall back to the
+    // scalar reference loops (counted, so profiles show the miss).
+    let wide_requested = config.kernel == KernelPath::Wide;
+    let wide_active = wide_requested && P::HAS_WIDE_KERNEL;
+    let count_kernel_pixels = move |c: &mut rt_obs::Counters, source_pixels: u64| {
+        if wide_active {
+            c.wide_kernel_pixels += source_pixels;
+        } else {
+            c.scalar_kernel_pixels += source_pixels;
+        }
+        if wide_requested && !wide_active {
+            c.kernel_fallbacks += 1;
+        }
+    };
 
     // Fail-stop point for this rank, if the fault plan crashes it within
     // this schedule (a step index, or `steps.len()` for "after the last
@@ -337,8 +365,9 @@ pub fn compose_with_scratch<P: Pixel>(
         for t in step.sends_of(me) {
             let enc_started = ctx.obs_start();
             let encoded = match config.path {
-                // Encode straight off the frame's span slice.
-                ExecPath::Pooled => codec.encode(local.span_pixels(t.span)?),
+                // Encode straight off the frame's span slice, through the
+                // configured scan kernel (byte-identical wire either way).
+                ExecPath::Pooled => codec.encode_with(local.span_pixels(t.span)?, config.kernel),
                 ExecPath::PerTransfer => {
                     let pixels = local.extract(t.span)?;
                     codec.encode(&pixels)
@@ -349,7 +378,12 @@ pub fn compose_with_scratch<P: Pixel>(
                 ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
             }
             let wire = encoded.bytes.len() as u64;
-            ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
+            ctx.obs_counters(|c| {
+                c.add_wire_bytes(config.codec.name(), wire);
+                if wide_active && config.path == ExecPath::Pooled {
+                    c.wide_kernel_bytes += wire;
+                }
+            });
             ctx.send(t.dst, tag(k, t.span.start), encoded.bytes)?;
         }
         for t in step.recvs_of(me) {
@@ -388,12 +422,17 @@ pub fn compose_with_scratch<P: Pixel>(
                         };
                         let over_started = ctx.obs_start();
                         let dst = local.span_pixels_mut(t.span)?;
-                        let stats = codec.decode_over(&bytes, dst, dir)?;
+                        let stats = codec.decode_over_with(&bytes, dst, dir, config.kernel)?;
                         ctx.obs_span(Phase::Over, over_started);
+                        let wire = bytes.len() as u64;
                         ctx.obs_counters(|c| {
                             c.non_blank_merged += stats.non_blank as u64;
                             c.blank_skipped += stats.blank_skipped as u64;
                             c.opaque_fast += stats.opaque_fast as u64;
+                            count_kernel_pixels(c, stats.source_pixels() as u64);
+                            if wide_active {
+                                c.wide_kernel_bytes += wire;
+                            }
                         });
                         let over_units = if raw { t.span.len } else { stats.non_blank };
                         ctx.compute(ComputeKind::Over, over_units as u64);
@@ -419,12 +458,18 @@ pub fn compose_with_scratch<P: Pixel>(
                         // Arriving pieces are deepest-first: the new piece
                         // goes in front of the accumulated deeper ones.
                         let over_started = ctx.obs_start();
-                        let stats = codec.decode_over(&bytes, acc, OverDir::Front)?;
+                        let stats =
+                            codec.decode_over_with(&bytes, acc, OverDir::Front, config.kernel)?;
                         ctx.obs_span(Phase::Over, over_started);
+                        let wire = bytes.len() as u64;
                         ctx.obs_counters(|c| {
                             c.non_blank_merged += stats.non_blank as u64;
                             c.blank_skipped += stats.blank_skipped as u64;
                             c.opaque_fast += stats.opaque_fast as u64;
+                            count_kernel_pixels(c, stats.source_pixels() as u64);
+                            if wide_active {
+                                c.wide_kernel_bytes += wire;
+                            }
                         });
                         let over_units = if raw { t.span.len } else { stats.non_blank };
                         ctx.compute(ComputeKind::Over, over_units as u64);
@@ -546,7 +591,7 @@ pub fn compose_with_scratch<P: Pixel>(
                     if e.owner == me {
                         own_pieces.insert((ei, fi), pixels);
                     } else {
-                        let encoded = codec.encode(&pixels);
+                        let encoded = codec.encode_with(&pixels, config.kernel);
                         if config.codec != CodecKind::Raw {
                             ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
                         }
@@ -650,7 +695,7 @@ pub fn compose_with_scratch<P: Pixel>(
                         .gather_pixels
                         .extend_from_slice(local.span_pixels(*span)?);
                 }
-                codec.encode(&scratch.gather_pixels)
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
             }
             ExecPath::PerTransfer => {
                 let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
@@ -709,10 +754,20 @@ pub fn compose_with_scratch<P: Pixel>(
                     let stats = if let [span] = owner_spans.as_slice() {
                         // One span: stream straight into the blank frame
                         // (`over` a blank destination is an exact copy).
-                        codec.decode_over(&bytes, frame.span_pixels_mut(*span)?, OverDir::Front)?
+                        codec.decode_over_with(
+                            &bytes,
+                            frame.span_pixels_mut(*span)?,
+                            OverDir::Front,
+                            config.kernel,
+                        )?
                     } else {
                         let mut staged = scratch.take_acc(total, ctx);
-                        let stats = codec.decode_over(&bytes, &mut staged, OverDir::Front)?;
+                        let stats = codec.decode_over_with(
+                            &bytes,
+                            &mut staged,
+                            OverDir::Front,
+                            config.kernel,
+                        )?;
                         let mut at = 0usize;
                         for span in owner_spans {
                             frame.insert(*span, &staged[at..at + span.len])?;
@@ -722,9 +777,14 @@ pub fn compose_with_scratch<P: Pixel>(
                         stats
                     };
                     ctx.obs_span(Phase::Decode, dec_started);
+                    let wire = bytes.len() as u64;
                     ctx.obs_counters(|c| {
                         c.blank_skipped += stats.blank_skipped as u64;
                         c.opaque_fast += stats.opaque_fast as u64;
+                        count_kernel_pixels(c, stats.source_pixels() as u64);
+                        if wide_active {
+                            c.wide_kernel_bytes += wire;
+                        }
                     });
                 }
                 ExecPath::PerTransfer => {
@@ -1136,6 +1196,124 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn kernel_paths_are_trace_identical() {
+        // Scalar and wide kernels must be indistinguishable on the virtual
+        // clock and in the composited frames, across methods and codecs —
+        // on GrayAlpha8 (where the wide kernels actually engage) and on
+        // Provenance (where the wide request falls back to scalar).
+        use rt_imaging::pixel::GrayAlpha8;
+        let gray_partials: Vec<Image<GrayAlpha8>> = (0..4)
+            .map(|r| {
+                Image::from_fn(16, 16, |x, y| {
+                    // Blank-heavy with opaque patches: exercises the blank
+                    // skip, the opaque fast path and the dense lanes.
+                    match (x + 2 * y + 3 * r) % 5 {
+                        0 | 1 => GrayAlpha8::blank(),
+                        2 => GrayAlpha8::new((60 * r + x) as u8, 255),
+                        _ => GrayAlpha8::new((40 * r + y) as u8, (x * 11) as u8),
+                    }
+                })
+            })
+            .collect();
+        for codec in CodecKind::ALL {
+            for schedule in [
+                crate::BinarySwap::new().build(4, 256).unwrap(),
+                crate::ParallelPipelined::new().build(4, 256).unwrap(),
+                crate::RotateTiling::two_n(2).build(4, 256).unwrap(),
+            ] {
+                let scalar_cfg = ComposeConfig::default()
+                    .with_codec(codec)
+                    .with_kernel(KernelPath::Scalar);
+                let wide_cfg = scalar_cfg.with_kernel(KernelPath::Wide);
+                let (r_s, t_s) = run_composition(&schedule, gray_partials.clone(), &scalar_cfg);
+                let (r_w, t_w) = run_composition(&schedule, gray_partials.clone(), &wide_cfg);
+                assert_eq!(
+                    t_s, t_w,
+                    "{}/{codec:?}: kernel paths must be trace-identical",
+                    schedule.method
+                );
+                assert_eq!(
+                    r_s, r_w,
+                    "{}/{codec:?}: kernel paths must compose identically",
+                    schedule.method
+                );
+                let (r_ps, t_ps) =
+                    run_composition(&schedule, provenance_partials(4, 16, 16), &scalar_cfg);
+                let (r_pw, t_pw) =
+                    run_composition(&schedule, provenance_partials(4, 16, 16), &wide_cfg);
+                assert_eq!(
+                    t_ps, t_pw,
+                    "{}/{codec:?}: Provenance fallback trace",
+                    schedule.method
+                );
+                assert_eq!(
+                    r_ps, r_pw,
+                    "{}/{codec:?}: Provenance fallback output",
+                    schedule.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_counters_record_which_path_ran() {
+        use rt_imaging::pixel::GrayAlpha8;
+        use rt_obs::Observer;
+        let schedule = crate::RotateTiling::two_n(2).build(4, 256).unwrap();
+        let gray: Vec<Image<GrayAlpha8>> = (0..4)
+            .map(|r| {
+                Image::from_fn(16, 16, |x, y| {
+                    if (x + y + r) % 2 == 0 {
+                        GrayAlpha8::new((30 * r + x) as u8, 200)
+                    } else {
+                        GrayAlpha8::blank()
+                    }
+                })
+            })
+            .collect();
+        let run = |config: &ComposeConfig, partials: Vec<Image<GrayAlpha8>>| {
+            let pool = ScratchPool::new();
+            let observer = Arc::new(Observer::new());
+            let (results, _) =
+                run_composition_observed(&schedule, partials, config, &pool, Arc::clone(&observer));
+            for r in &results {
+                r.as_ref().unwrap();
+            }
+            observer.counters_total()
+        };
+        let base = ComposeConfig::default().with_codec(CodecKind::Trle);
+        // Wide on a wide-capable pixel: wide counters move, no fallbacks.
+        let wide = run(&base.with_kernel(KernelPath::Wide), gray.clone());
+        assert!(wide.wide_kernel_pixels > 0, "wide pixels: {wide:?}");
+        assert!(wide.wide_kernel_bytes > 0);
+        assert_eq!(wide.scalar_kernel_pixels, 0);
+        assert_eq!(wide.kernel_fallbacks, 0);
+        // Scalar selected: only scalar counters move.
+        let scalar = run(&base.with_kernel(KernelPath::Scalar), gray);
+        assert!(scalar.scalar_kernel_pixels > 0);
+        assert_eq!(scalar.wide_kernel_pixels, 0);
+        assert_eq!(scalar.wide_kernel_bytes, 0);
+        assert_eq!(scalar.kernel_fallbacks, 0);
+        // Same merge work either way.
+        assert_eq!(wide.wide_kernel_pixels, scalar.scalar_kernel_pixels);
+        assert_eq!(wide.non_blank_merged, scalar.non_blank_merged);
+        // Wide on a pixel type with no wide kernel: fallbacks recorded.
+        let pool = ScratchPool::new();
+        let observer = Arc::new(Observer::new());
+        let (_, _) = run_composition_observed(
+            &schedule,
+            provenance_partials(4, 16, 16),
+            &base.with_kernel(KernelPath::Wide),
+            &pool,
+            Arc::clone(&observer),
+        );
+        let prov = observer.counters_total();
+        assert!(prov.kernel_fallbacks > 0, "fallbacks: {prov:?}");
+        assert_eq!(prov.wide_kernel_pixels, 0);
+        assert!(prov.scalar_kernel_pixels > 0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   and the halving used by the rotate-tiling block tree;
 //! * [`rect`] — bounding rectangles of non-blank pixels (Ma et al.'s
 //!   compression baseline) with intersection/union algebra;
-//! * [`io`] — PGM / PPM writers for the example binaries.
+//! * [`io`] — PGM / PPM writers for the example binaries;
+//! * [`kernels`] — word-wise (SWAR) compositing kernels and the
+//!   [`kernels::KernelPath`] selector between the scalar reference loops
+//!   and the wide fast paths (bit-identical, proptest-pinned).
 //!
 //! Everything here is deliberately independent of the communication and
 //! compositing crates so that property tests can exercise the image algebra
@@ -21,11 +24,13 @@
 
 pub mod image;
 pub mod io;
+pub mod kernels;
 pub mod pixel;
 pub mod rect;
 pub mod span;
 
 pub use image::Image;
+pub use kernels::KernelPath;
 pub use pixel::{GrayAlpha, GrayAlpha8, OverStats, Pixel, Provenance, Rgba, Rgba8};
 pub use rect::Rect;
 pub use span::Span;

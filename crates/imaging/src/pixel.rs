@@ -22,6 +22,7 @@
 //!   itself on any out-of-order merge. Composition algorithms are proven
 //!   correct by running them over `Provenance` images.
 
+use crate::kernels::{self, KernelPath};
 use crate::ImagingError;
 
 /// Statistics returned by the byte-level composition kernels
@@ -103,6 +104,21 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Exact number of bytes produced by [`Pixel::write_bytes`].
     const BYTES: usize;
 
+    /// True iff the wire encoding maps blankness to the all-zero byte
+    /// pattern **exactly both ways**: every blank pixel writes
+    /// [`Pixel::BYTES`] zero bytes, and all-zero bytes decode to a blank
+    /// pixel. Only then may byte-level kernels treat zero words as blank
+    /// runs. False for the `f32` types (`-0.0` is blank with non-zero
+    /// bytes) and for [`Provenance`] (`lo == hi != 0` is blank but not
+    /// zero), true for the fixed-point wire types.
+    const BLANK_IS_ZERO_BYTES: bool = false;
+
+    /// True iff this type ships dedicated wide (word-wise) kernels, i.e.
+    /// [`KernelPath::Wide`] selects a different implementation than
+    /// [`KernelPath::Scalar`]. Types without wide kernels run the same
+    /// reference loop on either path.
+    const HAS_WIDE_KERNEL: bool = false;
+
     /// The fully transparent pixel (identity of `over`).
     fn blank() -> Self;
 
@@ -138,13 +154,34 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// (`dst[i] = src[i] over dst[i]`), returning [`OverStats`] over the
     /// source pixels. `src` must hold exactly `dst.len() * BYTES` bytes.
     ///
-    /// The default decodes pixel by pixel via [`Pixel::read_bytes`]; the
-    /// fixed-point types override it with fused byte-level kernels that
-    /// never materialize an intermediate pixel. Overrides must leave `dst`
-    /// bit-identical to the default (decode-then-`over`) path and report
-    /// the same `non_blank` / `blank_skipped` counts; only
-    /// [`OverStats::opaque_fast`] may differ.
+    /// Convenience wrapper over [`Pixel::over_front_bytes_with`] using the
+    /// default [`KernelPath`].
     fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+        Self::over_front_bytes_with(dst, src, KernelPath::default())
+    }
+
+    /// Composite a wire-format pixel stream **behind** `dst`, in place
+    /// (`dst[i] = dst[i] over src[i]`), returning [`OverStats`] over the
+    /// source pixels. Same contract as [`Pixel::over_front_bytes`].
+    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+        Self::over_back_bytes_with(dst, src, KernelPath::default())
+    }
+
+    /// [`Pixel::over_front_bytes`] with an explicit kernel selection.
+    ///
+    /// The default decodes pixel by pixel via [`Pixel::read_bytes`]
+    /// regardless of `kernel`; the fixed-point wire types override it with
+    /// fused byte-level kernels (a byte-at-a-time scalar reference and a
+    /// word-wise wide path) that never materialize an intermediate pixel.
+    /// Overrides must leave `dst` bit-identical to the default
+    /// (decode-then-`over`) path *on every kernel path* and report the
+    /// same `non_blank` / `blank_skipped` counts; only
+    /// [`OverStats::opaque_fast`] may differ.
+    fn over_front_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        _kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -165,10 +202,13 @@ pub trait Pixel: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
         Ok(stats)
     }
 
-    /// Composite a wire-format pixel stream **behind** `dst`, in place
-    /// (`dst[i] = dst[i] over src[i]`), returning [`OverStats`] over the
-    /// source pixels. Same contract as [`Pixel::over_front_bytes`].
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+    /// [`Pixel::over_back_bytes`] with an explicit kernel selection. Same
+    /// contract as [`Pixel::over_front_bytes_with`].
+    fn over_back_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        _kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -415,6 +455,8 @@ impl GrayAlpha8 {
 
 impl Pixel for GrayAlpha8 {
     const BYTES: usize = 2;
+    const BLANK_IS_ZERO_BYTES: bool = true;
+    const HAS_WIDE_KERNEL: bool = true;
 
     #[inline]
     fn blank() -> Self {
@@ -468,16 +510,16 @@ impl Pixel for GrayAlpha8 {
     }
 
     // Fused byte-level kernels: the wire format IS the pixel layout
-    // (`[v, a]`), so the stream is composited without decoding. Arithmetic
-    // is the same `mul255` as `over`, and the shortcuts below are exact
-    // identities of that arithmetic (`mul255(255, x) = x`,
-    // `mul255(0, x) = 0`), keeping results bit-identical:
-    //   * blank source pixels leave `dst` untouched, so runs of zero bytes
-    //     are skipped a machine word at a time — on sparse partials (the
-    //     regime the structured codecs target) this is most of the stream;
-    //   * an opaque (`a = 255`) front pixel replaces `dst` outright, and an
-    //     opaque `dst` hides a behind-merge entirely.
-    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+    // (`[v, a]`), so the stream is composited without decoding. Both
+    // kernel paths use the same `mul255` arithmetic as `over` with the
+    // same blank/opaque shortcuts (exact identities: `mul255(255, x) = x`,
+    // `mul255(0, x) = 0`); the wide path additionally scans blank runs a
+    // word at a time and replaces opaque groups in bulk.
+    fn over_front_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -485,35 +527,17 @@ impl Pixel for GrayAlpha8 {
                 rhs: src.len(),
             });
         }
-        let mut stats = OverStats::default();
-        let mut i = 0;
-        let n = dst.len();
-        while i < n {
-            let (fv, fa) = (src[2 * i], src[2 * i + 1]);
-            if fv == 0 && fa == 0 {
-                let run_start = i;
-                i += 1;
-                i = skip_zero_pairs(src, i, n);
-                stats.blank_skipped += i - run_start;
-                continue;
-            }
-            stats.non_blank += 1;
-            let d = &mut dst[i];
-            if fa == 255 {
-                d.v = fv;
-                d.a = 255;
-                stats.opaque_fast += 1;
-            } else {
-                let t = 255 - fa as u16;
-                d.v = (fv as u16 + mul255(t, d.v as u16)).min(255) as u8;
-                d.a = (fa as u16 + mul255(t, d.a as u16)).min(255) as u8;
-            }
-            i += 1;
-        }
-        Ok(stats)
+        Ok(match kernel {
+            KernelPath::Scalar => kernels::ga8_over_front_scalar(dst, src),
+            KernelPath::Wide => kernels::ga8_over_front_wide(dst, src),
+        })
     }
 
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+    fn over_back_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -521,48 +545,11 @@ impl Pixel for GrayAlpha8 {
                 rhs: src.len(),
             });
         }
-        let mut stats = OverStats::default();
-        let mut i = 0;
-        let n = dst.len();
-        while i < n {
-            let (bv, ba) = (src[2 * i], src[2 * i + 1]);
-            if bv == 0 && ba == 0 {
-                let run_start = i;
-                i += 1;
-                i = skip_zero_pairs(src, i, n);
-                stats.blank_skipped += i - run_start;
-                continue;
-            }
-            stats.non_blank += 1;
-            let d = &mut dst[i];
-            if d.a != 255 {
-                let t = 255 - d.a as u16;
-                d.v = (d.v as u16 + mul255(t, bv as u16)).min(255) as u8;
-                d.a = (d.a as u16 + mul255(t, ba as u16)).min(255) as u8;
-            } else {
-                stats.opaque_fast += 1;
-            }
-            i += 1;
-        }
-        Ok(stats)
+        Ok(match kernel {
+            KernelPath::Scalar => kernels::ga8_over_back_scalar(dst, src),
+            KernelPath::Wide => kernels::ga8_over_back_wide(dst, src),
+        })
     }
-}
-
-/// Advance `i` past consecutive all-zero 2-byte pairs of `src` (up to pair
-/// index `n`), testing eight bytes at a time where possible.
-#[inline]
-fn skip_zero_pairs(src: &[u8], mut i: usize, n: usize) -> usize {
-    while i + 4 <= n {
-        let w = u64::from_le_bytes(src[2 * i..2 * i + 8].try_into().unwrap());
-        if w != 0 {
-            break;
-        }
-        i += 4;
-    }
-    while i < n && src[2 * i] == 0 && src[2 * i + 1] == 0 {
-        i += 1;
-    }
-    i
 }
 
 /// Exact algebraic pixel recording *which depth ranks* have been composited.
@@ -881,6 +868,110 @@ mod tests {
             prop_assert_eq!(back.non_blank, front.non_blank);
             prop_assert_eq!(back.blank_skipped, front.blank_skipped);
         }
+
+        #[test]
+        fn gray8_wide_kernels_match_scalar(
+            pairs in proptest::collection::vec(
+                (
+                    // Mostly-blank sources with opaque spikes, so runs,
+                    // bulk-opaque groups, and mixed groups all occur.
+                    prop_oneof![
+                        4 => Just((0u8, 0u8)),
+                        2 => (0u8..=255, Just(255u8)),
+                        3 => (0u8..=255, 0u8..=255),
+                    ],
+                    (0u8..=255, 0u8..=255),
+                ),
+                0..256,
+            )
+        ) {
+            let src: Vec<GrayAlpha8> = pairs.iter().map(|&((v, a), _)| GrayAlpha8::new(v, a)).collect();
+            let dst: Vec<GrayAlpha8> = pairs.iter().map(|&(_, (v, a))| GrayAlpha8::new(v, a)).collect();
+            let bytes = pixels_to_bytes(&src);
+
+            let mut scalar = dst.clone();
+            let mut wide = dst.clone();
+            let s = GrayAlpha8::over_front_bytes_with(&mut scalar, &bytes, KernelPath::Scalar).unwrap();
+            let w = GrayAlpha8::over_front_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            prop_assert_eq!(&scalar, &wide);
+            // GrayAlpha8 paths share the exact same shortcuts, so even
+            // `opaque_fast` agrees.
+            prop_assert_eq!(s, w);
+
+            let mut scalar = dst.clone();
+            let mut wide = dst.clone();
+            let s = GrayAlpha8::over_back_bytes_with(&mut scalar, &bytes, KernelPath::Scalar).unwrap();
+            let w = GrayAlpha8::over_back_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            prop_assert_eq!(&scalar, &wide);
+            prop_assert_eq!(s, w);
+        }
+
+        #[test]
+        fn rgba8_wide_kernels_match_scalar(
+            quads in proptest::collection::vec(
+                (
+                    prop_oneof![
+                        4 => Just((0u8, 0u8, 0u8, 0u8)),
+                        2 => (0u8..=255, 0u8..=255, 0u8..=255, Just(255u8)),
+                        3 => (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+                    ],
+                    (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+                ),
+                0..256,
+            )
+        ) {
+            let src: Vec<Rgba8> = quads.iter().map(|&((r, g, b, a), _)| Rgba8::new(r, g, b, a)).collect();
+            let dst: Vec<Rgba8> = quads.iter().map(|&(_, (r, g, b, a))| Rgba8::new(r, g, b, a)).collect();
+            let bytes = pixels_to_bytes(&src);
+
+            let mut scalar = dst.clone();
+            let mut wide = dst.clone();
+            let s = Rgba8::over_front_bytes_with(&mut scalar, &bytes, KernelPath::Scalar).unwrap();
+            let w = Rgba8::over_front_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            prop_assert_eq!(&scalar, &wide);
+            // Rgba8's scalar path is dense (no shortcuts), so only the
+            // contract-guaranteed fields must agree.
+            prop_assert_eq!(s.non_blank, w.non_blank);
+            prop_assert_eq!(s.blank_skipped, w.blank_skipped);
+            prop_assert_eq!(s.opaque_fast, 0);
+
+            let mut scalar = dst.clone();
+            let mut wide = dst.clone();
+            let s = Rgba8::over_back_bytes_with(&mut scalar, &bytes, KernelPath::Scalar).unwrap();
+            let w = Rgba8::over_back_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            prop_assert_eq!(&scalar, &wide);
+            prop_assert_eq!(s.non_blank, w.non_blank);
+            prop_assert_eq!(s.blank_skipped, w.blank_skipped);
+        }
+
+        #[test]
+        fn rgba8_wide_matches_decode_then_over(
+            quads in proptest::collection::vec(
+                (
+                    prop_oneof![
+                        3 => Just((0u8, 0u8, 0u8, 0u8)),
+                        1 => (0u8..=255, 0u8..=255, 0u8..=255, Just(255u8)),
+                        2 => (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+                    ],
+                    (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+                ),
+                0..128,
+            )
+        ) {
+            let src: Vec<Rgba8> = quads.iter().map(|&((r, g, b, a), _)| Rgba8::new(r, g, b, a)).collect();
+            let dst: Vec<Rgba8> = quads.iter().map(|&(_, (r, g, b, a))| Rgba8::new(r, g, b, a)).collect();
+            let bytes = pixels_to_bytes(&src);
+
+            let mut wide = dst.clone();
+            Rgba8::over_front_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            let want: Vec<Rgba8> = src.iter().zip(&dst).map(|(f, b)| f.over(b)).collect();
+            prop_assert_eq!(&wide, &want);
+
+            let mut wide = dst.clone();
+            Rgba8::over_back_bytes_with(&mut wide, &bytes, KernelPath::Wide).unwrap();
+            let want: Vec<Rgba8> = src.iter().zip(&dst).map(|(b, f)| f.over(b)).collect();
+            prop_assert_eq!(&wide, &want);
+        }
     }
 
     #[test]
@@ -967,6 +1058,8 @@ impl Rgba8 {
 
 impl Pixel for Rgba8 {
     const BYTES: usize = 4;
+    const BLANK_IS_ZERO_BYTES: bool = true;
+    const HAS_WIDE_KERNEL: bool = true;
 
     #[inline]
     fn blank() -> Self {
@@ -1029,8 +1122,15 @@ impl Pixel for Rgba8 {
     }
 
     // Fused byte-level kernels, as for `GrayAlpha8`: the wire format is the
-    // channel layout `[r, g, b, a]`.
-    fn over_front_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+    // channel layout `[r, g, b, a]`. The scalar path is the dense per-pixel
+    // loop this type has always used; the wide path adds blank-run skipping
+    // and opaque shortcuts, which are exact identities of the arithmetic
+    // (so `dst` stays bit-identical) but newly count `opaque_fast`.
+    fn over_front_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_front_bytes",
@@ -1038,26 +1138,17 @@ impl Pixel for Rgba8 {
                 rhs: src.len(),
             });
         }
-        let mut stats = OverStats::default();
-        for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
-            if s != [0, 0, 0, 0] {
-                stats.non_blank += 1;
-            } else {
-                stats.blank_skipped += 1;
-            }
-            let t = 255 - s[3] as u16;
-            let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
-            *d = Self {
-                r: ch(s[0], d.r),
-                g: ch(s[1], d.g),
-                b: ch(s[2], d.b),
-                a: ch(s[3], d.a),
-            };
-        }
-        Ok(stats)
+        Ok(match kernel {
+            KernelPath::Scalar => kernels::rgba8_over_front_scalar(dst, src),
+            KernelPath::Wide => kernels::rgba8_over_front_wide(dst, src),
+        })
     }
 
-    fn over_back_bytes(dst: &mut [Self], src: &[u8]) -> Result<OverStats, ImagingError> {
+    fn over_back_bytes_with(
+        dst: &mut [Self],
+        src: &[u8],
+        kernel: KernelPath,
+    ) -> Result<OverStats, ImagingError> {
         if src.len() != dst.len() * Self::BYTES {
             return Err(ImagingError::ShapeMismatch {
                 what: "Pixel::over_back_bytes",
@@ -1065,23 +1156,10 @@ impl Pixel for Rgba8 {
                 rhs: src.len(),
             });
         }
-        let mut stats = OverStats::default();
-        for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
-            if s != [0, 0, 0, 0] {
-                stats.non_blank += 1;
-            } else {
-                stats.blank_skipped += 1;
-            }
-            let t = 255 - d.a as u16;
-            let ch = |f: u8, b: u8| (f as u16 + mul255(t, b as u16)).min(255) as u8;
-            *d = Self {
-                r: ch(d.r, s[0]),
-                g: ch(d.g, s[1]),
-                b: ch(d.b, s[2]),
-                a: ch(d.a, s[3]),
-            };
-        }
-        Ok(stats)
+        Ok(match kernel {
+            KernelPath::Scalar => kernels::rgba8_over_back_scalar(dst, src),
+            KernelPath::Wide => kernels::rgba8_over_back_wide(dst, src),
+        })
     }
 }
 

@@ -52,6 +52,15 @@ pub struct Counters {
     pub opaque_fast: u64,
     /// Non-blank source pixels actually merged by `decode_over`.
     pub non_blank_merged: u64,
+    /// Stream pixels processed through the word-wise (SWAR) kernels.
+    pub wide_kernel_pixels: u64,
+    /// Wire bytes encoded or merged through the word-wise kernel paths.
+    pub wide_kernel_bytes: u64,
+    /// Stream pixels processed through the scalar reference kernels.
+    pub scalar_kernel_pixels: u64,
+    /// Operations where the wide kernel was requested but the pixel type
+    /// has no word-wise implementation, so the scalar path ran instead.
+    pub kernel_fallbacks: u64,
     /// Wire bytes sent per codec name, as an ordered `(codec, bytes)` list.
     ///
     /// A list instead of a map so the derived serde impls apply; entries
@@ -92,6 +101,10 @@ impl Counters {
         self.blank_skipped += other.blank_skipped;
         self.opaque_fast += other.opaque_fast;
         self.non_blank_merged += other.non_blank_merged;
+        self.wide_kernel_pixels += other.wide_kernel_pixels;
+        self.wide_kernel_bytes += other.wide_kernel_bytes;
+        self.scalar_kernel_pixels += other.scalar_kernel_pixels;
+        self.kernel_fallbacks += other.kernel_fallbacks;
         for (codec, bytes) in &other.wire_bytes {
             self.add_wire_bytes(codec, *bytes);
         }
@@ -112,6 +125,10 @@ impl Counters {
             ("blank_skipped", self.blank_skipped),
             ("opaque_fast", self.opaque_fast),
             ("non_blank_merged", self.non_blank_merged),
+            ("wide_kernel_pixels", self.wide_kernel_pixels),
+            ("wide_kernel_bytes", self.wide_kernel_bytes),
+            ("scalar_kernel_pixels", self.scalar_kernel_pixels),
+            ("kernel_fallbacks", self.kernel_fallbacks),
         ]
     }
 }
@@ -147,6 +164,10 @@ mod tests {
             blank_skipped: 10,
             opaque_fast: 11,
             non_blank_merged: 12,
+            wide_kernel_pixels: 13,
+            wide_kernel_bytes: 14,
+            scalar_kernel_pixels: 15,
+            kernel_fallbacks: 16,
             wire_bytes: vec![("raw".into(), 100)],
         };
         let b = a.clone();
@@ -163,6 +184,10 @@ mod tests {
         assert_eq!(a.blank_skipped, 20);
         assert_eq!(a.opaque_fast, 22);
         assert_eq!(a.non_blank_merged, 24);
+        assert_eq!(a.wide_kernel_pixels, 26);
+        assert_eq!(a.wide_kernel_bytes, 28);
+        assert_eq!(a.scalar_kernel_pixels, 30);
+        assert_eq!(a.kernel_fallbacks, 32);
         assert_eq!(a.wire_bytes_for("raw"), 200);
     }
 

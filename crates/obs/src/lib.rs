@@ -55,4 +55,4 @@ pub use phase::Phase;
 pub use reconcile::{reconcile, reconcile_all, PhaseTotals, ReconcileError};
 pub use record::{Observer, Recorder};
 pub use span::{RankTimeline, SpanRec};
-pub use summary::phase_summary;
+pub use summary::{phase_summary, phase_summary_with_counters};

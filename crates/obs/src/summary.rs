@@ -1,5 +1,6 @@
 //! Compact text flamegraph-style summary of a set of timelines.
 
+use crate::counters::Counters;
 use crate::phase::Phase;
 use crate::span::RankTimeline;
 
@@ -58,6 +59,48 @@ pub fn phase_summary(label: &str, timelines: &[RankTimeline]) -> String {
             frac * 100.0,
             total
         ));
+    }
+    out
+}
+
+/// [`phase_summary`] followed by a kernel-path block: which compositing
+/// kernels ran, how many stream pixels and wire bytes went through them,
+/// and how often a requested wide kernel fell back to the scalar loops.
+/// Zero-valued lines are omitted, so an all-scalar run prints no wide rows.
+///
+/// ```
+/// use rt_obs::{phase_summary_with_counters, Counters};
+///
+/// let mut c = Counters::default();
+/// c.wide_kernel_pixels = 1024;
+/// c.scalar_kernel_pixels = 0;
+/// let text = phase_summary_with_counters("demo", &[], &c);
+/// assert!(text.contains("wide_kernel_pixels"));
+/// assert!(!text.contains("scalar_kernel_pixels"));
+/// ```
+pub fn phase_summary_with_counters(
+    label: &str,
+    timelines: &[RankTimeline],
+    counters: &Counters,
+) -> String {
+    let mut out = phase_summary(label, timelines);
+    let kernel_rows: Vec<(&str, u64)> = [
+        ("wide_kernel_pixels", counters.wide_kernel_pixels),
+        ("wide_kernel_bytes", counters.wide_kernel_bytes),
+        ("scalar_kernel_pixels", counters.scalar_kernel_pixels),
+        ("kernel_fallbacks", counters.kernel_fallbacks),
+        ("blank_skipped", counters.blank_skipped),
+        ("opaque_fast", counters.opaque_fast),
+        ("non_blank_merged", counters.non_blank_merged),
+    ]
+    .into_iter()
+    .filter(|(_, v)| *v != 0)
+    .collect();
+    if !kernel_rows.is_empty() {
+        out.push_str("  kernels:\n");
+        for (name, value) in kernel_rows {
+            out.push_str(&format!("    {name:<21} {value}\n"));
+        }
     }
     out
 }

@@ -50,9 +50,8 @@ impl PipelineConfig {
             seed: 7,
             camera: Camera::yaw_pitch(0.3, 0.15),
             render: RenderOptions {
-                width: 64,
-                height: 64,
                 early_termination: 1.0,
+                ..RenderOptions::square(64)
             },
             method,
             codec: CodecKind::Trle,

@@ -80,9 +80,8 @@ pub fn prepare_scene(
         &dataset.transfer_function(),
         camera,
         &RenderOptions {
-            width: opts.width,
-            height: opts.height,
             early_termination: 1.0,
+            ..*opts
         },
     );
     let parts = partition_1d(&volume, p, f.axis)?;
@@ -178,9 +177,8 @@ mod tests {
             7,
             &Camera::yaw_pitch(0.3, 0.15),
             &RenderOptions {
-                width: 48,
-                height: 48,
                 early_termination: 1.0,
+                ..RenderOptions::square(48)
             },
         )
         .unwrap()
@@ -241,6 +239,7 @@ mod tests {
                 width: 80,
                 height: 60,
                 early_termination: 1.0,
+                parallel: false,
             },
         )
         .unwrap();

@@ -16,6 +16,7 @@ use crate::accel::SliceBounds;
 use crate::camera::{factorize, Camera, Factorization};
 use crate::partition::Subvolume;
 use crate::tf::TransferFunction;
+use rayon::prelude::*;
 use rt_imaging::{GrayAlpha, Image, Pixel};
 
 /// Rendering options.
@@ -27,6 +28,12 @@ pub struct RenderOptions {
     pub height: usize,
     /// Early-ray-termination opacity threshold (1.0 disables).
     pub early_termination: f32,
+    /// Render intermediate-image rows on worker threads. The output is
+    /// **bit-identical** to the serial render: parallelism is over rows,
+    /// which never share an accumulation pixel, and every slice still
+    /// reaches a given pixel in depth order (the serial slice loop and the
+    /// parallel row loop are interchanged, not reordered).
+    pub parallel: bool,
 }
 
 impl RenderOptions {
@@ -36,6 +43,7 @@ impl RenderOptions {
             width: 512,
             height: 512,
             early_termination: 0.98,
+            parallel: false,
         }
     }
 
@@ -45,7 +53,13 @@ impl RenderOptions {
             width: n,
             height: n,
             early_termination: 0.98,
+            parallel: false,
         }
+    }
+
+    /// Same options with row-parallel rendering switched on or off.
+    pub fn with_parallel(self, parallel: bool) -> Self {
+        Self { parallel, ..self }
     }
 }
 
@@ -111,6 +125,72 @@ pub fn render_intermediate_accel(
     render_intermediate_impl(sub, tf, camera, opts, Some(bounds))
 }
 
+/// One slice of the principal-axis sweep, with its shear offsets and the
+/// intermediate-image window its footprint can touch — precomputed once so
+/// the serial slice-major loop and the parallel row-major loop interchange
+/// over the exact same numbers.
+struct SliceJob {
+    k: usize,
+    u_off: f64,
+    v_off: f64,
+    iu0: usize,
+    iu1: usize,
+    iv0: usize,
+    iv1: usize,
+}
+
+/// Composite every pixel slice `job` contributes to row `iv` into that row
+/// of the intermediate image. This is the *only* place sample values are
+/// produced, shared verbatim by the serial and parallel drivers — identical
+/// float expressions per `(k, iv, iu)` is what makes the two orders
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn composite_row(
+    sub: &Subvolume,
+    f: &Factorization,
+    tf: &TransferFunction,
+    opts: &RenderOptions,
+    bounds: Option<&SliceBounds>,
+    job: &SliceJob,
+    iv: usize,
+    row: &mut [GrayAlpha],
+) {
+    let gj = iv as f64 - job.v_off;
+    // With bounds: narrow the pixel run to the opaque interval of
+    // the two voxel rows this image row samples (conservative,
+    // hence pixel-exact).
+    let (riu0, riu1) = match bounds {
+        None => (job.iu0, job.iu1),
+        Some(b) => {
+            let rb = b.row_bound(job.k, gj.floor() as isize);
+            if rb.is_empty() {
+                return;
+            }
+            let lo = ((rb.lo as f64 + job.u_off).floor().max(job.iu0 as f64)) as usize;
+            let hi = (((rb.hi as f64 + job.u_off).ceil()) as usize).min(job.iu1);
+            if lo > hi {
+                return;
+            }
+            (lo, hi)
+        }
+    };
+    for (iu, acc) in row.iter_mut().enumerate().take(riu1 + 1).skip(riu0) {
+        if acc.a >= opts.early_termination {
+            continue;
+        }
+        let gi = iu as f64 - job.u_off;
+        let scalar = slice_sample(sub, f, gi, gj, job.k);
+        let s8 = scalar.round().clamp(0.0, 255.0) as u8;
+        if tf.is_transparent(s8) {
+            continue;
+        }
+        let sample = tf.classify_premultiplied(s8);
+        // Front-to-back: the accumulated pixel is nearer.
+        *acc = acc.over(&sample);
+    }
+}
+
 fn render_intermediate_impl(
     sub: &Subvolume,
     tf: &TransferFunction,
@@ -128,55 +208,49 @@ fn render_intermediate_impl(
         debug_assert_eq!(b.axis, f.axis, "bounds built for a different axis");
     }
 
-    for k in f.slice_order() {
-        if k < k_lo || k >= k_hi {
-            continue;
-        }
-        let kf = k as f64;
-        let u_off = f.origin.0 + f.shear.0 * kf;
-        let v_off = f.origin.1 + f.shear.1 * kf;
-        // Intermediate pixels whose pre-image lies inside this slice's
-        // in-slice extent.
-        let iu0 = (i_lo as f64 + u_off).floor().max(0.0) as usize;
-        let iu1 = ((i_hi as f64 + u_off).ceil() as usize).min(inter.width().saturating_sub(1));
-        let iv0 = (j_lo as f64 + v_off).floor().max(0.0) as usize;
-        let iv1 = ((j_hi as f64 + v_off).ceil() as usize).min(inter.height().saturating_sub(1));
+    // Precompute the depth-ordered slice jobs; both drivers walk this list
+    // in order, so every pixel sees its slices front-to-back either way.
+    let jobs: Vec<SliceJob> = f
+        .slice_order()
+        .filter(|&k| k >= k_lo && k < k_hi)
+        .map(|k| {
+            let kf = k as f64;
+            let u_off = f.origin.0 + f.shear.0 * kf;
+            let v_off = f.origin.1 + f.shear.1 * kf;
+            // Intermediate pixels whose pre-image lies inside this slice's
+            // in-slice extent.
+            SliceJob {
+                k,
+                u_off,
+                v_off,
+                iu0: (i_lo as f64 + u_off).floor().max(0.0) as usize,
+                iu1: ((i_hi as f64 + u_off).ceil() as usize).min(w.saturating_sub(1)),
+                iv0: (j_lo as f64 + v_off).floor().max(0.0) as usize,
+                iv1: ((j_hi as f64 + v_off).ceil() as usize).min(inter.height().saturating_sub(1)),
+            }
+        })
+        .collect();
+
+    if opts.parallel && w > 0 && inter.height() > 0 {
+        // Row-parallel interchange: rows are independent accumulation
+        // domains, and each row still applies its slices in `jobs` order.
+        inter
+            .pixels_mut()
+            .par_chunks_mut(w)
+            .enumerate()
+            .for_each(|(iv, row)| {
+                for job in &jobs {
+                    if iv >= job.iv0 && iv <= job.iv1 {
+                        composite_row(sub, &f, tf, opts, bounds, job, iv, row);
+                    }
+                }
+            });
+    } else {
         let pixels = inter.pixels_mut();
-        for iv in iv0..=iv1 {
-            let gj = iv as f64 - v_off;
-            let row = iv * w;
-            // With bounds: narrow the pixel run to the opaque interval of
-            // the two voxel rows this image row samples (conservative,
-            // hence pixel-exact).
-            let (riu0, riu1) = match bounds {
-                None => (iu0, iu1),
-                Some(b) => {
-                    let rb = b.row_bound(k, gj.floor() as isize);
-                    if rb.is_empty() {
-                        continue;
-                    }
-                    let lo = ((rb.lo as f64 + u_off).floor().max(iu0 as f64)) as usize;
-                    let hi = (((rb.hi as f64 + u_off).ceil()) as usize).min(iu1);
-                    if lo > hi {
-                        continue;
-                    }
-                    (lo, hi)
-                }
-            };
-            for iu in riu0..=riu1 {
-                let acc = &mut pixels[row + iu];
-                if acc.a >= opts.early_termination {
-                    continue;
-                }
-                let gi = iu as f64 - u_off;
-                let scalar = slice_sample(sub, &f, gi, gj, k);
-                let s8 = scalar.round().clamp(0.0, 255.0) as u8;
-                if tf.is_transparent(s8) {
-                    continue;
-                }
-                let sample = tf.classify_premultiplied(s8);
-                // Front-to-back: the accumulated pixel is nearer.
-                *acc = acc.over(&sample);
+        for job in &jobs {
+            for iv in job.iv0..=job.iv1 {
+                let row = &mut pixels[iv * w..(iv + 1) * w];
+                composite_row(sub, &f, tf, opts, bounds, job, iv, row);
             }
         }
     }
@@ -413,6 +487,57 @@ mod accel_tests {
             let (fast, _) = render_intermediate_accel(&part, &tf, &camera, &opts, &bounds);
             assert_eq!(plain, fast);
         }
+    }
+
+    #[test]
+    fn parallel_render_is_bit_identical() {
+        // The row-parallel driver must reproduce the serial render down to
+        // the last float bit — plain, accelerated, and on slab partials,
+        // with early termination both on and off.
+        for dataset in [Dataset::Engine, Dataset::Brain] {
+            let vol = dataset.generate(24, 5);
+            let tf = dataset.transfer_function();
+            let sub = Subvolume::whole(vol.clone());
+            for camera in [Camera::front(), Camera::yaw_pitch(0.4, -0.3)] {
+                for et in [1.0, 0.98] {
+                    let serial = RenderOptions {
+                        early_termination: et,
+                        ..RenderOptions::square(72)
+                    };
+                    let par = serial.with_parallel(true);
+                    let (want, f) = render_intermediate(&sub, &tf, &camera, &serial);
+                    let (got, _) = render_intermediate(&sub, &tf, &camera, &par);
+                    assert_eq!(want, got, "{:?} {camera:?} et={et}", dataset.name());
+                    let bounds = SliceBounds::build(&sub, &tf, &f);
+                    let (want_a, _) =
+                        render_intermediate_accel(&sub, &tf, &camera, &serial, &bounds);
+                    let (got_a, _) = render_intermediate_accel(&sub, &tf, &camera, &par, &bounds);
+                    assert_eq!(want_a, got_a, "accel {:?} {camera:?}", dataset.name());
+                }
+            }
+            let camera = Camera::yaw_pitch(0.3, 0.15);
+            let serial = RenderOptions::square(64);
+            let (_, f) = render_intermediate(&sub, &tf, &camera, &serial);
+            for part in partition_1d(&vol, 3, f.axis).unwrap() {
+                let (want, _) = render_intermediate(&part, &tf, &camera, &serial);
+                let (got, _) =
+                    render_intermediate(&part, &tf, &camera, &serial.with_parallel(true));
+                assert_eq!(want, got, "slab {:?}", part.offset);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_render_handles_degenerate_frames() {
+        // A zero-size screen still yields a volume-footprint intermediate;
+        // the parallel driver must match serial and never chunk by zero.
+        let sub = Subvolume::whole(crate::volume::Volume::zeros(4, 4, 4));
+        let tf = TransferFunction::ramp(1, 255, 0.5);
+        let serial = RenderOptions::square(0);
+        let (want, _) = render_intermediate(&sub, &tf, &Camera::front(), &serial);
+        let (got, _) =
+            render_intermediate(&sub, &tf, &Camera::front(), &serial.with_parallel(true));
+        assert_eq!(want, got);
     }
 
     #[test]

@@ -26,11 +26,7 @@ fn main() {
     let camera = Camera::yaw_pitch(0.5, 0.25);
     let light = Light::default();
     let opts = RaycastOptions {
-        frame: RenderOptions {
-            width: 320,
-            height: 320,
-            early_termination: 0.98,
-        },
+        frame: RenderOptions::square(320),
         step: 0.75,
     };
 

@@ -36,9 +36,8 @@ fn main() {
         2001,
         &Camera::yaw_pitch(0.3, 0.2),
         &RenderOptions {
-            width: 320,
-            height: 320,
             early_termination: 1.0,
+            ..RenderOptions::square(320)
         },
     )
     .expect("scene renders");

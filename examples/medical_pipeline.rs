@@ -25,11 +25,7 @@ fn main() {
             volume_size: 96,
             seed: 2001,
             camera: Camera::yaw_pitch(yaw, 0.25),
-            render: RenderOptions {
-                width: 384,
-                height: 384,
-                early_termination: 0.98,
-            },
+            render: RenderOptions::square(384).with_parallel(true),
             method: Method::RotateTiling {
                 variant: RtVariant::TwoN,
                 blocks: 4,

@@ -23,9 +23,8 @@ fn main() {
         2001,
         &Camera::yaw_pitch(0.35, 0.2),
         &RenderOptions {
-            width: 256,
-            height: 256,
             early_termination: 1.0,
+            ..RenderOptions::square(256)
         },
     )
     .expect("scene renders");

@@ -20,9 +20,8 @@ fn grid_partials_composite_to_the_full_frame() {
     let tf = Dataset::Engine.transfer_function();
     let camera = Camera::front(); // axis 2 ⇒ in-slice plane (x, y)
     let opts = RenderOptions {
-        width: 64,
-        height: 64,
         early_termination: 1.0,
+        ..RenderOptions::square(64)
     };
     let (want, f) = render_intermediate(&Subvolume::whole(vol.clone()), &tf, &camera, &opts);
     assert_eq!(f.axis, 2);

@@ -18,9 +18,8 @@ fn config(dataset: Dataset, method: Method, camera: Camera) -> PipelineConfig {
         seed: 11,
         camera,
         render: RenderOptions {
-            width: 72,
-            height: 72,
             early_termination: 1.0,
+            ..RenderOptions::square(72)
         },
         method,
         codec: CodecKind::Trle,

@@ -210,6 +210,47 @@ pub mod strategy {
         (0 A, 1 B, 2 C, 3 D)
     }
 
+    /// Weighted union of strategies over a common value type, built by
+    /// [`crate::prop_oneof!`]: an arm is picked with probability
+    /// proportional to its weight, then sampled.
+    pub struct OneOf<T> {
+        #[allow(clippy::type_complexity)]
+        arms: Vec<(u64, Box<dyn Fn(&mut TestRng) -> T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// An empty union (must gain at least one arm before sampling).
+        pub fn empty() -> Self {
+            OneOf {
+                arms: Vec::new(),
+                total: 0,
+            }
+        }
+
+        /// Append an arm with the given weight.
+        pub fn arm<S: Strategy<Value = T> + 'static>(mut self, weight: u64, s: S) -> Self {
+            self.arms.push((weight, Box::new(move |rng| s.sample(rng))));
+            self.total += weight;
+            self
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(self.total > 0, "prop_oneof needs a positive total weight");
+            let mut pick = rng.below(self.total);
+            for (w, f) in &self.arms {
+                if pick < *w {
+                    return f(rng);
+                }
+                pick -= *w;
+            }
+            unreachable!("weighted pick exceeded total")
+        }
+    }
+
     /// Full-domain strategy marker created by [`crate::arbitrary::any`].
     pub struct Any<T> {
         _marker: std::marker::PhantomData<T>,
@@ -308,7 +349,22 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` draws from `a` three times as often as
+/// from `b`; weights default to 1 when omitted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::empty()$(.arm($weight as u64, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Assert inside a property (panics on failure; no shrinking here).
@@ -401,6 +457,11 @@ mod tests {
         fn composed_and_vec_strategies(p in arb_pair(), v in crate::collection::vec(any::<u8>(), 0..20)) {
             prop_assert!(p.0 < 10 && p.1 < 10);
             prop_assert!(v.len() < 20);
+        }
+
+        #[test]
+        fn oneof_respects_arm_domains(x in prop_oneof![4 => Just(0u8), 1 => 10u8..20]) {
+            prop_assert!(x == 0 || (10..20).contains(&x));
         }
     }
 }

@@ -5,6 +5,7 @@
 /// The commonly-imported surface.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::ParallelSliceMut;
 }
 
 /// `.par_iter()` on slice-like containers.
@@ -92,6 +93,92 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Start a parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter). Panics on a
+    /// zero chunk size, like `slice::chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksMut {
+            items: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Mutable-chunk parallel iterator.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            items: self.items,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Enumerated mutable-chunk parallel iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair across worker threads. Chunks
+    /// are disjoint, so no synchronization beyond work distribution is
+    /// needed.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        // One hand-off slot per chunk: a worker claims a slot by `take`-ing
+        // the indexed chunk out of its mutex.
+        type Slot<'s, U> = std::sync::Mutex<Option<(usize, &'s mut [U])>>;
+        let chunks: Vec<Slot<'_, T>> = self
+            .items
+            .chunks_mut(self.chunk_size)
+            .enumerate()
+            .map(|pair| std::sync::Mutex::new(Some(pair)))
+            .collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(4)
+            .min(n);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (idx, chunk) = chunks[i]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("each chunk is claimed exactly once");
+                    f((idx, chunk));
+                });
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -101,5 +188,28 @@ mod tests {
         let xs: Vec<usize> = (0..100).collect();
         let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_chunks_cover_every_element_once() {
+        let mut xs = vec![0u32; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 10 + j) as u32 + 1;
+            }
+        });
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+        // Empty slice: no chunks, no panic.
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_chunks_mut(4).enumerate().for_each(|(_, _)| {
+            unreachable!("no chunks in an empty slice");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_size_panics() {
+        let mut xs = [1u8; 4];
+        xs.par_chunks_mut(0).enumerate().for_each(|_| {});
     }
 }
