@@ -52,7 +52,25 @@ smoke_out=target/bench_smoke.json
 rm -f "$smoke_out"
 cargo run -q --release -p rt-bench --bin perf -- --smoke --out "$smoke_out"
 test -s "$smoke_out"
-grep -q '"schema": "bench-compose/v1"' "$smoke_out"
+grep -q '"schema": "bench-compose/v2"' "$smoke_out"
+
+echo "== tcp loopback smoke =="
+# One-rep composition per method x codec at P=8 across 8 real OS
+# processes on loopback TCP: the launcher spawns `netrank` workers, runs
+# the same cell in-process, and refuses to emit anything unless event
+# traces, virtual-clock RankStats and frame hashes reconcile bit-exactly
+# across backends (asserted inside the binary). The Chrome trace of the
+# last reconciled cell is validated and kept as a CI artifact.
+tcp_out=target/bench_tcp_smoke.json
+tcp_trace=target/tcp_smoke_trace.json
+rm -f "$tcp_out" "$tcp_trace"
+tcp_log=$(cargo run -q --release -p rt-bench --bin perf -- \
+    --smoke --transport tcp --out "$tcp_out" --trace-out "$tcp_trace")
+echo "$tcp_log"
+grep -q 'reconciled 12 tcp cell(s)' <<<"$tcp_log"
+test -s "$tcp_out"
+test -s "$tcp_trace"
+grep -q '"transport": "tcp"' "$tcp_out"
 
 echo "== kernels smoke =="
 # One-rep scalar-vs-wide microbench cell on a small frame: proves every

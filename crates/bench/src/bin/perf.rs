@@ -1,26 +1,53 @@
 //! Wall-clock perf harness for the compositing fast path.
 //!
 //! Unlike the figure binaries (virtual-clock replay), this measures *real*
-//! elapsed time of the threaded multicomputer, comparing the pooled
-//! zero-copy execution path against the per-transfer allocation baseline
-//! over the Figure 6 method lineup × codec × machine size grid.
+//! elapsed time, comparing the pooled zero-copy execution path against the
+//! per-transfer allocation baseline over the Figure 6 method lineup ×
+//! codec × machine size grid — on one or both communication backends:
 //!
-//! Emits `BENCH_compose.json` (schema `bench-compose/v1`) and prints an
-//! aligned table. `--smoke` shrinks the grid to a single one-rep cell for
-//! CI, asserting only that the harness runs end-to-end and the JSON
-//! round-trips.
+//! * `--transport inproc` (default): the threaded multicomputer.
+//! * `--transport tcp`: one OS process per rank (`netrank` workers spawned
+//!   through the `rt-net` rendezvous), composing over loopback TCP. Every
+//!   TCP cell is **reconciled** against an in-process run of the same
+//!   configuration: the event traces must be bit-identical, the
+//!   virtual-clock `RankStats` must price identically, and the root frames
+//!   must hash identically — the determinism claim of the transport layer,
+//!   gated on every run. The reconciled timelines of the last TCP cell are
+//!   exported as a Chrome trace (`--trace-out`).
+//!
+//! Emits `BENCH_compose.json` (schema `bench-compose/v2`; every row names
+//! its transport) and prints an aligned table. `--smoke` shrinks the grid
+//! to a one-rep 128×128 P=8 pass for CI.
 
 use rt_bench::harness::print_table;
+use rt_bench::netgrid::{
+    band_partials, codec_label, frame_hash, parse_codec, NetJob, WorkerResult,
+};
+use rt_comm::{replay_timeline, CostModel, Trace};
 use rt_compress::CodecKind;
 use rt_core::exec::{
     run_composition, run_composition_pooled, ComposeConfig, ExecPath, ScratchPool,
 };
 use rt_core::method::{CompositionMethod, Method};
-use rt_core::schedule::verify_schedule;
-use rt_imaging::pixel::{GrayAlpha8, Pixel};
-use rt_imaging::Image;
+use rt_core::schedule::{verify_schedule, Schedule};
+use rt_imaging::pixel::GrayAlpha8;
+use rt_net::{process::read_blob, Launcher};
+use rt_obs::{validate_chrome_trace, ChromeTrace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportArg {
+    InProc,
+    Tcp,
+}
+
+fn transport_label(t: TransportArg) -> &'static str {
+    match t {
+        TransportArg::InProc => "inproc",
+        TransportArg::Tcp => "tcp",
+    }
+}
 
 #[derive(Debug, Clone)]
 struct PerfArgs {
@@ -29,7 +56,9 @@ struct PerfArgs {
     frame: usize,
     ps: Vec<usize>,
     codecs: Vec<CodecKind>,
+    transports: Vec<TransportArg>,
     out: String,
+    trace_out: String,
     smoke: bool,
 }
 
@@ -41,18 +70,11 @@ impl Default for PerfArgs {
             frame: 512,
             ps: vec![8, 32],
             codecs: vec![CodecKind::Raw, CodecKind::Rle, CodecKind::Trle],
+            transports: vec![TransportArg::InProc],
             out: "BENCH_compose.json".into(),
+            trace_out: "BENCH_tcp_trace.json".into(),
             smoke: false,
         }
-    }
-}
-
-fn parse_codec(s: &str) -> CodecKind {
-    match s {
-        "raw" => CodecKind::Raw,
-        "rle" => CodecKind::Rle,
-        "trle" => CodecKind::Trle,
-        other => panic!("unknown codec '{other}' (raw|rle|trle)"),
     }
 }
 
@@ -81,12 +103,24 @@ impl PerfArgs {
                         .map(|s| parse_codec(s.trim()))
                         .collect();
                 }
+                "--transport" => {
+                    out.transports = value("--transport")
+                        .split(',')
+                        .map(|s| match s.trim() {
+                            "inproc" => TransportArg::InProc,
+                            "tcp" => TransportArg::Tcp,
+                            other => panic!("unknown transport '{other}' (inproc|tcp)"),
+                        })
+                        .collect();
+                }
                 "--out" => out.out = value("--out"),
+                "--trace-out" => out.trace_out = value("--trace-out"),
                 "--smoke" => out.smoke = true,
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --reps N  --warmup N  --frame N  --p 8,32  \
-                         --codecs raw,rle,trle  --out FILE  --smoke"
+                         --codecs raw,rle,trle  --transport inproc,tcp  \
+                         --out FILE  --trace-out FILE  --smoke"
                     );
                     std::process::exit(0);
                 }
@@ -101,27 +135,12 @@ impl PerfArgs {
             out.ps = vec![8];
         }
         assert!(out.reps > 0, "--reps must be positive");
+        assert!(
+            !out.transports.is_empty(),
+            "--transport must name a backend"
+        );
         out
     }
-}
-
-/// Depth-ordered synthetic partials: rank `r` contributes a horizontal
-/// band (≈1/p of the rows) of semi-transparent pixels with 8-pixel runs,
-/// blank elsewhere — the sparsity profile the structured codecs exist for.
-fn band_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
-    (0..p)
-        .map(|r| {
-            let lo = r * h / p;
-            let hi = (r + 1) * h / p;
-            Image::from_fn(w, h, |x, y| {
-                if y >= lo && y < hi {
-                    GrayAlpha8::new((((x / 8) * 7 + r) % 151) as u8, 200)
-                } else {
-                    GrayAlpha8::blank()
-                }
-            })
-        })
-        .collect()
 }
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -147,6 +166,8 @@ struct Row {
     method: String,
     codec: String,
     p: usize,
+    /// Which backend carried the messages: `inproc` or `tcp`.
+    transport: String,
     pooled: Quantiles,
     per_transfer: Quantiles,
     /// per-transfer p50 / pooled p50 — >1 means the pooled path is faster.
@@ -162,100 +183,253 @@ struct Report {
     pixel: String,
     reps: usize,
     warmup: usize,
-    /// per-transfer p50 / pooled p50 on the raw-codec P=32 cell (the
-    /// allocation-heaviest cell), when that cell is in the grid.
+    /// per-transfer p50 / pooled p50 on the in-process raw-codec P=32
+    /// cell (the allocation-heaviest cell), when that cell is in the grid.
     speedup_raw_p32: Option<f64>,
     results: Vec<Row>,
 }
 
-fn codec_label(c: CodecKind) -> &'static str {
-    match c {
-        CodecKind::Raw => "raw",
-        CodecKind::Rle => "rle",
-        CodecKind::Trle => "trle",
-        CodecKind::Bounds => "bounds",
+/// Everything one cell measurement produces, on either backend.
+struct CellOutcome {
+    pooled_ms: Vec<f64>,
+    baseline_ms: Vec<f64>,
+    trace: Trace,
+    frame_hash: Option<u64>,
+}
+
+fn root_frame_hash(
+    results: &[Result<rt_core::exec::ComposeOutput<GrayAlpha8>, rt_core::CoreError>],
+) -> Option<u64> {
+    results
+        .iter()
+        .find_map(|r| r.as_ref().unwrap().frame.as_ref())
+        .map(frame_hash)
+}
+
+/// One in-process cell: both paths timed per rep, trace + frame hash from
+/// the first timed pooled rep.
+fn run_inproc_cell(
+    schedule: &Schedule,
+    partials: &[rt_imaging::Image<GrayAlpha8>],
+    codec: CodecKind,
+    pool: &ScratchPool<GrayAlpha8>,
+    reps: usize,
+    warmup: usize,
+) -> CellOutcome {
+    let pooled_cfg = ComposeConfig::default()
+        .with_codec(codec)
+        .with_path(ExecPath::Pooled);
+    let baseline_cfg = pooled_cfg.with_path(ExecPath::PerTransfer);
+    let mut outcome = CellOutcome {
+        pooled_ms: Vec::with_capacity(reps),
+        baseline_ms: Vec::with_capacity(reps),
+        trace: Trace::default(),
+        frame_hash: None,
+    };
+    for rep in 0..warmup + reps {
+        // Clones happen outside the timed region.
+        let a = partials.to_vec();
+        let b = partials.to_vec();
+        let t0 = Instant::now();
+        let (out_pooled, trace) = run_composition_pooled(schedule, a, &pooled_cfg, pool);
+        let dt_pooled = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (out_base, _) = run_composition(schedule, b, &baseline_cfg);
+        let dt_base = t1.elapsed().as_secs_f64() * 1e3;
+        if rep == warmup {
+            // Equivalence check once per cell, on the first timed rep:
+            // the two paths must agree bit-for-bit.
+            let pooled_hash = root_frame_hash(&out_pooled);
+            assert_eq!(
+                pooled_hash,
+                root_frame_hash(&out_base),
+                "{}/{codec:?}: paths diverged",
+                schedule.method
+            );
+            outcome.frame_hash = pooled_hash;
+            outcome.trace = trace;
+        }
+        if rep >= warmup {
+            outcome.pooled_ms.push(dt_pooled);
+            outcome.baseline_ms.push(dt_base);
+        }
     }
+    outcome
+}
+
+/// The sibling `netrank` binary (same target directory as this one).
+fn netrank_path() -> std::path::PathBuf {
+    let mut path = std::env::current_exe().expect("own executable path");
+    path.set_file_name("netrank");
+    assert!(
+        path.exists(),
+        "worker binary {} not built — build the rt-bench bins first",
+        path.display()
+    );
+    path
+}
+
+/// One TCP cell: spawn `p` `netrank` processes, rendezvous them into a
+/// mesh, collect per-rank results. Per-rep cell time is the slowest rank's
+/// local time (completion is gated on the slowest rank, as on a real
+/// machine).
+fn run_tcp_cell(job: NetJob, p: usize) -> CellOutcome {
+    let launcher = Launcher::bind().expect("bind rendezvous listener");
+    let mut children = Vec::with_capacity(p);
+    for rank in 0..p {
+        let mut cmd = std::process::Command::new(netrank_path());
+        cmd.args(job.to_args());
+        launcher
+            .configure(&mut cmd, rank, p)
+            .expect("stamp worker environment");
+        children.push(cmd.spawn().expect("spawn netrank worker"));
+    }
+    let mut controls = launcher.rendezvous(p).expect("rendezvous workers");
+    let mut results: Vec<WorkerResult> = controls
+        .iter_mut()
+        .map(|c| {
+            let blob = read_blob(c).expect("worker result blob");
+            let text = String::from_utf8(blob).expect("worker result is UTF-8");
+            serde_json::from_str(&text).expect("worker result parses")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("reap worker");
+        assert!(status.success(), "netrank worker exited with {status}");
+    }
+    results.sort_by_key(|r| r.rank);
+
+    let reps = results[0].pooled_ms.len();
+    let slowest = |pick: fn(&WorkerResult) -> &Vec<f64>| -> Vec<f64> {
+        (0..reps)
+            .map(|i| {
+                results
+                    .iter()
+                    .map(|r| pick(r)[i])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    };
+    let pooled_ms = slowest(|r| &r.pooled_ms);
+    let baseline_ms = slowest(|r| &r.per_transfer_ms);
+    let frame_hash = results.iter().find_map(|r| r.frame_hash);
+    let mut trace = Trace::default();
+    for r in results {
+        trace.ranks.push(r.trace);
+    }
+    CellOutcome {
+        pooled_ms,
+        baseline_ms,
+        trace,
+        frame_hash,
+    }
+}
+
+/// The determinism gate: a TCP cell must be indistinguishable from the
+/// in-process run of the same configuration — same event trace bit for
+/// bit, same virtual-clock `RankStats`, same root frame. Returns the
+/// reconciled report + timelines for the Chrome-trace export.
+fn reconcile_cell(
+    label: &str,
+    tcp: &CellOutcome,
+    reference: &CellOutcome,
+) -> (rt_comm::ReplayReport, Vec<rt_obs::RankTimeline>) {
+    assert_eq!(
+        tcp.trace, reference.trace,
+        "{label}: TCP and in-process event traces diverged"
+    );
+    assert_eq!(
+        tcp.frame_hash, reference.frame_hash,
+        "{label}: TCP and in-process frames diverged"
+    );
+    let (tcp_report, timelines) =
+        replay_timeline(&tcp.trace, &CostModel::PAPER_EXAMPLE).expect("tcp trace replays");
+    let (ref_report, _) =
+        replay_timeline(&reference.trace, &CostModel::PAPER_EXAMPLE).expect("ref trace replays");
+    assert_eq!(
+        tcp_report.ranks, ref_report.ranks,
+        "{label}: virtual-clock RankStats diverged across backends"
+    );
+    (tcp_report, timelines)
 }
 
 fn main() {
     let args = PerfArgs::parse();
     let mut rows = Vec::new();
+    let mut reconciled_cells = 0usize;
+    let mut last_tcp_timelines: Option<(String, Vec<rt_obs::RankTimeline>)> = None;
     for &p in &args.ps {
         let partials = band_partials(p, args.frame, args.frame);
         let pool = ScratchPool::<GrayAlpha8>::new();
-        for method in Method::figure6_lineup() {
+        for (method_index, method) in Method::figure6_lineup().into_iter().enumerate() {
             let schedule = method
                 .build(p, args.frame * args.frame)
                 .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
             verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
             for &codec in &args.codecs {
-                let pooled_cfg = ComposeConfig::default()
-                    .with_codec(codec)
-                    .with_path(ExecPath::Pooled);
-                let baseline_cfg = pooled_cfg.with_path(ExecPath::PerTransfer);
-                let mut pooled_ms = Vec::with_capacity(args.reps);
-                let mut baseline_ms = Vec::with_capacity(args.reps);
-                let mut bytes = 0;
-                let mut messages = 0;
-                for rep in 0..args.warmup + args.reps {
-                    // Clones happen outside the timed region.
-                    let a = partials.clone();
-                    let b = partials.clone();
-                    let t0 = Instant::now();
-                    let (out_pooled, trace) =
-                        run_composition_pooled(&schedule, a, &pooled_cfg, &pool);
-                    let dt_pooled = t0.elapsed().as_secs_f64() * 1e3;
-                    let t1 = Instant::now();
-                    let (out_base, _) = run_composition(&schedule, b, &baseline_cfg);
-                    let dt_base = t1.elapsed().as_secs_f64() * 1e3;
-                    if rep == args.warmup {
-                        // Equivalence check once per cell, on the first
-                        // timed rep: the two paths must agree bit-for-bit.
-                        let frame_of = |results: &[Result<
-                            rt_core::exec::ComposeOutput<GrayAlpha8>,
-                            rt_core::CoreError,
-                        >]| {
-                            results
-                                .iter()
-                                .find_map(|r| r.as_ref().unwrap().frame.clone())
-                                .expect("root produced a frame")
-                        };
-                        assert_eq!(
-                            frame_of(&out_pooled).pixels(),
-                            frame_of(&out_base).pixels(),
-                            "{}/{codec:?}/p={p}: paths diverged",
-                            method.name()
-                        );
-                        bytes = trace.bytes_sent();
-                        messages = trace.message_count();
-                    }
-                    if rep >= args.warmup {
-                        pooled_ms.push(dt_pooled);
-                        baseline_ms.push(dt_base);
-                    }
-                }
-                let pooled = quantiles(pooled_ms);
-                let per_transfer = quantiles(baseline_ms);
-                rows.push(Row {
-                    method: method.name(),
-                    codec: codec_label(codec).into(),
-                    p,
-                    pooled,
-                    per_transfer,
-                    speedup_p50: per_transfer.p50_ms / pooled.p50_ms,
-                    bytes,
-                    messages,
+                // The in-process cell doubles as the reconciliation
+                // reference whenever the TCP backend is in the grid.
+                let needs_inproc = args.transports.contains(&TransportArg::InProc)
+                    || args.transports.contains(&TransportArg::Tcp);
+                let inproc = needs_inproc.then(|| {
+                    run_inproc_cell(&schedule, &partials, codec, &pool, args.reps, args.warmup)
                 });
+                for &transport in &args.transports {
+                    let cell = match transport {
+                        TransportArg::InProc => inproc.as_ref().expect("inproc cell ran"),
+                        TransportArg::Tcp => {
+                            let job = NetJob {
+                                method_index,
+                                codec,
+                                frame: args.frame,
+                                reps: args.reps,
+                                warmup: args.warmup,
+                            };
+                            let tcp = run_tcp_cell(job, p);
+                            let label = format!("{}/{}/p={p}", method.name(), codec_label(codec));
+                            let (_, timelines) =
+                                reconcile_cell(&label, &tcp, inproc.as_ref().expect("reference"));
+                            reconciled_cells += 1;
+                            last_tcp_timelines = Some((label, timelines));
+                            rows.push(build_row(&method, codec, p, transport, &tcp));
+                            continue;
+                        }
+                    };
+                    rows.push(build_row(&method, codec, p, transport, cell));
+                }
             }
         }
     }
 
+    if reconciled_cells > 0 {
+        println!(
+            "reconciled {reconciled_cells} tcp cell(s) against in-process runs \
+             (traces, RankStats and frames bit-identical)"
+        );
+    }
+    if let Some((label, timelines)) = &last_tcp_timelines {
+        let mut chrome = ChromeTrace::new();
+        chrome.meta_process(0, &format!("tcp-loopback {label}"));
+        for tl in timelines {
+            chrome.add_timeline(0, tl);
+        }
+        let json = chrome.to_json();
+        let events = validate_chrome_trace(&chrome.into_value()).expect("chrome trace validates");
+        std::fs::write(&args.trace_out, json).expect("write chrome trace");
+        println!(
+            "chrome trace of {label}: {events} events -> {}",
+            args.trace_out
+        );
+    }
+
     let speedup_raw_p32 = rows
         .iter()
-        .find(|r| r.codec == "raw" && r.p == 32 && r.method == "2N_RT(B=4)")
+        .find(|r| {
+            r.codec == "raw" && r.p == 32 && r.method == "2N_RT(B=4)" && r.transport == "inproc"
+        })
         .map(|r| r.speedup_p50);
     let report = Report {
-        schema: "bench-compose/v1".into(),
+        schema: "bench-compose/v2".into(),
         frame: args.frame,
         pixel: "GrayAlpha8".into(),
         reps: args.reps,
@@ -272,6 +446,7 @@ fn main() {
                 r.method.clone(),
                 r.codec.clone(),
                 r.p.to_string(),
+                r.transport.clone(),
                 format!("{:.2}", r.pooled.p50_ms),
                 format!("{:.2}", r.pooled.p95_ms),
                 format!("{:.2}", r.per_transfer.p50_ms),
@@ -286,6 +461,7 @@ fn main() {
             "method",
             "codec",
             "p",
+            "transport",
             "pooled p50",
             "pooled p95",
             "base p50",
@@ -304,8 +480,30 @@ fn main() {
     // both present and valid JSON.
     let back = std::fs::read_to_string(&args.out).expect("re-read artifact");
     let parsed: Report = serde_json::from_str(&back).expect("artifact parses");
-    assert_eq!(parsed.schema, "bench-compose/v1");
+    assert_eq!(parsed.schema, "bench-compose/v2");
     let n = parsed.results.len();
     assert!(n > 0, "artifact has no result rows");
     println!("BENCH_compose.json OK ({n} rows -> {})", args.out);
+}
+
+fn build_row(
+    method: &Method,
+    codec: CodecKind,
+    p: usize,
+    transport: TransportArg,
+    cell: &CellOutcome,
+) -> Row {
+    let pooled = quantiles(cell.pooled_ms.clone());
+    let per_transfer = quantiles(cell.baseline_ms.clone());
+    Row {
+        method: method.name(),
+        codec: codec_label(codec).into(),
+        p,
+        transport: transport_label(transport).into(),
+        pooled,
+        per_transfer,
+        speedup_p50: per_transfer.p50_ms / pooled.p50_ms,
+        bytes: cell.trace.bytes_sent(),
+        messages: cell.trace.message_count(),
+    }
 }

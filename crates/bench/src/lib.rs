@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod netgrid;
 
 pub use harness::{measure, Args, Measurement, ScreenScene};

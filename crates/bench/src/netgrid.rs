@@ -1,0 +1,181 @@
+//! Shared plumbing for the multi-process TCP benchmark cells: the job
+//! description the `perf` launcher hands each `netrank` worker process,
+//! the per-rank result blob the worker reports back, and the synthetic
+//! workload both sides (and the in-process reference run) must agree on.
+//!
+//! The launcher and workers are separate OS processes of the *same* build,
+//! so everything they must agree on — partial-image content, method
+//! lineup, codec labels, frame hashing — lives here instead of being
+//! duplicated per binary.
+
+use rt_comm::RankTrace;
+use rt_compress::CodecKind;
+use rt_core::method::Method;
+use rt_imaging::pixel::{GrayAlpha8, Pixel};
+use rt_imaging::Image;
+use serde::{Deserialize, Serialize};
+
+/// One benchmark cell, as the launcher encodes it onto a `netrank`
+/// command line and the worker decodes it back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetJob {
+    /// Index into [`Method::figure6_lineup`] (indices are stable across
+    /// processes of one build — both sides call the same function).
+    pub method_index: usize,
+    /// Message codec for every transfer and the gather.
+    pub codec: CodecKind,
+    /// Square frame edge in pixels.
+    pub frame: usize,
+    /// Timed repetitions per cell.
+    pub reps: usize,
+    /// Untimed warm-up repetitions before the timed ones.
+    pub warmup: usize,
+}
+
+impl NetJob {
+    /// The method this job runs.
+    ///
+    /// # Panics
+    /// Panics if `method_index` is out of range for the lineup.
+    pub fn method(&self) -> Method {
+        let lineup = Method::figure6_lineup();
+        *lineup.get(self.method_index).unwrap_or_else(|| {
+            panic!(
+                "method index {} outside the figure-6 lineup of {}",
+                self.method_index,
+                lineup.len()
+            )
+        })
+    }
+
+    /// Encode as `netrank` command-line arguments.
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            "--method-index".into(),
+            self.method_index.to_string(),
+            "--codec".into(),
+            codec_label(self.codec).into(),
+            "--frame".into(),
+            self.frame.to_string(),
+            "--reps".into(),
+            self.reps.to_string(),
+            "--warmup".into(),
+            self.warmup.to_string(),
+        ]
+    }
+}
+
+/// What one worker rank reports back over the rendezvous control stream
+/// (JSON-encoded): its event trace from the first timed repetition plus
+/// wall-clock samples for every timed repetition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerResult {
+    /// The reporting rank.
+    pub rank: usize,
+    /// Event trace of the first timed pooled repetition — the launcher
+    /// reassembles the full [`rt_comm::Trace`] from these and reconciles
+    /// it against an in-process run of the same cell.
+    pub trace: RankTrace,
+    /// Wall-clock milliseconds per timed repetition, pooled path.
+    pub pooled_ms: Vec<f64>,
+    /// Wall-clock milliseconds per timed repetition, per-transfer path.
+    pub per_transfer_ms: Vec<f64>,
+    /// FNV-1a hash of the root's assembled frame (`None` off-root), from
+    /// the first timed pooled repetition.
+    pub frame_hash: Option<u64>,
+}
+
+/// Depth-ordered synthetic partials: rank `r` contributes a horizontal
+/// band (≈1/p of the rows) of semi-transparent pixels with 8-pixel runs,
+/// blank elsewhere — the sparsity profile the structured codecs exist
+/// for. Every process generates the full set and keeps its own band, so
+/// no pixels cross the rendezvous.
+pub fn band_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+    (0..p)
+        .map(|r| {
+            let lo = r * h / p;
+            let hi = (r + 1) * h / p;
+            Image::from_fn(w, h, |x, y| {
+                if y >= lo && y < hi {
+                    GrayAlpha8::new((((x / 8) * 7 + r) % 151) as u8, 200)
+                } else {
+                    GrayAlpha8::blank()
+                }
+            })
+        })
+        .collect()
+}
+
+/// FNV-1a over a frame's pixels, for cheap cross-process frame-equality
+/// checks (the determinism *tests* compare full pixel buffers; the bench
+/// gate only needs a fingerprint).
+pub fn frame_hash(frame: &Image<GrayAlpha8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for px in frame.pixels() {
+        eat(px.v);
+        eat(px.a);
+    }
+    h
+}
+
+/// Canonical short label for a codec (CLI + JSON vocabulary).
+pub fn codec_label(c: CodecKind) -> &'static str {
+    match c {
+        CodecKind::Raw => "raw",
+        CodecKind::Rle => "rle",
+        CodecKind::Trle => "trle",
+        CodecKind::Bounds => "bounds",
+    }
+}
+
+/// Parse a codec label produced by [`codec_label`].
+///
+/// # Panics
+/// Panics on an unknown label.
+pub fn parse_codec(s: &str) -> CodecKind {
+    match s {
+        "raw" => CodecKind::Raw,
+        "rle" => CodecKind::Rle,
+        "trle" => CodecKind::Trle,
+        "bounds" => CodecKind::Bounds,
+        other => panic!("unknown codec '{other}' (raw|rle|trle|bounds)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_args_round_trip_the_codec_vocabulary() {
+        for codec in [CodecKind::Raw, CodecKind::Rle, CodecKind::Trle] {
+            assert_eq!(parse_codec(codec_label(codec)), codec);
+        }
+    }
+
+    #[test]
+    fn frame_hash_distinguishes_frames() {
+        let a = band_partials(2, 16, 16);
+        assert_ne!(frame_hash(&a[0]), frame_hash(&a[1]));
+        assert_eq!(frame_hash(&a[0]), frame_hash(&a[0].clone()));
+    }
+
+    #[test]
+    fn worker_result_serializes() {
+        let r = WorkerResult {
+            rank: 3,
+            trace: Vec::new(),
+            pooled_ms: vec![1.5],
+            per_transfer_ms: vec![2.5],
+            frame_hash: Some(7),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: WorkerResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rank, 3);
+        assert_eq!(back.frame_hash, Some(7));
+    }
+}

@@ -34,8 +34,8 @@
 //! is bit-for-bit reproducible.
 
 use crate::trace::{Event, RankTrace, Trace};
+use crate::transport::{InProc, RecvRawError, SendRawError, Transport, WireFrame};
 use crate::ComputeKind;
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use rt_obs::{Counters, Observer, Phase, Recorder};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -78,8 +78,11 @@ pub enum CommError {
     /// The peer's channel endpoint was dropped (peer exited early) without
     /// a death notification.
     Disconnected {
-        /// Source rank whose channel closed.
+        /// Peer rank whose endpoint closed.
         from: usize,
+        /// Tag of the operation that hit the closed endpoint (the tag
+        /// being sent, or the tag a receive was waiting on).
+        tag: u64,
     },
     /// Every delivery attempt of a message was lost or corrupted.
     DeliveryFailed {
@@ -121,8 +124,11 @@ impl std::fmt::Display for CommError {
                 "timed out waiting for tag {tag:#x} from rank {from} \
                  (waited {elapsed:?} against a {deadline:?} deadline)"
             ),
-            CommError::Disconnected { from } => {
-                write!(f, "channel from rank {from} disconnected")
+            CommError::Disconnected { from, tag } => {
+                write!(
+                    f,
+                    "channel from rank {from} disconnected (tag {tag:#x} in flight)"
+                )
             }
             CommError::DeliveryFailed { to, tag, attempts } => write!(
                 f,
@@ -352,24 +358,21 @@ impl PartialEq<Payload> for Vec<u8> {
     }
 }
 
-struct Message {
-    from: usize,
-    tag: u64,
-    seq: u64,
-    checksum: u64,
-    payload: Payload,
-}
-
 /// Per-rank handle: the algorithm-facing API of the multicomputer.
+///
+/// A `RankCtx` owns the reliable-delivery envelope (sequence numbers,
+/// checksums, retransmission, fault injection, failure detection) and the
+/// tagged-message demux; the raw frame motion underneath is delegated to a
+/// [`Transport`] backend. [`Multicomputer::run`] builds one per thread over
+/// the [`InProc`] backend; out-of-process workers build their own with
+/// [`RankCtx::over_transport`] (see the `rt-net` crate).
 pub struct RankCtx {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Message>>,
-    rx: Receiver<Message>,
-    pending: Vec<VecDeque<Message>>,
+    transport: Box<dyn Transport>,
+    pending: Vec<VecDeque<WireFrame>>,
     send_seq: Vec<u64>,
     events: RankTrace,
-    barrier: Arc<std::sync::Barrier>,
     barrier_gen: u64,
     gather_gen: u64,
     liveness_gen: u64,
@@ -402,7 +405,60 @@ pub(crate) fn ceil_log2_pub(p: usize) -> usize {
     p.next_power_of_two().trailing_zeros() as usize
 }
 
+/// Options for building a standalone [`RankCtx`] over an external
+/// [`Transport`] (the multi-process mode of the `rt-net` crate). The
+/// defaults match [`Multicomputer::new`]: 10 s receive deadline, no
+/// faults, unobserved.
+#[derive(Debug, Default)]
+pub struct RankOptions {
+    /// Receive deadline (`None` keeps the 10 s default).
+    pub timeout: Option<Duration>,
+    /// Fault-injection plan (must be identical on every rank for the
+    /// deterministic failure protocol to agree).
+    pub faults: FaultPlan,
+    /// Wall-clock recorder for observed runs.
+    pub recorder: Option<Recorder>,
+}
+
 impl RankCtx {
+    /// Build a rank context over an arbitrary transport backend.
+    ///
+    /// This is the entry point for out-of-process ranks: the `rt-net`
+    /// worker connects its TCP mesh, wraps it here, and runs the same
+    /// executor code the threaded backend runs. The envelope state starts
+    /// fresh (sequence numbers at zero), so every cooperating rank must
+    /// construct its context at the same protocol point.
+    pub fn over_transport(transport: Box<dyn Transport>, opts: RankOptions) -> RankCtx {
+        let rank = transport.rank();
+        let size = transport.world_size();
+        assert!(size > 0, "a multicomputer needs at least one rank");
+        assert!(rank < size, "transport rank {rank} outside world {size}");
+        RankCtx {
+            rank,
+            size,
+            transport,
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            send_seq: vec![0; size],
+            events: Vec::new(),
+            barrier_gen: 0,
+            gather_gen: 0,
+            liveness_gen: 0,
+            timeout: opts.timeout.unwrap_or(Duration::from_secs(10)),
+            faults: Arc::new(opts.faults),
+            dead: BTreeMap::new(),
+            checksum_rejects: 0,
+            obs: opts.recorder,
+            obs_step: None,
+        }
+    }
+
+    /// Tear the context down, recovering the recorded event history, the
+    /// transport (for reuse across composes — e.g. one per animation
+    /// frame) and the recorder of an observed run.
+    pub fn into_parts(self) -> (RankTrace, Box<dyn Transport>, Option<Recorder>) {
+        (self.events, self.transport, self.obs)
+    }
+
     /// This rank's id in `0..size`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -460,17 +516,20 @@ impl RankCtx {
     }
 
     /// Push a frame into `to`'s queue, tolerating a planned-dead receiver.
-    fn push_frame(&mut self, to: usize, msg: Message) -> Result<(), CommError> {
-        match self.senders[to].send(msg) {
+    fn push_frame(&mut self, to: usize, msg: WireFrame) -> Result<(), CommError> {
+        let tag = msg.tag;
+        match self.transport.send_raw(to, msg) {
             Ok(()) => Ok(()),
-            // The receiver's thread has exited. If its death was planned
+            // The receiver's endpoint is gone. If its death was planned
             // (or already announced), the loss is part of the failure
             // model and the send is a deterministic no-op; otherwise it
             // is a genuine wiring bug.
-            Err(_) if self.faults.crashes.contains_key(&to) || self.dead.contains_key(&to) => {
+            Err(SendRawError { .. })
+                if self.faults.crashes.contains_key(&to) || self.dead.contains_key(&to) =>
+            {
                 Ok(())
             }
-            Err(_) => Err(CommError::Disconnected { from: to }),
+            Err(SendRawError { .. }) => Err(CommError::Disconnected { from: to, tag }),
         }
     }
 
@@ -556,7 +615,7 @@ impl RankCtx {
                 };
                 self.push_frame(
                     to,
-                    Message {
+                    WireFrame {
                         from: self.rank,
                         tag: wire_tag,
                         seq,
@@ -571,7 +630,7 @@ impl RankCtx {
             let checksum = fnv1a(&payload);
             self.push_frame(
                 to,
-                Message {
+                WireFrame {
                     from: self.rank,
                     tag: wire_tag,
                     seq,
@@ -593,7 +652,7 @@ impl RankCtx {
 
     /// File an incoming frame: verify its checksum, intercept control
     /// frames, queue the rest.
-    fn stash(&mut self, msg: Message) {
+    fn stash(&mut self, msg: WireFrame) {
         if msg.tag == DEATH_TAG {
             let step = usize::from_le_bytes(msg.payload.as_slice().try_into().unwrap_or([0; 8]));
             self.dead.insert(msg.from, step);
@@ -670,16 +729,12 @@ impl RankCtx {
             // The blocking poll is bracketed as a nested `Wait` span inside
             // the enclosing `Recv` span.
             let wait_started = self.obs_start();
-            let polled = self.rx.recv_timeout(remaining);
+            let polled = self.transport.recv_raw(remaining);
             self.obs_span(Phase::Wait, wait_started);
             match polled {
                 Ok(msg) => self.stash(msg),
-                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
-                    return Err(self.recv_failure(from, tag, started))
-                }
-                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::Disconnected { from })
-                }
+                Err(RecvRawError::Timeout) => return Err(self.recv_failure(from, tag, started)),
+                Err(RecvRawError::Closed) => return Err(CommError::Disconnected { from, tag }),
             }
         }
     }
@@ -687,7 +742,7 @@ impl RankCtx {
     /// Drain already-arrived frames without blocking (files death
     /// notifications and queues data frames).
     pub fn poll(&mut self) {
-        while let Some(msg) = self.rx.try_recv() {
+        while let Some(msg) = self.transport.try_recv_raw() {
             self.stash(msg);
         }
     }
@@ -740,13 +795,16 @@ impl RankCtx {
                 bytes: payload.len() as u64,
                 seq,
             });
-            let _ = self.senders[to].send(Message {
-                from: self.rank,
-                tag: DEATH_TAG,
-                seq,
-                checksum,
-                payload: payload.clone(),
-            });
+            let _ = self.transport.send_raw(
+                to,
+                WireFrame {
+                    from: self.rank,
+                    tag: DEATH_TAG,
+                    seq,
+                    checksum,
+                    payload: payload.clone(),
+                },
+            );
         }
     }
 
@@ -803,13 +861,16 @@ impl RankCtx {
             });
             // A send failure here means the peer exited: its death frame
             // is already queued and the receive below will find it.
-            let _ = self.senders[to].send(Message {
-                from: self.rank,
-                tag,
-                seq,
-                checksum,
-                payload: payload.clone(),
-            });
+            let _ = self.transport.send_raw(
+                to,
+                WireFrame {
+                    from: self.rank,
+                    tag,
+                    seq,
+                    checksum,
+                    payload: payload.clone(),
+                },
+            );
         }
         for &from in &sent_to {
             if self.dead.contains_key(&from) {
@@ -863,7 +924,7 @@ impl RankCtx {
         self.barrier_gen += 1;
         self.events.push(Event::Barrier { generation });
         let started = self.obs_start();
-        self.barrier.wait();
+        self.transport.barrier();
         self.obs_span(Phase::Wait, started);
     }
 
@@ -901,6 +962,15 @@ impl RankCtx {
     /// The events recorded so far (mainly for tests).
     pub fn events(&self) -> &RankTrace {
         &self.events
+    }
+
+    /// Drain this rank's recorded events, leaving an empty trace behind.
+    ///
+    /// Executors that assemble a [`Trace`] from per-rank
+    /// contexts (e.g. a machine running one context per thread) take each
+    /// rank's events after its closure returns.
+    pub fn take_events(&mut self) -> RankTrace {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -967,40 +1037,25 @@ impl Multicomputer {
         F: Fn(&mut RankCtx) -> T + Send + Sync,
     {
         let p = self.size;
-        let mut txs = Vec::with_capacity(p);
-        let mut rxs = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<Message>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let barrier = Arc::new(std::sync::Barrier::new(p));
         let f = &f;
 
-        let mut ctxs: Vec<RankCtx> = rxs
+        let mut ctxs: Vec<RankCtx> = InProc::mesh(p)
             .into_iter()
             .enumerate()
-            .map(|(rank, rx)| RankCtx {
-                rank,
-                size: p,
-                senders: txs.clone(),
-                rx,
-                pending: (0..p).map(|_| VecDeque::new()).collect(),
-                send_seq: vec![0; p],
-                events: Vec::new(),
-                barrier: Arc::clone(&barrier),
-                barrier_gen: 0,
-                gather_gen: 0,
-                liveness_gen: 0,
-                timeout: self.timeout,
-                faults: Arc::clone(&self.faults),
-                dead: BTreeMap::new(),
-                checksum_rejects: 0,
-                obs: self.observer.as_ref().map(|o| o.recorder(rank)),
-                obs_step: None,
+            .map(|(rank, transport)| {
+                let mut ctx = RankCtx::over_transport(
+                    Box::new(transport),
+                    RankOptions {
+                        timeout: Some(self.timeout),
+                        faults: FaultPlan::default(),
+                        recorder: self.observer.as_ref().map(|o| o.recorder(rank)),
+                    },
+                );
+                // Share the one plan across ranks instead of cloning it.
+                ctx.faults = Arc::clone(&self.faults);
+                ctx
             })
             .collect();
-        drop(txs);
 
         let mut outcome: Vec<Option<(T, RankTrace)>> = (0..p).map(|_| None).collect();
         let mut panics: Vec<(usize, String)> = Vec::new();
@@ -1293,6 +1348,24 @@ mod tests {
             }
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn timeout_message_names_peer_and_tag() {
+        // The formatted diagnostic must identify *which* peer and tag the
+        // rank was waiting on — that is what an operator greps for first.
+        let mc = Multicomputer::new(2).with_timeout(Duration::from_millis(30));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.recv(1, 0x2a).map(Payload::into_vec)
+            } else {
+                Ok(vec![])
+            }
+        });
+        let err = results[0].clone().expect_err("rank 0 must time out");
+        let msg = err.to_string();
+        assert!(msg.contains("rank 1"), "peer missing from: {msg}");
+        assert!(msg.contains("0x2a"), "tag missing from: {msg}");
     }
 
     #[test]

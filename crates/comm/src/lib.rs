@@ -50,9 +50,13 @@ pub mod comm;
 pub mod cost;
 pub mod replay;
 pub mod trace;
+pub mod transport;
 
 pub use collective::{all_gather, broadcast, reduce};
-pub use comm::{CommError, FaultPlan, Multicomputer, Payload, RankCtx};
+pub use comm::{CommError, FaultPlan, Multicomputer, Payload, RankCtx, RankOptions};
 pub use cost::{ComputeKind, CostModel};
 pub use replay::{replay, replay_timeline, RankStats, ReplayError, ReplayReport};
 pub use trace::{Event, RankTrace, Trace};
+pub use transport::{
+    InProc, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT,
+};

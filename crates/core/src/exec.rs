@@ -37,6 +37,7 @@ use rt_comm::{CommError, ComputeKind, FaultPlan, Multicomputer, RankCtx, Trace};
 use rt_compress::{CodecKind, KernelPath, OverDir};
 use rt_imaging::pixel::Pixel;
 use rt_imaging::{Image, Span};
+use rt_net::TcpMulticomputer;
 use rt_obs::{Observer, Phase};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -51,6 +52,25 @@ pub enum ExecPath {
     Pooled,
     /// One decoded `Vec<P>` per transfer — the reference path.
     PerTransfer,
+}
+
+/// Which communication backend carries the composition's messages.
+///
+/// The choice is invisible to the algorithm: the reliable-delivery
+/// envelope, fault injection and event tracing all live above the
+/// transport in `rt-comm`, so the composed frames **and the trace** are
+/// bit-identical across backends. Only wall-clock behavior differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channels between threads of one address space
+    /// (default): fastest, zero-copy payload hand-off.
+    #[default]
+    InProc,
+    /// Loopback TCP sockets (`rt-net`): every transfer crosses a real
+    /// socket with length-prefixed framing, exercising the path a
+    /// distributed deployment takes. Multi-process worlds use the same
+    /// backend through `rt-net`'s rendezvous instead of this selector.
+    TcpLoopback,
 }
 
 /// Execution options for [`compose`].
@@ -81,6 +101,10 @@ pub struct ComposeConfig {
     /// on either setting — only wall-clock time and the observability
     /// kernel counters change.
     pub kernel: KernelPath,
+    /// Which communication backend the execution harnesses build
+    /// ([`run_composition`] and friends, `rt-pvr`'s pipeline). Frames and
+    /// traces are identical on either setting.
+    pub transport: TransportKind,
 }
 
 impl Default for ComposeConfig {
@@ -93,6 +117,7 @@ impl Default for ComposeConfig {
             timeout: None,
             path: ExecPath::default(),
             kernel: KernelPath::default(),
+            transport: TransportKind::default(),
         }
     }
 }
@@ -138,6 +163,74 @@ impl ComposeConfig {
     pub fn with_kernel(mut self, kernel: KernelPath) -> Self {
         self.kernel = kernel;
         self
+    }
+
+    /// Select the communication backend the harnesses build.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+}
+
+/// A backend-selected machine: one constructor call instead of a
+/// `match` at every harness, so [`run_composition`] and `rt-pvr`'s
+/// pipeline swap transports by flipping [`ComposeConfig::transport`].
+pub enum Machine {
+    /// Threads joined by in-process channels ([`rt_comm::Multicomputer`]).
+    InProc(Multicomputer),
+    /// Threads joined by loopback TCP sockets
+    /// ([`rt_net::TcpMulticomputer`]). Boxed: it holds its `FaultPlan`
+    /// inline, making it much larger than the `Arc`-based in-process
+    /// variant.
+    Tcp(Box<TcpMulticomputer>),
+}
+
+impl Machine {
+    /// Build a machine of `p` ranks on the backend `config.transport`
+    /// selects, with the config's timeout, the given fault plan, and an
+    /// optional wall-clock observer installed.
+    pub fn build(
+        p: usize,
+        config: &ComposeConfig,
+        faults: FaultPlan,
+        observer: Option<Arc<Observer>>,
+    ) -> Machine {
+        match config.transport {
+            TransportKind::InProc => {
+                let mut mc = Multicomputer::new(p).with_faults(faults);
+                if let Some(timeout) = config.timeout {
+                    mc = mc.with_timeout(timeout);
+                }
+                if let Some(observer) = observer {
+                    mc = mc.with_observer(observer);
+                }
+                Machine::InProc(mc)
+            }
+            TransportKind::TcpLoopback => {
+                let mut mc = TcpMulticomputer::new(p).with_faults(faults);
+                if let Some(timeout) = config.timeout {
+                    mc = mc.with_timeout(timeout);
+                }
+                if let Some(observer) = observer {
+                    mc = mc.with_observer(observer);
+                }
+                Machine::Tcp(Box::new(mc))
+            }
+        }
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results
+    /// and the merged event trace. Panic semantics match
+    /// [`rt_comm::Multicomputer::run`] on either backend.
+    pub fn run<T, F>(&self, f: F) -> (Vec<T>, Trace)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        match self {
+            Machine::InProc(mc) => mc.run(f),
+            Machine::Tcp(mc) => mc.run(f),
+        }
     }
 }
 
@@ -835,10 +928,7 @@ pub fn run_composition_faulty<P: Pixel>(
         schedule.p,
         "one partial image per rank required"
     );
-    let mut mc = Multicomputer::new(schedule.p).with_faults(faults);
-    if let Some(timeout) = config.timeout {
-        mc = mc.with_timeout(timeout);
-    }
+    let mc = Machine::build(schedule.p, config, faults, None);
     let partials = std::sync::Mutex::new(
         partials
             .into_iter()
@@ -872,10 +962,7 @@ pub fn run_composition_pooled<P: Pixel>(
         schedule.p,
         "one partial image per rank required"
     );
-    let mut mc = Multicomputer::new(schedule.p);
-    if let Some(timeout) = config.timeout {
-        mc = mc.with_timeout(timeout);
-    }
+    let mc = Machine::build(schedule.p, config, FaultPlan::none(), None);
     let partials = std::sync::Mutex::new(
         partials
             .into_iter()
@@ -914,10 +1001,7 @@ pub fn run_composition_observed<P: Pixel>(
         schedule.p,
         "one partial image per rank required"
     );
-    let mut mc = Multicomputer::new(schedule.p).with_observer(observer);
-    if let Some(timeout) = config.timeout {
-        mc = mc.with_timeout(timeout);
-    }
+    let mc = Machine::build(schedule.p, config, FaultPlan::none(), Some(observer));
     let partials = Mutex::new(
         partials
             .into_iter()

@@ -84,7 +84,7 @@ pub use direct::DirectSend;
 pub use exec::{
     compose, compose_with_scratch, run_composition, run_composition_faulty,
     run_composition_observed, run_composition_pooled, ComposeConfig, ComposeOutput, ExecPath,
-    Scratch, ScratchPool,
+    Machine, Scratch, ScratchPool, TransportKind,
 };
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;

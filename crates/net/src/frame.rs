@@ -1,0 +1,167 @@
+//! Length-prefixed wire format for [`WireFrame`]s.
+//!
+//! Every frame crosses a `TcpStream` as a fixed 36-byte header followed by
+//! the payload bytes, all little-endian:
+//!
+//! ```text
+//! [payload len  u32][from u64][tag u64][seq u64][checksum u64][payload …]
+//! ```
+//!
+//! The header carries the delivery envelope verbatim — the checksum is the
+//! sender's FNV-1a over the payload, computed by `rt-comm` *above* the
+//! transport, so a frame corrupted by the fault plan is detected by the
+//! receiving envelope exactly as on the in-process backend. The length
+//! prefix makes frame boundaries explicit on the byte stream; a clean EOF
+//! at a frame boundary means the peer closed its endpoint.
+
+use rt_comm::{Payload, WireFrame};
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Fixed header size: `u32` length prefix + four `u64` envelope fields.
+pub const HEADER_BYTES: usize = 4 + 8 * 4;
+
+/// Upper bound on a single frame's payload (1 GiB): a corrupted or
+/// malicious length prefix fails fast instead of attempting a huge
+/// allocation.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 30;
+
+/// Serialize one frame onto `w` (header + payload, no flush).
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    let len = u32::try_from(frame.payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_PAYLOAD_BYTES)
+        .ok_or_else(|| {
+            io::Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the wire limit",
+                    frame.payload.len()
+                ),
+            )
+        })?;
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&len.to_le_bytes());
+    header[4..12].copy_from_slice(&(frame.from as u64).to_le_bytes());
+    header[12..20].copy_from_slice(&frame.tag.to_le_bytes());
+    header[20..28].copy_from_slice(&frame.seq.to_le_bytes());
+    header[28..36].copy_from_slice(&frame.checksum.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed); a mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireFrame>> {
+    let mut header = [0u8; HEADER_BYTES];
+    // Distinguish "no more frames" from "frame cut short".
+    let mut filled = 0;
+    while filled < HEADER_BYTES {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame (incomplete header)",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds the wire limit"),
+        ));
+    }
+    let from = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let tag = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(WireFrame {
+        from: from as usize,
+        tag,
+        seq,
+        checksum,
+        payload: Payload::from(payload),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: Vec<u8>) -> WireFrame {
+        WireFrame {
+            from: 3,
+            tag: 0xdead_beef,
+            seq: 41,
+            checksum: 0x1234_5678_9abc_def0,
+            payload: Payload::from(payload),
+        }
+    }
+
+    #[test]
+    fn round_trips_header_and_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(vec![7, 8, 9])).unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES + 3);
+        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(got.from, 3);
+        assert_eq!(got.tag, 0xdead_beef);
+        assert_eq!(got.seq, 41);
+        assert_eq!(got.checksum, 0x1234_5678_9abc_def0);
+        assert_eq!(got.payload.as_slice(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn round_trips_empty_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(Vec::new())).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert!(got.payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+    }
+
+    #[test]
+    fn midframe_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(vec![1, 2, 3])).unwrap();
+        buf.truncate(HEADER_BYTES + 1); // payload cut short
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        buf.truncate(HEADER_BYTES - 5); // header cut short
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = vec![0u8; HEADER_BYTES];
+        buf[0..4].copy_from_slice(&(MAX_PAYLOAD_BYTES + 1).to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn frames_are_read_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(vec![1])).unwrap();
+        write_frame(&mut buf, &sample(vec![2, 2])).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap().payload.as_slice(),
+            &[1]
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap().payload.as_slice(),
+            &[2, 2]
+        );
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! # rt-net — TCP transport backend for the composition substrate
+//!
+//! `rt-comm` runs composition algorithms against an abstract
+//! [`Transport`](rt_comm::Transport); this crate supplies the backend that
+//! crosses real sockets, so RT/BS/PP composition executes as genuinely
+//! cooperating processes instead of threads sharing an address space:
+//!
+//! * [`frame`] — the length-prefixed wire format for
+//!   [`WireFrame`](rt_comm::WireFrame)s.
+//! * [`tcp`] — [`TcpTransport`]: full-mesh `TcpStream`s with a rank
+//!   handshake, `TCP_NODELAY`, per-peer receive threads, and a
+//!   control-frame barrier.
+//! * [`process`] — the rendezvous protocol: a [`Launcher`] spawns one OS
+//!   process per rank and a [`WorkerSession`] in each process joins the
+//!   mesh and reports results back.
+//! * [`multicomputer`] — [`TcpMulticomputer`]: the
+//!   [`rt_comm::Multicomputer`] API over loopback TCP, for tests and
+//!   examples that want real sockets without real processes.
+//!
+//! The reliable-delivery envelope (sequence numbers, FNV checksums,
+//! retransmission, fault injection) lives above the transport in
+//! `rt-comm`, so a [`FaultPlan`](rt_comm::FaultPlan) behaves identically
+//! here — and because the event trace records only *what* was
+//! sent/received, a clean run produces a bit-identical
+//! [`Trace`](rt_comm::Trace) on either backend. The virtual-clock replay
+//! prices traced bytes, not wall time; determinism survives the
+//! nondeterministic network.
+//!
+//! ```
+//! use rt_net::TcpMulticomputer;
+//!
+//! // Two ranks exchange a message over real loopback sockets.
+//! let mc = TcpMulticomputer::new(2);
+//! let (results, trace) = mc.run(|ctx| {
+//!     if ctx.rank() == 0 {
+//!         ctx.send(1, 42, vec![1, 2, 3]).unwrap();
+//!         Vec::new()
+//!     } else {
+//!         ctx.recv(0, 42).unwrap().to_vec()
+//!     }
+//! });
+//! assert_eq!(results[1], vec![1, 2, 3]);
+//! assert_eq!(trace.message_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod multicomputer;
+pub mod process;
+pub mod tcp;
+
+pub use multicomputer::TcpMulticomputer;
+pub use process::{Launcher, WorkerSession, ENV_RANK, ENV_RENDEZVOUS, ENV_WORLD};
+pub use tcp::TcpTransport;

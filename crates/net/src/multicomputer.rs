@@ -1,0 +1,213 @@
+//! A drop-in [`rt_comm::Multicomputer`] analogue whose ranks talk over
+//! loopback TCP sockets instead of in-process channels.
+//!
+//! Ranks are still threads of one process (one real socket pair per mesh
+//! edge), which makes this the workhorse for cross-backend determinism
+//! tests and examples: same `run(|ctx| …)` shape, same fault plans, same
+//! observer wiring — only the transport underneath differs. Fully
+//! separate OS processes go through [`crate::process`] instead.
+
+use crate::tcp::TcpTransport;
+use rt_comm::comm::{RankCtx, RankOptions};
+use rt_comm::{FaultPlan, RankTrace, Trace};
+use rt_obs::Observer;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A machine of `size` ranks joined by loopback TCP.
+///
+/// Mirrors the [`rt_comm::Multicomputer`] builder API so call sites can
+/// switch backends by swapping the constructor.
+pub struct TcpMulticomputer {
+    size: usize,
+    timeout: Duration,
+    faults: FaultPlan,
+    observer: Option<Arc<Observer>>,
+}
+
+impl TcpMulticomputer {
+    /// Create a machine with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a multicomputer needs at least one rank");
+        Self {
+            size,
+            timeout: Duration::from_secs(10),
+            faults: FaultPlan::none(),
+            observer: None,
+        }
+    }
+
+    /// Override the receive timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Install a fault-injection plan. Faults are injected by the
+    /// envelope above the transport, so the plan behaves exactly as on
+    /// the in-process backend — same drops, same retransmits, same trace.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attach a wall-clock [`Observer`]; recorders are checked back in
+    /// when all ranks have joined.
+    pub fn with_observer(mut self, observer: Arc<Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Machine size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently; returns the per-rank results
+    /// and the merged event trace.
+    ///
+    /// Panic semantics match [`rt_comm::Multicomputer::run`]: every
+    /// thread is joined, and rank panics are re-raised with a report
+    /// naming which rank(s) failed.
+    ///
+    /// # Panics
+    /// Panics if the loopback mesh cannot be established (no free ports,
+    /// loopback disabled) or if any rank's closure panics.
+    pub fn run<T, F>(&self, f: F) -> (Vec<T>, Trace)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        let p = self.size;
+        let f = &f;
+        let mesh = TcpTransport::loopback_mesh(p)
+            .unwrap_or_else(|e| panic!("loopback mesh of {p} ranks failed: {e}"));
+        let mut ctxs: Vec<RankCtx> = mesh
+            .into_iter()
+            .enumerate()
+            .map(|(rank, transport)| {
+                RankCtx::over_transport(
+                    Box::new(transport),
+                    RankOptions {
+                        timeout: Some(self.timeout),
+                        faults: self.faults.clone(),
+                        recorder: self.observer.as_ref().map(|o| o.recorder(rank)),
+                    },
+                )
+            })
+            .collect();
+
+        let mut outcome: Vec<Option<(T, RankTrace)>> = (0..p).map(|_| None).collect();
+        let mut panics: Vec<(usize, String)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ctxs
+                .iter_mut()
+                .map(|ctx| {
+                    scope.spawn(move || {
+                        let result = f(ctx);
+                        (result, ctx.take_events())
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => outcome[rank] = Some(pair),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&'static str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panics.push((rank, msg));
+                    }
+                }
+            }
+        });
+        if let Some(observer) = &self.observer {
+            for ctx in ctxs {
+                let (_, _, recorder) = ctx.into_parts();
+                if let Some(rec) = recorder {
+                    observer.checkin(rec);
+                }
+            }
+        }
+        if !panics.is_empty() {
+            let report = panics
+                .iter()
+                .map(|(r, m)| format!("rank {r}: {m}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            panic!("{} rank(s) panicked — {report}", panics.len());
+        }
+
+        let mut results = Vec::with_capacity(p);
+        let mut trace = Trace::default();
+        for slot in outcome {
+            let (result, events) = slot.expect("every rank joined successfully");
+            results.push(result);
+            trace.ranks.push(events);
+        }
+        (results, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_comm::Multicomputer;
+
+    #[test]
+    fn ring_pass_matches_inproc_trace() {
+        let ring = |ctx: &mut RankCtx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as u8]).unwrap();
+            let got = ctx.recv(prev, 1).unwrap();
+            ctx.barrier();
+            got[0]
+        };
+        let (tcp_results, tcp_trace) = TcpMulticomputer::new(4).run(ring);
+        let (inproc_results, inproc_trace) = Multicomputer::new(4).run(ring);
+        assert_eq!(tcp_results, vec![3, 0, 1, 2]);
+        assert_eq!(tcp_results, inproc_results);
+        assert_eq!(tcp_trace, inproc_trace);
+    }
+
+    #[test]
+    fn faulty_run_retransmits_identically_to_inproc() {
+        // First frame 0→1 lost once; the envelope retransmits.
+        let plan = || FaultPlan::none().drop_message(0, 1, 0);
+        let exchange = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 9, vec![5; 64]).unwrap();
+            } else if ctx.rank() == 1 {
+                assert_eq!(ctx.recv(0, 9).unwrap().as_slice(), &[5; 64][..]);
+            }
+            ctx.barrier();
+        };
+        let (_, tcp_trace) = TcpMulticomputer::new(2).with_faults(plan()).run(exchange);
+        let (_, inproc_trace) = Multicomputer::new(2).with_faults(plan()).run(exchange);
+        assert_eq!(tcp_trace, inproc_trace);
+        assert!(tcp_trace.retransmit_count() > 0, "the drop must be visible");
+    }
+
+    #[test]
+    fn timeout_message_names_peer_and_tag_over_tcp() {
+        // Same diagnostic contract as the in-process backend: a timeout
+        // error formats to a message naming the peer rank and the tag.
+        let mc = TcpMulticomputer::new(2).with_timeout(Duration::from_millis(30));
+        let (results, _) = mc.run(|ctx| {
+            if ctx.rank() == 0 {
+                Some(ctx.recv(1, 0x2a).expect_err("must time out").to_string())
+            } else {
+                None
+            }
+        });
+        let msg = results[0].as_ref().expect("rank 0 reports the error");
+        assert!(msg.contains("rank 1"), "peer missing from: {msg}");
+        assert!(msg.contains("0x2a"), "tag missing from: {msg}");
+    }
+}

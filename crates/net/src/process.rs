@@ -1,0 +1,264 @@
+//! Rendezvous protocol: how independent OS processes become a mesh.
+//!
+//! A **launcher** binds a rendezvous listener and spawns one worker
+//! process per rank, handing each its coordinates through the environment
+//! ([`ENV_RENDEZVOUS`], [`ENV_RANK`], [`ENV_WORLD`]). Each **worker**
+//! binds its own mesh listener, connects back to the rendezvous address
+//! and registers `(rank, mesh address)`; once all ranks have registered,
+//! the launcher broadcasts the full address table and every worker runs
+//! the mesh handshake of [`TcpTransport::establish`].
+//!
+//! The rendezvous stream stays open as a control channel: when its work is
+//! done, a worker writes one length-prefixed result blob back to the
+//! launcher ([`WorkerSession::send_result`] / [`Launcher::rendezvous`]'s
+//! returned streams + [`read_blob`]). Results are typically
+//! `serde_json`-encoded traces and stats, so the launcher can reconcile
+//! the distributed run against an in-process reference.
+//!
+//! Wire details: every rendezvous message is little-endian, either a fixed
+//! 8-byte integer or a `u32` length-prefixed blob. All streams set
+//! `TCP_NODELAY`.
+
+use crate::tcp::TcpTransport;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::Command;
+
+/// Environment variable carrying the launcher's rendezvous address.
+pub const ENV_RENDEZVOUS: &str = "RT_NET_RENDEZVOUS";
+/// Environment variable carrying this worker's rank.
+pub const ENV_RANK: &str = "RT_NET_RANK";
+/// Environment variable carrying the world size.
+pub const ENV_WORLD: &str = "RT_NET_WORLD";
+
+/// Write a `u32` length-prefixed byte blob.
+pub fn write_blob(w: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(ErrorKind::InvalidInput, "blob exceeds u32 length"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read a `u32` length-prefixed byte blob.
+pub fn read_blob(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let mut bytes = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// The launcher half of the rendezvous: owns the listener the workers
+/// call home to.
+pub struct Launcher {
+    listener: TcpListener,
+}
+
+impl Launcher {
+    /// Bind the rendezvous listener on an ephemeral loopback port.
+    pub fn bind() -> io::Result<Launcher> {
+        Ok(Launcher {
+            listener: TcpListener::bind("127.0.0.1:0")?,
+        })
+    }
+
+    /// The address workers must connect back to.
+    pub fn addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Stamp a worker [`Command`] with the environment a
+    /// [`WorkerSession`] reads: rendezvous address, rank, world size.
+    pub fn configure(&self, cmd: &mut Command, rank: usize, world: usize) -> io::Result<()> {
+        cmd.env(ENV_RENDEZVOUS, self.addr()?.to_string())
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_WORLD, world.to_string());
+        Ok(())
+    }
+
+    /// Accept registrations from all `world` workers, broadcast the mesh
+    /// address table, and return the control streams **indexed by rank**.
+    ///
+    /// After this returns, every worker is connected into the mesh (or in
+    /// the middle of the handshake); read each worker's result blob from
+    /// its control stream with [`read_blob`].
+    pub fn rendezvous(&self, world: usize) -> io::Result<Vec<TcpStream>> {
+        let mut controls: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+        let mut mesh_addrs: Vec<Option<SocketAddr>> = (0..world).map(|_| None).collect();
+        for _ in 0..world {
+            let (mut stream, _) = self.listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut rank_bytes = [0u8; 8];
+            stream.read_exact(&mut rank_bytes)?;
+            let rank = u64::from_le_bytes(rank_bytes) as usize;
+            if rank >= world {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("worker registered rank {rank} outside world of {world}"),
+                ));
+            }
+            if controls[rank].is_some() {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("rank {rank} registered twice"),
+                ));
+            }
+            let addr_text = String::from_utf8(read_blob(&mut stream)?)
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+            let addr = addr_text
+                .parse::<SocketAddr>()
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+            mesh_addrs[rank] = Some(addr);
+            controls[rank] = Some(stream);
+        }
+        let table = mesh_addrs
+            .iter()
+            .map(|a| a.expect("all ranks registered").to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut streams = Vec::with_capacity(world);
+        for control in controls.iter_mut() {
+            let stream = control.as_mut().expect("all ranks registered");
+            write_blob(stream, table.as_bytes())?;
+        }
+        for control in controls {
+            streams.push(control.expect("all ranks registered"));
+        }
+        Ok(streams)
+    }
+}
+
+/// The worker half of the rendezvous: one per spawned rank process.
+pub struct WorkerSession {
+    /// This worker's rank.
+    pub rank: usize,
+    /// World size.
+    pub world: usize,
+    transport: Option<TcpTransport>,
+    control: TcpStream,
+}
+
+impl WorkerSession {
+    /// Join the world described by the environment: register with the
+    /// launcher, receive the address table, run the mesh handshake.
+    ///
+    /// Fails if the [`ENV_RENDEZVOUS`]/[`ENV_RANK`]/[`ENV_WORLD`]
+    /// variables are absent or malformed.
+    pub fn from_env() -> io::Result<WorkerSession> {
+        let read_var = |name: &str| {
+            std::env::var(name).map_err(|_| {
+                io::Error::new(
+                    ErrorKind::NotFound,
+                    format!("{name} not set — not spawned by a launcher"),
+                )
+            })
+        };
+        let rendezvous: SocketAddr = read_var(ENV_RENDEZVOUS)?.parse().map_err(|e| {
+            io::Error::new(ErrorKind::InvalidData, format!("{ENV_RENDEZVOUS}: {e}"))
+        })?;
+        let rank: usize = read_var(ENV_RANK)?
+            .parse()
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("{ENV_RANK}: {e}")))?;
+        let world: usize = read_var(ENV_WORLD)?
+            .parse()
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("{ENV_WORLD}: {e}")))?;
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let mesh_addr = listener.local_addr()?;
+        let mut control = TcpStream::connect(rendezvous)?;
+        control.set_nodelay(true)?;
+        control.write_all(&(rank as u64).to_le_bytes())?;
+        write_blob(&mut control, mesh_addr.to_string().as_bytes())?;
+        let table = String::from_utf8(read_blob(&mut control)?)
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+        let addrs = table
+            .lines()
+            .map(|line| line.parse::<SocketAddr>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+        if addrs.len() != world {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "address table has {} entries for world of {world}",
+                    addrs.len()
+                ),
+            ));
+        }
+        let transport = TcpTransport::establish(rank, world, listener, &addrs)?;
+        Ok(WorkerSession {
+            rank,
+            world,
+            transport: Some(transport),
+            control,
+        })
+    }
+
+    /// Take the established mesh endpoint (callable once).
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn take_transport(&mut self) -> TcpTransport {
+        self.transport
+            .take()
+            .expect("transport already taken from this session")
+    }
+
+    /// Report a result blob back to the launcher over the control stream.
+    pub fn send_result(&mut self, bytes: &[u8]) -> io::Result<()> {
+        write_blob(&mut self.control, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_comm::Transport;
+
+    #[test]
+    fn blob_round_trip() {
+        let mut buf = Vec::new();
+        write_blob(&mut buf, b"hello").unwrap();
+        assert_eq!(read_blob(&mut buf.as_slice()).unwrap(), b"hello");
+    }
+
+    /// Drive the full rendezvous in-process with threads standing in for
+    /// worker processes (the multi-process path is exercised by the
+    /// `netrank` binary in CI).
+    #[test]
+    fn rendezvous_builds_a_mesh_and_carries_results() {
+        const WORLD: usize = 3;
+        let launcher = Launcher::bind().unwrap();
+        let addr = launcher.addr().unwrap();
+
+        let workers: Vec<_> = (0..WORLD)
+            .map(|rank| {
+                std::thread::spawn(move || {
+                    // Threads can't use from_env (the environment is
+                    // process-global); replicate its protocol inline.
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let mesh_addr = listener.local_addr().unwrap();
+                    let mut control = TcpStream::connect(addr).unwrap();
+                    control.write_all(&(rank as u64).to_le_bytes()).unwrap();
+                    write_blob(&mut control, mesh_addr.to_string().as_bytes()).unwrap();
+                    let table = String::from_utf8(read_blob(&mut control).unwrap()).unwrap();
+                    let addrs: Vec<SocketAddr> =
+                        table.lines().map(|l| l.parse().unwrap()).collect();
+                    let mut t = TcpTransport::establish(rank, WORLD, listener, &addrs).unwrap();
+                    t.barrier();
+                    write_blob(&mut control, format!("rank{rank}").as_bytes()).unwrap();
+                })
+            })
+            .collect();
+
+        let mut controls = launcher.rendezvous(WORLD).unwrap();
+        for (rank, control) in controls.iter_mut().enumerate() {
+            let result = read_blob(control).unwrap();
+            assert_eq!(result, format!("rank{rank}").into_bytes());
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The TCP backend: real sockets between ranks, one endpoint per rank.
+//!
+//! A [`TcpTransport`] holds one connected `TcpStream` per peer. Frames go
+//! out length-prefixed (see [`crate::frame`]) on the stream for the
+//! destination rank; one receive thread per peer reads frames off its
+//! stream and feeds them into a single queue, preserving per-peer FIFO
+//! order — the same demux contract as the in-process backend. Self-sends
+//! never touch a socket: they loop back through the shared queue locally.
+//!
+//! **Mesh establishment.** All listeners are bound *before* any address is
+//! published, so connection order cannot deadlock: rank `r` actively
+//! connects to every lower rank (the kernel backlog accepts the connection
+//! even before the peer calls `accept`) and then accepts one connection
+//! from every higher rank. The connector opens with an 8-byte handshake
+//! naming its rank, so the acceptor files the stream under the right peer
+//! regardless of arrival order. Every stream sets `TCP_NODELAY` — frames
+//! are latency-bound barrier and composition traffic, not bulk streams.
+//!
+//! **Barrier.** The trait requires a barrier that does not surface data
+//! frames. The TCP backend runs a centralized two-phase protocol over
+//! frames tagged in the reserved [`NET_CONTROL_TAG_BIT`] namespace: every
+//! rank sends an arrival frame to rank 0, and rank 0 releases everyone
+//! once all have arrived. Control frames are invisible to
+//! `recv_raw`/`try_recv_raw` (they are diverted to an internal queue), and
+//! data frames that arrive while a barrier is in progress are stashed and
+//! surfaced by later receives — so the event trace a rank records is
+//! identical to the in-process run, where the barrier is a
+//! `std::sync::Barrier` and moves no bytes at all.
+
+use crate::frame::{read_frame, write_frame};
+use rt_comm::{Payload, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT};
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// A [`Transport`] over per-peer `TcpStream`s.
+///
+/// Built by [`TcpTransport::establish`] (given a bound listener and the
+/// full address table) or [`TcpTransport::loopback_mesh`] (threads in one
+/// process, for tests and examples). Multi-process worlds get theirs
+/// through the rendezvous in [`crate::process`].
+pub struct TcpTransport {
+    rank: usize,
+    size: usize,
+    writers: Vec<Option<BufWriter<TcpStream>>>,
+    loopback: Sender<WireFrame>,
+    rx: Receiver<WireFrame>,
+    /// Data frames that arrived while a barrier was draining the queue;
+    /// surfaced (in arrival order) before anything newer.
+    stash: VecDeque<WireFrame>,
+    /// Control frames that arrived while a normal receive was draining the
+    /// queue; consumed by the next barrier.
+    barrier_pending: VecDeque<WireFrame>,
+    barrier_gen: u64,
+}
+
+impl TcpTransport {
+    /// Connect this rank into a full mesh.
+    ///
+    /// `listener` must already be bound (its address is `addrs[rank]`),
+    /// and every other rank must eventually call `establish` with the same
+    /// address table. Connects to all lower ranks, accepts from all higher
+    /// ranks, spawns one receive thread per peer.
+    pub fn establish(
+        rank: usize,
+        world: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> io::Result<TcpTransport> {
+        assert!(world > 0, "a transport mesh needs at least one rank");
+        assert!(rank < world, "rank {rank} outside world of {world}");
+        assert_eq!(addrs.len(), world, "address table must cover every rank");
+        let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let mut stream = connect_with_retry(addrs[peer])?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&(rank as u64).to_le_bytes())?;
+            stream.flush()?;
+            *slot = Some(stream);
+        }
+        for _ in rank + 1..world {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut hello = [0u8; 8];
+            stream.read_exact(&mut hello)?;
+            let peer = u64::from_le_bytes(hello) as usize;
+            if peer <= rank || peer >= world {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "handshake named rank {peer}, expected one in {}..{world}",
+                        rank + 1
+                    ),
+                ));
+            }
+            let slot = &mut streams[peer];
+            if slot.is_some() {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("rank {peer} connected twice"),
+                ));
+            }
+            *slot = Some(stream);
+        }
+
+        let (tx, rx) = channel::<WireFrame>();
+        let mut writers: Vec<Option<BufWriter<TcpStream>>> = (0..world).map(|_| None).collect();
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            let reader = stream.try_clone()?;
+            let tx = tx.clone();
+            // Reader threads exit on EOF (peer dropped its transport) or a
+            // dropped receiver (this transport dropped); no join needed.
+            std::thread::Builder::new()
+                .name(format!("rt-net-recv-{rank}-from-{peer}"))
+                .spawn(move || {
+                    let mut reader = reader;
+                    while let Ok(Some(frame)) = read_frame(&mut reader) {
+                        if tx.send(frame).is_err() {
+                            break;
+                        }
+                    }
+                })?;
+            writers[peer] = Some(BufWriter::new(stream));
+        }
+        Ok(TcpTransport {
+            rank,
+            size: world,
+            writers,
+            loopback: tx,
+            rx,
+            stash: VecDeque::new(),
+            barrier_pending: VecDeque::new(),
+            barrier_gen: 0,
+        })
+    }
+
+    /// Build a fully-connected world of `p` endpoints over loopback TCP,
+    /// all inside the current process (one real socket pair per edge).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn loopback_mesh(p: usize) -> io::Result<Vec<TcpTransport>> {
+        assert!(p > 0, "a transport mesh needs at least one rank");
+        let listeners: Vec<TcpListener> = (0..p)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr())
+            .collect::<io::Result<_>>()?;
+        let addrs = &addrs;
+        let mut endpoints: Vec<io::Result<TcpTransport>> = Vec::with_capacity(p);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(rank, listener)| {
+                    scope.spawn(move || TcpTransport::establish(rank, p, listener, addrs))
+                })
+                .collect();
+            for h in handles {
+                endpoints.push(h.join().expect("mesh establishment must not panic"));
+            }
+        });
+        endpoints.into_iter().collect()
+    }
+
+    fn write_to_peer(&mut self, to: usize, frame: &WireFrame) -> Result<(), SendRawError> {
+        let result = match self.writers[to].as_mut() {
+            None => return Err(SendRawError { to }),
+            Some(writer) => write_frame(writer, frame).and_then(|()| writer.flush()),
+        };
+        if result.is_err() {
+            // A failed stream never recovers; drop it so later sends fail
+            // fast instead of writing into a dead buffer.
+            self.writers[to] = None;
+            return Err(SendRawError { to });
+        }
+        Ok(())
+    }
+
+    /// Pull the next frame carrying exactly `tag` out of the control
+    /// namespace, stashing any data frames that arrive meanwhile. Blocks
+    /// indefinitely: the barrier contract forbids calling it once any rank
+    /// has exited.
+    fn await_control(&mut self, tag: u64) {
+        if let Some(i) = self.barrier_pending.iter().position(|f| f.tag == tag) {
+            self.barrier_pending.remove(i);
+            return;
+        }
+        loop {
+            let frame = self
+                .rx
+                .recv()
+                .expect("peer endpoints closed during a barrier");
+            if frame.tag == tag {
+                return;
+            }
+            if frame.tag & NET_CONTROL_TAG_BIT != 0 {
+                self.barrier_pending.push_back(frame);
+            } else {
+                self.stash.push_back(frame);
+            }
+        }
+    }
+
+    fn control_frame(&self, tag: u64) -> WireFrame {
+        WireFrame {
+            from: self.rank,
+            tag,
+            seq: 0,
+            checksum: 0,
+            payload: Payload::from(Vec::new()),
+        }
+    }
+}
+
+/// Connect with a short retry loop: the address table guarantees the
+/// listener is bound, but a loaded kernel can still transiently refuse.
+fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    const ATTEMPTS: u32 = 50;
+    let mut last = None;
+    for attempt in 0..ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < ATTEMPTS {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one attempt was made"))
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.size
+    }
+
+    fn send_raw(&mut self, to: usize, frame: WireFrame) -> Result<(), SendRawError> {
+        debug_assert!(to < self.size, "destination checked by the caller");
+        if to == self.rank {
+            return self.loopback.send(frame).map_err(|_| SendRawError { to });
+        }
+        self.write_to_peer(to, &frame)
+    }
+
+    fn recv_raw(&mut self, timeout: Duration) -> Result<WireFrame, RecvRawError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.stash.pop_front() {
+                return Ok(frame);
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(RecvRawError::Timeout)?;
+            match self.rx.recv_timeout(remaining) {
+                Ok(frame) if frame.tag & NET_CONTROL_TAG_BIT != 0 => {
+                    self.barrier_pending.push_back(frame);
+                }
+                Ok(frame) => return Ok(frame),
+                Err(RecvTimeoutError::Timeout) => return Err(RecvRawError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvRawError::Closed),
+            }
+        }
+    }
+
+    fn try_recv_raw(&mut self) -> Option<WireFrame> {
+        loop {
+            if let Some(frame) = self.stash.pop_front() {
+                return Some(frame);
+            }
+            match self.rx.try_recv() {
+                Ok(frame) if frame.tag & NET_CONTROL_TAG_BIT != 0 => {
+                    self.barrier_pending.push_back(frame);
+                }
+                Ok(frame) => return Some(frame),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn barrier(&mut self) {
+        let tag = NET_CONTROL_TAG_BIT | self.barrier_gen;
+        self.barrier_gen += 1;
+        if self.rank == 0 {
+            for _ in 1..self.size {
+                self.await_control(tag);
+            }
+            let release = self.control_frame(tag);
+            for to in 1..self.size {
+                self.write_to_peer(to, &release)
+                    .unwrap_or_else(|_| panic!("rank {to} unreachable during a barrier"));
+            }
+        } else {
+            let arrival = self.control_frame(tag);
+            self.write_to_peer(0, &arrival)
+                .unwrap_or_else(|_| panic!("rank 0 unreachable during a barrier"));
+            self.await_control(tag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(from: usize, tag: u64, payload: Vec<u8>) -> WireFrame {
+        WireFrame {
+            from,
+            tag,
+            seq: 0,
+            checksum: 0,
+            payload: Payload::from(payload),
+        }
+    }
+
+    #[test]
+    fn loopback_mesh_delivers_point_to_point_in_order() {
+        let mut world = TcpTransport::loopback_mesh(2).unwrap();
+        let mut b = world.pop().unwrap();
+        let mut a = world.pop().unwrap();
+        assert_eq!((a.rank(), b.rank()), (0, 1));
+        a.send_raw(1, frame(0, 7, vec![1])).unwrap();
+        a.send_raw(1, frame(0, 7, vec![2])).unwrap();
+        let first = b.recv_raw(Duration::from_secs(5)).unwrap();
+        let second = b.recv_raw(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.payload.as_slice(), &[1]);
+        assert_eq!(second.payload.as_slice(), &[2]);
+    }
+
+    #[test]
+    fn self_send_loops_back_without_a_socket() {
+        let mut world = TcpTransport::loopback_mesh(1).unwrap();
+        let mut t = world.pop().unwrap();
+        t.send_raw(0, frame(0, 3, vec![9])).unwrap();
+        assert_eq!(
+            t.recv_raw(Duration::from_secs(1))
+                .unwrap()
+                .payload
+                .as_slice(),
+            &[9]
+        );
+        t.barrier(); // single-rank barrier is a no-op
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_arrives() {
+        let mut world = TcpTransport::loopback_mesh(2).unwrap();
+        let mut a = world.remove(0);
+        assert!(matches!(
+            a.recv_raw(Duration::from_millis(30)),
+            Err(RecvRawError::Timeout)
+        ));
+        assert!(a.try_recv_raw().is_none());
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_preserves_data_frames() {
+        let world = TcpTransport::loopback_mesh(4).unwrap();
+        std::thread::scope(|scope| {
+            for mut t in world {
+                scope.spawn(move || {
+                    let rank = t.rank();
+                    // Everyone floods rank 0 right before the barrier, so
+                    // rank 0's barrier drain must stash data frames.
+                    if rank != 0 {
+                        t.send_raw(0, frame(rank, 42, vec![rank as u8])).unwrap();
+                    }
+                    for _ in 0..3 {
+                        t.barrier();
+                    }
+                    if rank == 0 {
+                        let mut got: Vec<u8> = (0..3)
+                            .map(|_| t.recv_raw(Duration::from_secs(5)).unwrap().payload[0])
+                            .collect();
+                        got.sort_unstable();
+                        assert_eq!(got, vec![1, 2, 3]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn send_to_torn_down_peer_fails() {
+        let mut world = TcpTransport::loopback_mesh(2).unwrap();
+        let b = world.pop().unwrap();
+        let mut a = world.pop().unwrap();
+        drop(b);
+        // The kernel may buffer the first write after the peer closes;
+        // repeated sends must surface the failure.
+        let mut failed = false;
+        for _ in 0..100 {
+            if a.send_raw(1, frame(0, 1, vec![0; 4096])).is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(failed, "sends to a closed peer must eventually error");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_rank_mesh_panics() {
+        let _ = TcpTransport::loopback_mesh(0);
+    }
+}

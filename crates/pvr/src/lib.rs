@@ -29,7 +29,8 @@ pub mod scene;
 pub use animate::{render_orbit, FrameStats, OrbitConfig};
 pub use permute::permute_schedule;
 pub use pipeline::{
-    render_frame, render_frame_pooled, render_frame_with_faults, PipelineConfig, PipelineOutput,
+    render_frame, render_frame_on, render_frame_pooled, render_frame_with_faults, PipelineConfig,
+    PipelineOutput,
 };
 pub use scene::{compose_scene, prepare_scene, Scene};
 

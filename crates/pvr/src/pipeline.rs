@@ -8,9 +8,9 @@
 
 use crate::permute::permute_schedule;
 use crate::PvrError;
-use rt_comm::{ComputeKind, FaultPlan, Multicomputer, Trace};
+use rt_comm::{ComputeKind, FaultPlan, Trace};
 use rt_compress::CodecKind;
-use rt_core::exec::{compose_with_scratch, ComposeConfig, ScratchPool};
+use rt_core::exec::{compose_with_scratch, ComposeConfig, Machine, ScratchPool, TransportKind};
 use rt_core::method::{CompositionMethod, Method};
 use rt_core::repair::DegradedInfo;
 use rt_core::schedule::verify_schedule;
@@ -81,6 +81,19 @@ pub fn render_frame(p: usize, config: &PipelineConfig) -> Result<PipelineOutput,
     render_frame_with_faults(p, config, FaultPlan::none())
 }
 
+/// [`render_frame`] on an explicit communication backend: the ranks, the
+/// inter-render barrier and every composition transfer run over the
+/// selected transport. The frame and trace are bit-identical to the
+/// in-process run — this is the entry point cross-backend tests and the
+/// TCP examples use.
+pub fn render_frame_on(
+    p: usize,
+    config: &PipelineConfig,
+    transport: TransportKind,
+) -> Result<PipelineOutput, PvrError> {
+    render_frame_inner(p, config, FaultPlan::none(), None, transport)
+}
+
 /// [`render_frame`] under fault injection: `faults` is installed on the
 /// multicomputer and the composition runs in resilient mode, so seeded
 /// message loss/corruption is absorbed by retransmission and planned rank
@@ -91,7 +104,7 @@ pub fn render_frame_with_faults(
     config: &PipelineConfig,
     faults: FaultPlan,
 ) -> Result<PipelineOutput, PvrError> {
-    render_frame_inner(p, config, faults, None)
+    render_frame_inner(p, config, faults, None, TransportKind::InProc)
 }
 
 /// [`render_frame_with_faults`] with per-rank scratch buffers checked out
@@ -105,7 +118,7 @@ pub fn render_frame_pooled(
     faults: FaultPlan,
     pool: &ScratchPool<GrayAlpha>,
 ) -> Result<PipelineOutput, PvrError> {
-    render_frame_inner(p, config, faults, Some(pool))
+    render_frame_inner(p, config, faults, Some(pool), TransportKind::InProc)
 }
 
 fn render_frame_inner(
@@ -113,6 +126,7 @@ fn render_frame_inner(
     config: &PipelineConfig,
     faults: FaultPlan,
     pool: Option<&ScratchPool<GrayAlpha>>,
+    transport: TransportKind,
 ) -> Result<PipelineOutput, PvrError> {
     // Data partitioning stage (host side, as the paper's stage 1): rank r
     // owns slab r along the view's principal axis.
@@ -143,11 +157,12 @@ fn render_frame_inner(
     let compose_config = ComposeConfig::default()
         .with_codec(config.codec)
         .with_root(config.root)
-        .resilient(resilient);
+        .resilient(resilient)
+        .with_transport(transport);
 
     type RankOut = (Option<Image<GrayAlpha>>, Option<DegradedInfo>);
     let parts_cell = std::sync::Mutex::new(parts.into_iter().map(Some).collect::<Vec<_>>());
-    let mc = Multicomputer::new(p).with_faults(faults);
+    let mc = Machine::build(p, &compose_config, faults, None);
     let (results, trace) = mc.run(|ctx| -> Result<RankOut, PvrError> {
         let sub = parts_cell.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
             .take()
@@ -330,6 +345,19 @@ mod tests {
             faulty.trace.retransmit_count() > 0,
             "the seed should lose at least one message"
         );
+    }
+
+    #[test]
+    fn tcp_loopback_backend_matches_inproc_bit_for_bit() {
+        // The transport choice must be invisible: same frame, same trace.
+        let config = PipelineConfig::small(Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 4,
+        });
+        let inproc = render_frame(4, &config).unwrap();
+        let tcp = render_frame_on(4, &config, TransportKind::TcpLoopback).unwrap();
+        assert_eq!(inproc.frame.pixels(), tcp.frame.pixels());
+        assert_eq!(inproc.trace, tcp.trace);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use rt_comm as comm;
 pub use rt_compress as compress;
 pub use rt_core as core;
 pub use rt_imaging as imaging;
+pub use rt_net as net;
 pub use rt_obs as obs;
 pub use rt_pvr as pvr;
 pub use rt_render as render;
