@@ -42,6 +42,19 @@ if [ "$out1" != "$out2" ]; then
     exit 1
 fi
 
+echo "== chaos tcp smoke =="
+# Socket-level chaos over real OS processes: the seeded smoke subset of
+# the E9 scenario matrix (one scenario per fault family — clean control,
+# connection reset, truncated frame, hard process kill, typed error),
+# every cell gated inside the binary on the trichotomy (bit-exact |
+# exact-degraded | typed error) under a watchdog and reconciled against
+# its in-process reference. The verdict table is kept as a CI artifact.
+chaos_tcp_log=target/chaos_tcp_smoke.txt
+rm -f "$chaos_tcp_log"
+cargo run -q --release -p rt-bench --bin chaos -- --transport tcp --smoke \
+    | tee "$chaos_tcp_log"
+grep -q 'scenarios passed the trichotomy gate' "$chaos_tcp_log"
+
 echo "== perf smoke =="
 # One-rep wall-clock cell: proves the perf harness runs end to end, that
 # the pooled and per-transfer paths still agree bit-for-bit (asserted

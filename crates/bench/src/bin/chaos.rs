@@ -14,8 +14,22 @@
 //! Everything is seeded and virtual-clock priced, so every row reproduces
 //! exactly on rerun.
 //!
+//! **Extension experiment E9 — TCP chaos soak** (`--transport tcp`): the
+//! same seeded-fault philosophy pushed below the envelope, onto real
+//! sockets between real OS processes. A matrix of socket-level scenarios
+//! (connection resets, partial writes, truncated frames, delays, stalls,
+//! hard process kills — see [`rt_bench::chaosnet::scenarios`]) runs over
+//! `chaosrank` worker processes, each gated on the trichotomy:
+//! **bit-exact** (link-layer repair is invisible — trace and frame
+//! reconcile against the in-process reference), **exact-degraded** (a
+//! killed worker degrades the output exactly as the in-process
+//! `crash_rank_at_step` run), or **typed error** (faults past the repair
+//! budget fail loudly, never panic, never hang — a watchdog enforces
+//! termination). `--smoke` runs the CI subset.
+//!
 //! Usage:
 //! `cargo run -p rt-bench --release --bin chaos -- [--p 8] [--dataset engine] [--cost paper|sp2]`
+//! `cargo run -p rt-bench --release --bin chaos -- --transport tcp [--smoke] [--seed N] [--frame N]`
 
 use rt_bench::harness::{price, print_table, secs, Args, ScreenScene};
 use rt_comm::FaultPlan;
@@ -66,7 +80,109 @@ fn frame_of(results: &[Result<ComposeOutput<GrayAlpha8>, CoreError>]) -> Image<G
         .expect("some rank gathered the frame")
 }
 
+/// The sibling `chaosrank` worker binary (same target directory).
+fn chaosrank_path() -> std::path::PathBuf {
+    let mut path = std::env::current_exe().expect("own executable path");
+    path.set_file_name("chaosrank");
+    assert!(
+        path.exists(),
+        "worker binary {} not built — build the rt-bench bins first",
+        path.display()
+    );
+    path
+}
+
+/// E9: the distributed soak. Exits non-zero if any scenario fails its
+/// trichotomy gate.
+fn tcp_soak(argv: &[String]) -> ! {
+    use rt_bench::chaosnet::{gate, reference_run, run_scenario, scenarios, SMOKE_IDS};
+
+    let mut seed = 42u64;
+    let mut frame = 64usize;
+    let mut smoke = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--transport" => {
+                let t = value("--transport");
+                assert_eq!(t, "tcp", "chaos soaks only the tcp transport, not '{t}'");
+            }
+            "--smoke" => smoke = true,
+            "--seed" => seed = value("--seed").parse().expect("bad --seed"),
+            "--frame" => frame = value("--frame").parse().expect("bad --frame"),
+            // The soak matrix is tuned for exactly four ranks; accept and
+            // ignore the shared flags so callers can pass a common line.
+            "--p" | "--dataset" | "--cost" | "--volume" => {
+                let _ = value(flag);
+            }
+            other => panic!("unknown soak flag {other}"),
+        }
+    }
+    const P: usize = 4;
+    let worker = chaosrank_path();
+    let matrix = scenarios(P, frame, seed);
+    let picks: Vec<usize> = if smoke {
+        SMOKE_IDS.to_vec()
+    } else {
+        (0..matrix.len()).collect()
+    };
+
+    let mut rows = Vec::new();
+    let mut passed = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for id in &picks {
+        let sc = &matrix[*id];
+        let reference = sc.reconciles().then(|| reference_run(sc, P, frame));
+        let verdict = run_scenario(sc, P, frame, seed, &worker)
+            .and_then(|run| gate(sc, &run, reference.as_ref()).map(|status| (run.elapsed, status)));
+        let (status, took) = match verdict {
+            Ok((elapsed, status)) => {
+                passed += 1;
+                (status, format!("{:.1}s", elapsed.as_secs_f64()))
+            }
+            Err(why) => {
+                failures.push(why.clone());
+                (format!("FAILED: {why}"), "-".into())
+            }
+        };
+        rows.push(vec![
+            sc.name.to_string(),
+            sc.describe.clone(),
+            sc.expect.label().to_string(),
+            took,
+            status,
+        ]);
+    }
+    print_table(
+        &format!(
+            "E9 — TCP chaos soak, P = {P}, frame {frame}x{frame}, seed {seed}{}",
+            if smoke { " (smoke subset)" } else { "" }
+        ),
+        &["scenario", "injected", "expected", "wall", "verdict"],
+        &rows,
+    );
+    println!(
+        "chaos-tcp: {passed}/{} scenarios passed the trichotomy gate (seed {seed}, P = {P})",
+        picks.len()
+    );
+    for why in &failures {
+        eprintln!("chaos-tcp failure: {why}");
+    }
+    std::process::exit(if failures.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
+    // `--transport tcp` switches to the distributed soak, whose flag
+    // vocabulary differs; scan before Args::parse (which rejects unknown
+    // flags) decides.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--transport") {
+        tcp_soak(&argv);
+    }
     let mut args = Args::parse();
     // The default figure shape (P = 32) is bigger than chaos needs; sweep a
     // modest machine unless the caller asked for a specific size.

@@ -66,7 +66,11 @@ fn main() {
         .unwrap_or_else(|e| panic!("netrank must be spawned by a launcher (see --help): {e}"));
     let rank = session.rank;
     let p = session.world;
-    let mut transport: Box<dyn Transport> = Box::new(session.take_transport());
+    let mut transport: Box<dyn Transport> = Box::new(
+        session
+            .take_transport()
+            .expect("fresh session owns its transport"),
+    );
 
     let method = job.method();
     let schedule = method
@@ -98,7 +102,9 @@ fn main() {
         let (events, tr, _) = ctx.into_parts();
         transport = tr;
         // Align ranks between timed sections without touching the trace.
-        transport.barrier();
+        transport
+            .barrier()
+            .unwrap_or_else(|e| panic!("rank {rank} inter-section barrier failed: {e}"));
 
         let local = partial.clone();
         let t1 = Instant::now();
@@ -108,7 +114,9 @@ fn main() {
         let dt_base = t1.elapsed().as_secs_f64() * 1e3;
         let (_, tr, _) = ctx.into_parts();
         transport = tr;
-        transport.barrier();
+        transport
+            .barrier()
+            .unwrap_or_else(|e| panic!("rank {rank} inter-rep barrier failed: {e}"));
 
         if rep == job.warmup {
             // First timed rep carries the comparison payload: the trace the

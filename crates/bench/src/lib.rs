@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaosnet;
 pub mod harness;
 pub mod netgrid;
 

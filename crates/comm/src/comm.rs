@@ -98,6 +98,10 @@ pub enum CommError {
         /// The failed rank.
         rank: usize,
     },
+    /// A transport barrier round could not complete (a peer died or became
+    /// unreachable mid-round). Only backends that move real frames for
+    /// their barrier can produce this; the in-process barrier never fails.
+    Barrier(crate::transport::BarrierError),
 }
 
 impl std::fmt::Display for CommError {
@@ -137,11 +141,18 @@ impl std::fmt::Display for CommError {
             CommError::RankFailed { rank } => {
                 write!(f, "rank {rank} failed (death notification received)")
             }
+            CommError::Barrier(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CommError {}
+
+impl From<crate::transport::BarrierError> for CommError {
+    fn from(e: crate::transport::BarrierError) -> Self {
+        CommError::Barrier(e)
+    }
+}
 
 /// FNV-1a 64-bit checksum used by the delivery envelope.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -919,13 +930,16 @@ impl RankCtx {
 
     /// Synchronize all ranks. Must not be called after any rank has
     /// exited (the failure protocol therefore never barriers post-crash).
-    pub fn barrier(&mut self) {
+    /// A backend that detects a dead peer mid-round surfaces it as
+    /// [`CommError::Barrier`] naming the peer and the control tag.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
         let generation = self.barrier_gen;
         self.barrier_gen += 1;
         self.events.push(Event::Barrier { generation });
         let started = self.obs_start();
-        self.transport.barrier();
+        let result = self.transport.barrier();
         self.obs_span(Phase::Wait, started);
+        result.map_err(CommError::from)
     }
 
     /// Gather one buffer from every rank at `root`.
@@ -1466,9 +1480,9 @@ mod tests {
     fn barrier_events_share_generations() {
         let mc = Multicomputer::new(3);
         let (_, trace) = mc.run(|ctx| {
-            ctx.barrier();
+            ctx.barrier().unwrap();
             ctx.compute(ComputeKind::Over, 10);
-            ctx.barrier();
+            ctx.barrier().unwrap();
         });
         for events in &trace.ranks {
             let gens: Vec<u64> = events

@@ -58,5 +58,5 @@ pub use cost::{ComputeKind, CostModel};
 pub use replay::{replay, replay_timeline, RankStats, ReplayError, ReplayReport};
 pub use trace::{Event, RankTrace, Trace};
 pub use transport::{
-    InProc, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT,
+    BarrierError, InProc, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT,
 };

@@ -472,7 +472,7 @@ mod tests {
             // Rank r computes r*100 pixels, then all synchronize, then each
             // computes 100 more.
             ctx.compute(ComputeKind::Over, ctx.rank() as u64 * 100);
-            ctx.barrier();
+            ctx.barrier().unwrap();
             ctx.mark("after");
             ctx.compute(ComputeKind::Over, 100);
         });
@@ -570,7 +570,7 @@ mod tests {
             ctx.mark("flush:start");
             ctx.compute(ComputeKind::Over, 32);
             ctx.mark("compose:end");
-            ctx.barrier();
+            ctx.barrier().unwrap();
         });
         let cost = cost111().with_tc(0.3).with_tr(0.25).with_render_unit(0.7);
         let (report, timelines) = replay_timeline(&trace, &cost).unwrap();

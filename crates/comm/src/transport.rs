@@ -75,6 +75,46 @@ pub enum RecvRawError {
     Closed,
 }
 
+/// A transport barrier could not complete.
+///
+/// On the in-process backend the barrier is a [`std::sync::Barrier`] and
+/// never fails; over real sockets a peer can die mid-round, and the
+/// error names exactly which peer and which control tag the round was
+/// stuck on — the same diagnostic contract as
+/// [`crate::CommError::Timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierError {
+    /// The rank reporting the failure.
+    pub rank: usize,
+    /// The peer that was unreachable or declared dead, when known; `None`
+    /// when the round timed out without identifying a culprit.
+    pub peer: Option<usize>,
+    /// The control tag of the barrier round (in the
+    /// [`NET_CONTROL_TAG_BIT`] namespace on backends that move frames).
+    pub tag: u64,
+    /// How long the rank waited before giving up, for timeout failures.
+    pub waited: Option<Duration>,
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "barrier (control tag {:#x}) failed at rank {}",
+            self.tag, self.rank
+        )?;
+        if let Some(peer) = self.peer {
+            write!(f, ": rank {peer} unreachable during the round")?;
+        }
+        if let Some(waited) = self.waited {
+            write!(f, " (waited {waited:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
 /// How ranks exchange raw frames — the backend interface.
 ///
 /// Implementations must preserve per-directed-channel FIFO order: two
@@ -104,8 +144,10 @@ pub trait Transport: Send {
 
     /// Synchronize all ranks. Must only be called while every rank is
     /// still participating (the failure protocol never barriers
-    /// post-crash).
-    fn barrier(&mut self);
+    /// post-crash); a backend that detects a dead or unreachable peer
+    /// mid-round reports it as a typed [`BarrierError`] instead of
+    /// panicking or hanging.
+    fn barrier(&mut self) -> Result<(), BarrierError>;
 }
 
 /// The in-process backend: crossbeam channels between threads of one
@@ -177,8 +219,9 @@ impl Transport for InProc {
         self.rx.try_recv()
     }
 
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> Result<(), BarrierError> {
         self.barrier.wait();
+        Ok(())
     }
 }
 

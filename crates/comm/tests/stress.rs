@@ -39,7 +39,7 @@ fn randomized_all_to_all_rounds() {
                 checked += 1;
             }
             ctx.compute(ComputeKind::Over, 10);
-            ctx.barrier();
+            ctx.barrier().unwrap();
         }
         checked
     });

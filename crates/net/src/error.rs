@@ -1,0 +1,99 @@
+//! Typed errors for the TCP fabric.
+//!
+//! Everything that can go wrong on the non-test TCP data path — mesh
+//! establishment, rendezvous, worker result collection — surfaces as a
+//! [`NetError`] instead of a panic, so a dropped connection degrades the
+//! composition through the `rt-comm` failure protocol rather than killing
+//! the process.
+
+use std::io;
+
+/// A failure in the TCP fabric, named by where it happened.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level socket operation failed. `context` names the operation
+    /// and the peer involved, e.g. `"rank 2 dialing rank 0 at 127.0.0.1:4000"`.
+    Io {
+        /// What the fabric was doing when the OS said no.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The bytes on the wire violated the fabric's protocol (bad hello,
+    /// malformed frame during establishment, short rendezvous blob).
+    Protocol {
+        /// What was expected and what arrived.
+        context: String,
+    },
+    /// A peer was declared dead (missed heartbeats past the deadline, or
+    /// its reconnect budget ran out) while the operation still needed it.
+    PeerDead {
+        /// The dead peer's rank.
+        peer: usize,
+    },
+}
+
+impl NetError {
+    /// Wrap an [`io::Error`] with a human-readable operation context.
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A protocol violation with a human-readable description.
+    pub fn protocol(context: impl Into<String>) -> Self {
+        NetError::Protocol {
+            context: context.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io { context, source } => write!(f, "{context}: {source}"),
+            NetError::Protocol { context } => write!(f, "protocol violation: {context}"),
+            NetError::PeerDead { peer } => write!(f, "rank {peer} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operation() {
+        let e = NetError::io(
+            "rank 2 dialing rank 0",
+            io::Error::new(io::ErrorKind::ConnectionRefused, "refused"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("rank 2 dialing rank 0"), "{msg}");
+        assert!(msg.contains("refused"), "{msg}");
+    }
+
+    #[test]
+    fn peer_dead_names_the_rank() {
+        assert_eq!(NetError::PeerDead { peer: 3 }.to_string(), "rank 3 is dead");
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = NetError::io("x", io::Error::other("boom"));
+        assert!(e.source().is_some());
+        assert!(NetError::protocol("bad hello").source().is_none());
+    }
+}

@@ -13,6 +13,11 @@
 //! receiving envelope exactly as on the in-process backend. The length
 //! prefix makes frame boundaries explicit on the byte stream; a clean EOF
 //! at a frame boundary means the peer closed its endpoint.
+//!
+//! Decoding is total: any byte prefix — truncated header, mid-payload EOF,
+//! an over-cap length — produces a typed [`FrameError`], never a panic.
+//! The proptest in this module drives arbitrary byte prefixes through
+//! [`read_frame`] to pin that contract.
 
 use rt_comm::{Payload, WireFrame};
 use std::io::{self, ErrorKind, Read, Write};
@@ -25,63 +30,133 @@ pub const HEADER_BYTES: usize = 4 + 8 * 4;
 /// allocation.
 pub const MAX_PAYLOAD_BYTES: u32 = 1 << 30;
 
-/// Serialize one frame onto `w` (header + payload, no flush).
-pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+/// A frame could not be decoded from (or encoded onto) the byte stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside the fixed header (`got` of
+    /// [`HEADER_BYTES`] bytes arrived).
+    TruncatedHeader {
+        /// Header bytes received before EOF.
+        got: usize,
+    },
+    /// The stream ended inside the payload.
+    TruncatedPayload {
+        /// Payload length the header promised.
+        expected: usize,
+        /// Payload bytes received before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversized {
+        /// The offending length prefix.
+        len: u64,
+    },
+    /// The underlying stream failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { got } => write!(
+                f,
+                "peer closed mid-frame: {got} of {HEADER_BYTES} header bytes"
+            ),
+            FrameError::TruncatedPayload { expected, got } => write!(
+                f,
+                "peer closed mid-frame: {got} of {expected} payload bytes"
+            ),
+            FrameError::Oversized { len } => write!(
+                f,
+                "frame length prefix {len} exceeds the wire limit of {MAX_PAYLOAD_BYTES} bytes"
+            ),
+            FrameError::Io(e) => write!(f, "frame read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Little-endian `u64` at a fixed header offset.
+fn u64_at(header: &[u8; HEADER_BYTES], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&header[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Serialize one frame into a fresh buffer (header + payload).
+///
+/// This is the canonical encoding: the transport's sent-frame log stores
+/// exactly these bytes so a reconnect can replay them verbatim.
+pub fn encode_frame(frame: &WireFrame) -> Result<Vec<u8>, FrameError> {
     let len = u32::try_from(frame.payload.len())
         .ok()
         .filter(|&n| n <= MAX_PAYLOAD_BYTES)
-        .ok_or_else(|| {
-            io::Error::new(
-                ErrorKind::InvalidInput,
-                format!(
-                    "frame payload of {} bytes exceeds the wire limit",
-                    frame.payload.len()
-                ),
-            )
+        .ok_or(FrameError::Oversized {
+            len: frame.payload.len() as u64,
         })?;
-    let mut header = [0u8; HEADER_BYTES];
-    header[0..4].copy_from_slice(&len.to_le_bytes());
-    header[4..12].copy_from_slice(&(frame.from as u64).to_le_bytes());
-    header[12..20].copy_from_slice(&frame.tag.to_le_bytes());
-    header[20..28].copy_from_slice(&frame.seq.to_le_bytes());
-    header[28..36].copy_from_slice(&frame.checksum.to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(&frame.payload)
+    let mut out = Vec::with_capacity(HEADER_BYTES + frame.payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(frame.from as u64).to_le_bytes());
+    out.extend_from_slice(&frame.tag.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.extend_from_slice(&frame.checksum.to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    Ok(out)
+}
+
+/// Serialize one frame onto `w` (header + payload, no flush).
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    let bytes = encode_frame(frame).map_err(|e| match e {
+        FrameError::Io(io) => io,
+        other => io::Error::new(ErrorKind::InvalidInput, other.to_string()),
+    })?;
+    w.write_all(&bytes)
 }
 
 /// Read one frame from `r`. Returns `Ok(None)` on a clean EOF at a frame
-/// boundary (the peer closed); a mid-frame EOF is an error.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireFrame>> {
+/// boundary (the peer closed); a mid-frame EOF, an over-cap length prefix
+/// or a stream failure is a typed [`FrameError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<WireFrame>, FrameError> {
     let mut header = [0u8; HEADER_BYTES];
     // Distinguish "no more frames" from "frame cut short".
     let mut filled = 0;
     while filled < HEADER_BYTES {
         match r.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "peer closed mid-frame (incomplete header)",
-                ))
-            }
+            Ok(0) => return Err(FrameError::TruncatedHeader { got: filled }),
             Ok(n) => filled += n,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(e) => return Err(FrameError::Io(e)),
         }
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(&header[0..4]);
+    let len = u32::from_le_bytes(len_bytes);
     if len > MAX_PAYLOAD_BYTES {
-        return Err(io::Error::new(
-            ErrorKind::InvalidData,
-            format!("frame length prefix {len} exceeds the wire limit"),
-        ));
+        return Err(FrameError::Oversized { len: len as u64 });
     }
-    let from = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
-    let tag = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
-    let seq = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
-    let checksum = u64::from_le_bytes(header[28..36].try_into().expect("8 bytes"));
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let from = u64_at(&header, 4);
+    let tag = u64_at(&header, 12);
+    let seq = u64_at(&header, 20);
+    let checksum = u64_at(&header, 28);
+    let expected = len as usize;
+    let mut payload = vec![0u8; expected];
+    let mut got = 0;
+    while got < expected {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(FrameError::TruncatedPayload { expected, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
     Ok(Some(WireFrame {
         from: from as usize,
         tag,
@@ -94,6 +169,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<WireFrame>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sample(payload: Vec<u8>) -> WireFrame {
         WireFrame {
@@ -119,6 +195,14 @@ mod tests {
     }
 
     #[test]
+    fn encode_matches_write() {
+        let frame = sample(vec![1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(encode_frame(&frame).unwrap(), buf);
+    }
+
+    #[test]
     fn round_trips_empty_payload() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &sample(Vec::new())).unwrap();
@@ -132,20 +216,32 @@ mod tests {
     }
 
     #[test]
-    fn midframe_eof_is_an_error() {
+    fn midframe_eof_is_a_typed_error() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &sample(vec![1, 2, 3])).unwrap();
         buf.truncate(HEADER_BYTES + 1); // payload cut short
-        assert!(read_frame(&mut buf.as_slice()).is_err());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::TruncatedPayload {
+                expected: 3,
+                got: 1
+            })
+        ));
         buf.truncate(HEADER_BYTES - 5); // header cut short
-        assert!(read_frame(&mut buf.as_slice()).is_err());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::TruncatedHeader { got }) if got == HEADER_BYTES - 5
+        ));
     }
 
     #[test]
     fn oversized_length_prefix_is_rejected() {
         let mut buf = vec![0u8; HEADER_BYTES];
         buf[0..4].copy_from_slice(&(MAX_PAYLOAD_BYTES + 1).to_le_bytes());
-        assert!(read_frame(&mut buf.as_slice()).is_err());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(FrameError::Oversized { len }) if len == (MAX_PAYLOAD_BYTES + 1) as u64
+        ));
     }
 
     #[test]
@@ -163,5 +259,51 @@ mod tests {
             &[2, 2]
         );
         assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    proptest! {
+        // Any byte prefix parses to Ok or a typed error — never a panic —
+        // and the parser is consistent: a prefix of a valid frame stream
+        // either yields the full frame (enough bytes) or a truncation
+        // error, and random garbage never yields a frame longer than the
+        // input.
+        #[test]
+        fn arbitrary_prefixes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let mut r = bytes.as_slice();
+            match read_frame(&mut r) {
+                Ok(None) => prop_assert!(bytes.is_empty()),
+                Ok(Some(frame)) => {
+                    prop_assert!(bytes.len() >= HEADER_BYTES + frame.payload.len());
+                }
+                Err(_) => {} // typed failure is the expected outcome for garbage
+            }
+        }
+
+        // A truncated valid frame always reports truncation (or, cut at
+        // the boundary, clean EOF) — pinpointing where the cut fell.
+        #[test]
+        fn truncated_valid_frames_report_truncation(
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            cut in 0usize..100,
+        ) {
+            let frame = sample(payload);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            let cut = cut.min(buf.len());
+            let mut r = &buf[..cut];
+            match read_frame(&mut r) {
+                Ok(None) => prop_assert_eq!(cut, 0),
+                Ok(Some(got)) => {
+                    prop_assert_eq!(cut, buf.len());
+                    prop_assert_eq!(got.payload.as_slice(), frame.payload.as_slice());
+                }
+                Err(FrameError::TruncatedHeader { got }) => prop_assert_eq!(got, cut),
+                Err(FrameError::TruncatedPayload { expected, got }) => {
+                    prop_assert_eq!(expected, frame.payload.len());
+                    prop_assert_eq!(got, cut - HEADER_BYTES);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+        }
     }
 }

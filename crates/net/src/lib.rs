@@ -6,10 +6,17 @@
 //! cooperating processes instead of threads sharing an address space:
 //!
 //! * [`frame`] — the length-prefixed wire format for
-//!   [`WireFrame`](rt_comm::WireFrame)s.
+//!   [`WireFrame`](rt_comm::WireFrame)s; decoding is total (typed
+//!   [`FrameError`], never a panic).
+//! * [`link`] — the per-peer fabric: sent-frame logs, bounded
+//!   reconnect-with-resume, heartbeat liveness, and death declaration
+//!   ([`TcpOptions`] holds the knobs).
 //! * [`tcp`] — [`TcpTransport`]: full-mesh `TcpStream`s with a rank
 //!   handshake, `TCP_NODELAY`, per-peer receive threads, and a
-//!   control-frame barrier.
+//!   control-frame barrier that fails typed instead of panicking.
+//! * [`chaos`] — [`ChaosTransport`] + [`NetFaultPlan`]: deterministic,
+//!   seeded socket-level fault injection (resets, partial writes,
+//!   truncated frames, delays, stalls) under the real transport.
 //! * [`process`] — the rendezvous protocol: a [`Launcher`] spawns one OS
 //!   process per rank and a [`WorkerSession`] in each process joins the
 //!   mesh and reports results back.
@@ -22,9 +29,14 @@
 //! `rt-comm`, so a [`FaultPlan`](rt_comm::FaultPlan) behaves identically
 //! here — and because the event trace records only *what* was
 //! sent/received, a clean run produces a bit-identical
-//! [`Trace`](rt_comm::Trace) on either backend. The virtual-clock replay
-//! prices traced bytes, not wall time; determinism survives the
-//! nondeterministic network.
+//! [`Trace`](rt_comm::Trace) on either backend. Socket failures that the
+//! link layer can repair (reconnect + replay) are invisible to the
+//! envelope, so even a chaos-injected run reconciles bit-exactly against
+//! the in-process reference; failures past the repair budget are
+//! *declared deaths* that flow through the same `DEATH_TAG` protocol a
+//! crashing rank announces voluntarily, engaging the resilient executor's
+//! repair planner. The virtual-clock replay prices traced bytes, not wall
+//! time; determinism survives the nondeterministic network.
 //!
 //! ```
 //! use rt_net::TcpMulticomputer;
@@ -44,12 +56,26 @@
 //! ```
 
 #![warn(missing_docs)]
+// The whole point of this crate's failure model: the non-test data path
+// never panics — socket failures become typed errors or death
+// notifications. Documented exceptions carry a local #[allow].
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
+pub mod chaos;
+pub mod error;
 pub mod frame;
+pub mod link;
 pub mod multicomputer;
 pub mod process;
 pub mod tcp;
 
+pub use chaos::{ChaosTransport, NetFaultPlan};
+pub use error::NetError;
+pub use frame::FrameError;
+pub use link::{TcpOptions, WireFault};
 pub use multicomputer::TcpMulticomputer;
 pub use process::{Launcher, WorkerSession, ENV_RANK, ENV_RENDEZVOUS, ENV_WORLD};
 pub use tcp::TcpTransport;

@@ -7,6 +7,7 @@
 //! observer wiring — only the transport underneath differs. Fully
 //! separate OS processes go through [`crate::process`] instead.
 
+use crate::link::TcpOptions;
 use crate::tcp::TcpTransport;
 use rt_comm::comm::{RankCtx, RankOptions};
 use rt_comm::{FaultPlan, RankTrace, Trace};
@@ -40,7 +41,10 @@ impl TcpMulticomputer {
         }
     }
 
-    /// Override the receive timeout (default 10 s).
+    /// Override the receive timeout (default 10 s). Link-level deadlines
+    /// (reconnect budget, restore window, heartbeats) are derived from it
+    /// via [`TcpOptions::scaled_to`], so socket failures resolve into the
+    /// typed failure protocol before the envelope's deadline fires.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
@@ -76,6 +80,11 @@ impl TcpMulticomputer {
     /// # Panics
     /// Panics if the loopback mesh cannot be established (no free ports,
     /// loopback disabled) or if any rank's closure panics.
+    // Panicking is this method's documented contract, mirroring
+    // rt_comm::Multicomputer::run: rank-closure panics are collected and
+    // re-raised with a per-rank report, and an unusable host network is
+    // not a recoverable condition for a test/example harness.
+    #[allow(clippy::panic, clippy::expect_used)]
     pub fn run<T, F>(&self, f: F) -> (Vec<T>, Trace)
     where
         T: Send,
@@ -83,7 +92,7 @@ impl TcpMulticomputer {
     {
         let p = self.size;
         let f = &f;
-        let mesh = TcpTransport::loopback_mesh(p)
+        let mesh = TcpTransport::loopback_mesh_with(p, TcpOptions::scaled_to(self.timeout))
             .unwrap_or_else(|e| panic!("loopback mesh of {p} ranks failed: {e}"));
         let mut ctxs: Vec<RankCtx> = mesh
             .into_iter()
@@ -166,7 +175,7 @@ mod tests {
             let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
             ctx.send(next, 1, vec![ctx.rank() as u8]).unwrap();
             let got = ctx.recv(prev, 1).unwrap();
-            ctx.barrier();
+            ctx.barrier().unwrap();
             got[0]
         };
         let (tcp_results, tcp_trace) = TcpMulticomputer::new(4).run(ring);
@@ -186,7 +195,7 @@ mod tests {
             } else if ctx.rank() == 1 {
                 assert_eq!(ctx.recv(0, 9).unwrap().as_slice(), &[5; 64][..]);
             }
-            ctx.barrier();
+            ctx.barrier().unwrap();
         };
         let (_, tcp_trace) = TcpMulticomputer::new(2).with_faults(plan()).run(exchange);
         let (_, inproc_trace) = Multicomputer::new(2).with_faults(plan()).run(exchange);

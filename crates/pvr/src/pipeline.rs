@@ -173,7 +173,7 @@ fn render_frame_inner(
         let (partial, _) = render_intermediate(&sub, &tf, &config.camera, &config.render);
         ctx.compute(ComputeKind::Render, sub.vol.len() as u64);
         ctx.mark("render:end");
-        ctx.barrier();
+        ctx.barrier().map_err(rt_core::CoreError::from)?;
         let mut scratch = match pool {
             Some(pool) => pool.checkout(ctx.rank()),
             None => Default::default(),
