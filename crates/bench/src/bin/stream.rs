@@ -1,0 +1,383 @@
+//! Wall-clock frames/sec: pipelined streaming vs the serial per-frame loop.
+//!
+//! Each cell runs the same orbit twice — once through the serial
+//! per-frame pipeline (`render_frame_pooled_on`, one machine built and
+//! torn down per frame, the render→compose stall included) and once
+//! through the streaming front-end (`StreamSession`, one machine for the
+//! whole stream, bounded in-flight window) — and refuses to report any
+//! number unless every streamed frame is **byte-identical** to its serial
+//! counterpart. Emits `BENCH_stream.json` (schema `bench-stream/v1`) and
+//! prints an aligned table.
+//!
+//! `--smoke` shrinks to a P=8 reconciliation subset for CI. The full run
+//! additionally asserts the headline: raw-codec P=32 cells must stream at
+//! ≥ 1.3× the serial frame rate.
+
+use rt_bench::harness::print_table;
+use rt_comm::{CostModel, FaultPlan};
+use rt_compress::CodecKind;
+use rt_core::exec::{ScratchPool, TransportKind};
+use rt_core::method::{CompositionMethod, Method};
+use rt_core::rotate::RtVariant;
+use rt_imaging::{GrayAlpha, Image};
+use rt_pvr::{
+    orbit_cameras, render_frame_pooled_on, OrbitConfig, PipelineConfig, StreamConfig, StreamSession,
+};
+use rt_render::shearwarp::RenderOptions;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct StreamArgs {
+    frames: usize,
+    volume: usize,
+    frame_px: usize,
+    window: usize,
+    reps: usize,
+    out: String,
+    transport: Option<TransportKind>,
+    smoke: bool,
+}
+
+impl Default for StreamArgs {
+    fn default() -> Self {
+        Self {
+            frames: 12,
+            volume: 32,
+            frame_px: 48,
+            window: 2,
+            reps: 5,
+            out: "BENCH_stream.json".into(),
+            transport: None,
+            smoke: false,
+        }
+    }
+}
+
+impl StreamArgs {
+    fn parse() -> Self {
+        let mut out = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--frames" => out.frames = value("--frames").parse().expect("bad --frames"),
+                "--volume" => out.volume = value("--volume").parse().expect("bad --volume"),
+                "--frame" => out.frame_px = value("--frame").parse().expect("bad --frame"),
+                "--window" => out.window = value("--window").parse().expect("bad --window"),
+                "--reps" => out.reps = value("--reps").parse().expect("bad --reps"),
+                "--out" => out.out = value("--out"),
+                "--transport" => {
+                    out.transport = match value("--transport").as_str() {
+                        "inproc" => Some(TransportKind::InProc),
+                        "tcp" => Some(TransportKind::TcpLoopback),
+                        other => panic!("unknown transport {other} (inproc|tcp)"),
+                    }
+                }
+                "--smoke" => out.smoke = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --frames N  --volume N  --frame N  --window N  --reps N  \
+                         --out FILE  --transport inproc|tcp  --smoke"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if out.smoke {
+            out.frames = 3;
+            out.volume = 16;
+            out.frame_px = 48;
+            out.reps = 1;
+        }
+        assert!(out.reps > 0, "--reps must be positive");
+        assert!(
+            out.frames > 1,
+            "--frames must be >= 2 (steady-state throughput needs an interval)"
+        );
+        out
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Cell {
+    method: String,
+    codec: String,
+    p: usize,
+    transport: String,
+    frames: usize,
+    /// Best serial steady-state seconds per frame.
+    serial_s: f64,
+    /// Best pipelined steady-state seconds per frame.
+    stream_s: f64,
+    serial_fps: f64,
+    stream_fps: f64,
+    /// stream_fps / serial_fps — >1 means pipelining wins.
+    speedup: f64,
+    /// Every streamed frame matched its serial counterpart byte for byte
+    /// (asserted before the cell is trusted; always true in an artifact).
+    identical: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    frames: usize,
+    volume: usize,
+    frame_px: usize,
+    window: usize,
+    reps: usize,
+    smoke: bool,
+    results: Vec<Cell>,
+}
+
+fn base_config(args: &StreamArgs, method: Method, codec: CodecKind) -> PipelineConfig {
+    let mut config = PipelineConfig::small(method);
+    config.codec = codec;
+    config.volume_size = args.volume;
+    config.render = RenderOptions {
+        early_termination: 1.0,
+        ..RenderOptions::square(args.frame_px)
+    };
+    config
+}
+
+/// The serial baseline: the repo's per-frame pipeline called in a loop —
+/// one machine built and torn down per frame, the scratch pool scoped to
+/// the loop iteration, and the frame's trace priced for its `FrameStats`
+/// equivalent, exactly what an animation loop over the single-frame API
+/// delivers. This is the stall the streaming front-end removes.
+/// Steady-state throughput: seconds per frame once the pipe is full,
+/// measured from the completion of the first frame to the completion of
+/// the last. This is the standard frame-rate definition for a streaming
+/// system — pipe-fill latency is reported by neither side, and the serial
+/// loop's cost is per-frame constant so the definition is neutral to it.
+fn per_frame(first_done: Instant, last_done: Instant, frames: usize) -> f64 {
+    (last_done - first_done).as_secs_f64() / (frames - 1) as f64
+}
+
+fn run_serial(
+    p: usize,
+    base: &PipelineConfig,
+    orbit: &OrbitConfig,
+    transport: TransportKind,
+) -> (Vec<Image<GrayAlpha>>, f64) {
+    let mut first_done = None;
+    let mut frames = Vec::new();
+    for (_, camera) in orbit_cameras(orbit) {
+        let mut config = *base;
+        config.camera = camera;
+        let pool = ScratchPool::new();
+        let out = render_frame_pooled_on(p, &config, FaultPlan::none(), &pool, transport)
+            .expect("serial frame renders");
+        // Per-frame stats, matching what the stream's emitter prices for
+        // every StreamFrame.
+        let report = rt_comm::replay(&out.trace, &CostModel::SP2).expect("trace replays");
+        std::hint::black_box(report.phase("compose:start", "gather:end"));
+        std::hint::black_box((out.trace.bytes_sent(), out.trace.message_count()));
+        frames.push(out.frame);
+        first_done.get_or_insert_with(Instant::now);
+    }
+    let first = first_done.expect("at least one frame");
+    (frames, per_frame(first, Instant::now(), orbit.frames))
+}
+
+fn run_stream(
+    session: &StreamSession,
+    base: &PipelineConfig,
+    orbit: &OrbitConfig,
+    window: usize,
+    transport: TransportKind,
+) -> (Vec<Image<GrayAlpha>>, f64) {
+    let config = StreamConfig::new(*base)
+        .with_window(window)
+        .with_transport(transport)
+        .with_cost(CostModel::SP2);
+    let mut first_done = None;
+    let mut frames = Vec::new();
+    for (i, frame) in session.open().stream_orbit(&config, orbit).enumerate() {
+        let frame = frame.expect("stream completes");
+        assert_eq!(frame.seq, i as u64, "stream emitted out of order");
+        frames.push(frame.frame);
+        first_done.get_or_insert_with(Instant::now);
+    }
+    let first = first_done.expect("at least one frame");
+    (frames, per_frame(first, Instant::now(), orbit.frames))
+}
+
+fn transport_name(t: TransportKind) -> &'static str {
+    match t {
+        TransportKind::InProc => "inproc",
+        TransportKind::TcpLoopback => "tcp",
+    }
+}
+
+fn main() {
+    let args = StreamArgs::parse();
+    let orbit = OrbitConfig::quarter(args.frames);
+
+    let methods: Vec<Method> = if args.smoke {
+        vec![
+            Method::RotateTiling {
+                variant: RtVariant::TwoN,
+                blocks: 4,
+            },
+            Method::BinarySwap,
+        ]
+    } else {
+        Method::figure6_lineup()
+    };
+    let codecs: &[CodecKind] = if args.smoke {
+        &[CodecKind::Raw, CodecKind::Trle]
+    } else {
+        &[CodecKind::Raw, CodecKind::Rle, CodecKind::Trle]
+    };
+    let ps: &[usize] = if args.smoke { &[8] } else { &[8, 32] };
+    let transports: Vec<TransportKind> = match args.transport {
+        Some(t) => vec![t],
+        None => vec![TransportKind::InProc, TransportKind::TcpLoopback],
+    };
+
+    let mut cells = Vec::new();
+    for &p in ps {
+        for method in &methods {
+            for &codec in codecs {
+                let base = base_config(&args, *method, codec);
+                for &transport in &transports {
+                    // Best-of-reps on both sides: the machines are torn
+                    // down between reps, so each rep sees the same cold
+                    // start the other side does.
+                    let mut serial_best = f64::INFINITY;
+                    let mut stream_best = f64::INFINITY;
+                    let mut serial_frames = Vec::new();
+                    let mut stream_frames = Vec::new();
+                    for _ in 0..args.reps {
+                        let (frames, s) = run_serial(p, &base, &orbit, transport);
+                        serial_best = serial_best.min(s);
+                        serial_frames = frames;
+                        let session = StreamSession::new(p);
+                        let (frames, s) =
+                            run_stream(&session, &base, &orbit, args.window, transport);
+                        stream_best = stream_best.min(s);
+                        stream_frames = frames;
+                    }
+                    // The gate: nothing is reported unless the pipelined
+                    // frames are the serial frames, byte for byte.
+                    assert_eq!(serial_frames.len(), stream_frames.len());
+                    for (i, (a, b)) in serial_frames.iter().zip(&stream_frames).enumerate() {
+                        assert_eq!(
+                            a.pixels(),
+                            b.pixels(),
+                            "{} {codec:?} p={p} {}: frame {i} diverged",
+                            method.name(),
+                            transport_name(transport),
+                        );
+                    }
+                    let cell = Cell {
+                        method: method.name(),
+                        codec: format!("{codec:?}"),
+                        p,
+                        transport: transport_name(transport).into(),
+                        frames: args.frames,
+                        serial_s: serial_best,
+                        stream_s: stream_best,
+                        serial_fps: serial_best.recip(),
+                        stream_fps: stream_best.recip(),
+                        speedup: serial_best / stream_best,
+                        identical: true,
+                    };
+                    println!(
+                        "  {:<10} {:<5} p={:<3} {:<7} {:>7.2} -> {:>7.2} fps ({:.2}x)",
+                        cell.method,
+                        cell.codec,
+                        cell.p,
+                        cell.transport,
+                        cell.serial_fps,
+                        cell.stream_fps,
+                        cell.speedup
+                    );
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+
+    let report = Report {
+        schema: "bench-stream/v1".into(),
+        frames: args.frames,
+        volume: args.volume,
+        frame_px: args.frame_px,
+        window: args.window,
+        reps: args.reps,
+        smoke: args.smoke,
+        results: cells,
+    };
+
+    let table: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|c| {
+            vec![
+                c.method.clone(),
+                c.codec.clone(),
+                c.p.to_string(),
+                c.transport.clone(),
+                format!("{:.2}", c.serial_fps),
+                format!("{:.2}", c.stream_fps),
+                format!("{:.2}x", c.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "pipelined vs serial frame rate, {} frames, window {}",
+            report.frames, report.window
+        ),
+        &[
+            "method",
+            "codec",
+            "p",
+            "transport",
+            "serial fps",
+            "stream fps",
+            "speedup",
+        ],
+        &table,
+    );
+
+    if !args.smoke {
+        // The headline claim: at P=32 with the raw codec (the heaviest
+        // per-frame communication), pipelining must lift the frame rate
+        // by at least 1.3x on every transport.
+        for cell in report
+            .results
+            .iter()
+            .filter(|c| c.p == 32 && c.codec == "Raw")
+        {
+            assert!(
+                cell.speedup >= 1.3,
+                "{} raw p=32 {}: pipelined only {:.2}x over serial (need >= 1.3x)",
+                cell.method,
+                cell.transport,
+                cell.speedup
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&args.out, &json).expect("write BENCH_stream.json");
+    let back = std::fs::read_to_string(&args.out).expect("re-read artifact");
+    let parsed: Report = serde_json::from_str(&back).expect("artifact parses");
+    assert_eq!(parsed.schema, "bench-stream/v1");
+    assert!(
+        parsed.results.iter().all(|c| c.identical),
+        "artifact contains a non-reconciled cell"
+    );
+    let rows = parsed.results.len();
+    assert!(rows > 0, "artifact has no result cells");
+    println!("BENCH_stream.json OK ({rows} cells -> {})", args.out);
+}

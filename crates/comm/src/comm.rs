@@ -398,6 +398,9 @@ pub struct RankCtx {
     /// Current composition step for wall-span attribution, tracked from the
     /// executor's `step:`/`flush:`/`compose:` marks (observed runs only).
     obs_step: Option<u32>,
+    /// Current streaming frame for wall-span attribution, tracked from the
+    /// streaming front-end's `frame:K:start` marks (observed runs only).
+    obs_frame: Option<u32>,
 }
 
 /// Tag namespace reserved for the built-in gather; algorithm tags must keep
@@ -460,6 +463,7 @@ impl RankCtx {
             checksum_rejects: 0,
             obs: opts.recorder,
             obs_step: None,
+            obs_frame: None,
         }
     }
 
@@ -496,7 +500,8 @@ impl RankCtx {
     pub fn obs_span(&mut self, phase: Phase, started: Option<Instant>) {
         if let (Some(rec), Some(t)) = (self.obs.as_mut(), started) {
             let step = self.obs_step;
-            rec.record_span(phase, step, t);
+            let frame = self.obs_frame;
+            rec.record_span(phase, step, frame, t);
         }
     }
 
@@ -923,6 +928,14 @@ impl RankCtx {
                 self.obs_step = None;
             } else if label == "compose:start" || label == "compose:end" {
                 self.obs_step = None;
+            } else if let Some(rest) = label.strip_prefix("frame:") {
+                // Streaming marks: `frame:K:start` opens frame K,
+                // `frame:K:end` closes it.
+                if let Some(frame) = rest.strip_suffix(":start") {
+                    self.obs_frame = frame.parse().ok();
+                } else if rest.ends_with(":end") {
+                    self.obs_frame = None;
+                }
             }
         }
         self.events.push(Event::Mark { label });

@@ -58,5 +58,6 @@ pub use cost::{ComputeKind, CostModel};
 pub use replay::{replay, replay_timeline, RankStats, ReplayError, ReplayReport};
 pub use trace::{Event, RankTrace, Trace};
 pub use transport::{
-    BarrierError, InProc, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT,
+    frame_tag_base, BarrierError, InProc, RecvRawError, SendRawError, Transport, WireFrame,
+    FRAME_TAG_BITS, FRAME_TAG_SHIFT, NET_CONTROL_TAG_BIT,
 };

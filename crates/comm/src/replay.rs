@@ -206,8 +206,10 @@ fn replay_inner(
     // Barrier bookkeeping: generation -> (arrival clock per rank).
     let mut barrier_entries: HashMap<u64, Vec<Option<f64>>> = HashMap::new();
     let mut marks: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
-    // Step attribution for derived spans, driven by the executor's marks.
+    // Step/frame attribution for derived spans, driven by the executor's
+    // and streaming front-end's marks.
     let mut cur_step: Vec<Option<u32>> = vec![None; p];
+    let mut cur_frame: Vec<Option<u32>> = vec![None; p];
     let mut in_flush = vec![false; p];
 
     // Emit a virtual span; zero-duration charges are elided (see
@@ -217,6 +219,7 @@ fn replay_inner(
         r: usize,
         phase: Phase,
         step: Option<u32>,
+        frame: Option<u32>,
         start: f64,
         dur: f64,
     ) {
@@ -225,6 +228,7 @@ fn replay_inner(
                 tl[r].spans.push(SpanRec {
                     phase,
                     step,
+                    frame,
                     start,
                     dur,
                 });
@@ -241,7 +245,15 @@ fn replay_inner(
                 match &events[idx[r]] {
                     Event::Send { to, bytes, seq, .. } => {
                         let dur = cost.message_time(*bytes);
-                        emit(&mut timelines, r, Phase::Send, cur_step[r], clocks[r], dur);
+                        emit(
+                            &mut timelines,
+                            r,
+                            Phase::Send,
+                            cur_step[r],
+                            cur_frame[r],
+                            clocks[r],
+                            dur,
+                        );
                         clocks[r] += dur;
                         stats[r].send_time += dur;
                         stats[r].messages_sent += 1;
@@ -260,7 +272,15 @@ fn replay_inner(
                         // A retransmission occupies the sender exactly like a
                         // fresh send of the same payload.
                         let dur = cost.message_time(*bytes);
-                        emit(&mut timelines, r, Phase::Send, cur_step[r], clocks[r], dur);
+                        emit(
+                            &mut timelines,
+                            r,
+                            Phase::Send,
+                            cur_step[r],
+                            cur_frame[r],
+                            clocks[r],
+                            dur,
+                        );
                         clocks[r] += dur;
                         stats[r].send_time += dur;
                         stats[r].retransmits += 1;
@@ -276,6 +296,7 @@ fn replay_inner(
                             r,
                             Phase::Backoff,
                             cur_step[r],
+                            cur_frame[r],
                             clocks[r],
                             dur,
                         );
@@ -295,7 +316,15 @@ fn replay_inner(
                         };
                         if arrival > clocks[r] {
                             let dur = arrival - clocks[r];
-                            emit(&mut timelines, r, Phase::Wait, cur_step[r], clocks[r], dur);
+                            emit(
+                                &mut timelines,
+                                r,
+                                Phase::Wait,
+                                cur_step[r],
+                                cur_frame[r],
+                                clocks[r],
+                                dur,
+                            );
                             stats[r].wait_time += dur;
                             // Additive (not `= arrival`) so the clock stays
                             // bit-identical to the fold of emitted span
@@ -308,6 +337,7 @@ fn replay_inner(
                             r,
                             Phase::Recv,
                             cur_step[r],
+                            cur_frame[r],
                             clocks[r],
                             cost.tr,
                         );
@@ -323,7 +353,15 @@ fn replay_inner(
                             ComputeKind::Decode => Phase::Decode,
                             ComputeKind::Render => Phase::Render,
                         };
-                        emit(&mut timelines, r, phase, cur_step[r], clocks[r], dur);
+                        emit(
+                            &mut timelines,
+                            r,
+                            phase,
+                            cur_step[r],
+                            cur_frame[r],
+                            clocks[r],
+                            dur,
+                        );
                         clocks[r] += dur;
                         match kind {
                             ComputeKind::Over => stats[r].over_time += dur,
@@ -349,7 +387,15 @@ fn replay_inner(
                             barrier_entries.insert(*generation, vec![Some(release); p]);
                             if release > clocks[r] {
                                 let dur = release - clocks[r];
-                                emit(&mut timelines, r, Phase::Wait, cur_step[r], clocks[r], dur);
+                                emit(
+                                    &mut timelines,
+                                    r,
+                                    Phase::Wait,
+                                    cur_step[r],
+                                    cur_frame[r],
+                                    clocks[r],
+                                    dur,
+                                );
                                 stats[r].wait_time += dur;
                                 // Additive for the same bit-exactness
                                 // reason as the `Recv` wait above.
@@ -371,6 +417,12 @@ fn replay_inner(
                         } else if label == "compose:start" || label == "compose:end" {
                             cur_step[r] = None;
                             in_flush[r] = false;
+                        } else if let Some(rest) = label.strip_prefix("frame:") {
+                            if let Some(frame) = rest.strip_suffix(":start") {
+                                cur_frame[r] = frame.parse().ok();
+                            } else if rest.ends_with(":end") {
+                                cur_frame[r] = None;
+                            }
                         }
                     }
                 }
@@ -591,6 +643,32 @@ mod tests {
         }
         // The priced report must be identical with and without timelines.
         assert_eq!(replay(&trace, &cost).unwrap(), report);
+    }
+
+    #[test]
+    fn frame_marks_scope_span_attribution() {
+        // Work bracketed by `frame:K:start`/`frame:K:end` marks replays
+        // with `frame: Some(K)` on its virtual spans; work outside any
+        // frame stays `None` — the streaming pipeline's per-frame span
+        // attribution.
+        let mc = Multicomputer::new(2);
+        let (_, trace) = mc.run(|ctx| {
+            ctx.mark("frame:3:start");
+            ctx.compute(ComputeKind::Render, 10);
+            ctx.mark("frame:3:end");
+            ctx.compute(ComputeKind::Render, 10);
+        });
+        let (_, timelines) = replay_timeline(&trace, &cost111().with_render_unit(0.5)).unwrap();
+        for tl in &timelines {
+            let renders: Vec<_> = tl
+                .spans
+                .iter()
+                .filter(|s| s.phase == Phase::Render)
+                .collect();
+            assert_eq!(renders.len(), 2);
+            assert_eq!(renders[0].frame, Some(3));
+            assert_eq!(renders[1].frame, None);
+        }
     }
 
     #[test]

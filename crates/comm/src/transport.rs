@@ -38,6 +38,28 @@ use std::time::Duration;
 /// repair (bit 60), liveness (bit 59) and collective (bit 62) namespaces.
 pub const NET_CONTROL_TAG_BIT: u64 = 1 << 58;
 
+/// Bit position of the frame-stream tag namespace: bits
+/// `FRAME_TAG_SHIFT .. FRAME_TAG_SHIFT + FRAME_TAG_BITS` carry the frame
+/// index of a multi-frame streaming pipeline, so two frames can be in
+/// flight at once without their composition tags colliding. Sits strictly
+/// below every control namespace ([`NET_CONTROL_TAG_BIT`] and the comm
+/// layer's bits 59–63) and strictly above the executor's step bits, so
+/// reliability, retransmission, fault injection and tracing all work
+/// unchanged per frame.
+pub const FRAME_TAG_SHIFT: u32 = 48;
+
+/// Width of the frame tag namespace in bits. Frame indices wrap modulo
+/// `2^FRAME_TAG_BITS` (1024); a streaming window keeps at most a handful
+/// of frames in flight, so wrapped tags can never coexist.
+pub const FRAME_TAG_BITS: u32 = 10;
+
+/// The tag bits identifying frame `frame` of a stream: OR this into every
+/// algorithm tag of that frame's composition. Frame 0 maps to `0`, so a
+/// single-frame (non-streaming) run tags messages exactly as before.
+pub fn frame_tag_base(frame: u64) -> u64 {
+    (frame % (1 << FRAME_TAG_BITS)) << FRAME_TAG_SHIFT
+}
+
 /// One frame as it crosses the wire: the delivery envelope's coordinates
 /// plus the (possibly shared) payload bytes.
 ///
@@ -293,5 +315,22 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_rank_mesh_panics() {
         InProc::mesh(0);
+    }
+
+    #[test]
+    fn frame_tag_namespace_is_disjoint_from_control_bits() {
+        // Frame 0 is the identity: single-frame runs tag exactly as before.
+        assert_eq!(frame_tag_base(0), 0);
+        // Distinct in-window frames get distinct bases; indices wrap.
+        assert_ne!(frame_tag_base(1), frame_tag_base(2));
+        assert_eq!(frame_tag_base(5), frame_tag_base(5 + (1 << FRAME_TAG_BITS)));
+        // The namespace never touches a control bit (58..=63).
+        for frame in 0..2048u64 {
+            assert_eq!(frame_tag_base(frame) & !((1 << 58) - 1), 0, "{frame}");
+        }
+        // And sits above the executor's step-tag budget (step < 256 at
+        // bit 40 → highest step bit is 47).
+        assert_eq!(frame_tag_base(1), 1 << FRAME_TAG_SHIFT);
+        const { assert!(FRAME_TAG_SHIFT >= 48) };
     }
 }

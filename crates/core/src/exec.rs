@@ -105,6 +105,13 @@ pub struct ComposeConfig {
     /// ([`run_composition`] and friends, `rt-pvr`'s pipeline). Frames and
     /// traces are identical on either setting.
     pub transport: TransportKind,
+    /// Frame-namespace bits OR'd into every message tag of this compose
+    /// (see [`rt_comm::frame_tag_base`]). `0` (the default, and frame 0 of
+    /// a stream) reproduces the classic single-frame tags exactly; a
+    /// streaming pipeline sets a distinct base per in-flight frame so two
+    /// frames' transfers, repairs and gathers never collide in the tag
+    /// space while sharing one live multicomputer.
+    pub frame_tag: u64,
 }
 
 impl Default for ComposeConfig {
@@ -118,6 +125,7 @@ impl Default for ComposeConfig {
             path: ExecPath::default(),
             kernel: KernelPath::default(),
             transport: TransportKind::default(),
+            frame_tag: 0,
         }
     }
 }
@@ -168,6 +176,13 @@ impl ComposeConfig {
     /// Select the communication backend the harnesses build.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Namespace this compose's tags as frame `frame` of a stream (frame 0
+    /// is the identity — identical tags to a non-streaming run).
+    pub fn with_frame(mut self, frame: u64) -> Self {
+        self.frame_tag = rt_comm::frame_tag_base(frame);
         self
     }
 }
@@ -295,6 +310,7 @@ impl<P: Pixel> Scratch<P> {
 #[derive(Debug, Default)]
 pub struct ScratchPool<P: Pixel> {
     slots: Mutex<HashMap<usize, Scratch<P>>>,
+    fresh: std::sync::atomic::AtomicU64,
 }
 
 impl<P: Pixel> ScratchPool<P> {
@@ -302,16 +318,33 @@ impl<P: Pixel> ScratchPool<P> {
     pub fn new() -> Self {
         Self {
             slots: Mutex::new(HashMap::new()),
+            fresh: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Take rank `rank`'s scratch (fresh if none was checked in yet).
     pub fn checkout(&self, rank: usize) -> Scratch<P> {
-        self.slots
+        match self
+            .slots
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&rank)
-            .unwrap_or_default()
+        {
+            Some(scratch) => scratch,
+            None => {
+                self.fresh
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Scratch::new()
+            }
+        }
+    }
+
+    /// How many checkouts found no checked-in scratch and allocated a
+    /// fresh one. In a steady-state animation this counts the first
+    /// frame's `p` checkouts and then stays flat — the pool-reuse
+    /// invariant the orbit and streaming paths assert.
+    pub fn fresh_checkouts(&self) -> u64 {
+        self.fresh.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Return rank `rank`'s scratch for the next frame.
@@ -336,22 +369,31 @@ pub struct ComposeOutput<P: Pixel> {
     pub degraded: Option<DegradedInfo>,
 }
 
-/// Tag for a transfer: step index in the high bits, span start in the low.
+/// Tag for a transfer: frame-namespace bits on top, step index in the high
+/// bits, span start in the low.
 ///
-/// Unique per `(src, dst, step)` because a step never ships the same span
-/// twice between the same pair, and disjoint spans have distinct starts.
-fn tag(step: usize, span_start: usize) -> u64 {
-    ((step as u64) << 40) | span_start as u64
+/// Unique per `(src, dst, step)` within a frame because a step never ships
+/// the same span twice between the same pair, and disjoint spans have
+/// distinct starts. The step index must stay below 256 so it cannot bleed
+/// into the frame namespace at bit [`rt_comm::FRAME_TAG_SHIFT`]; every
+/// schedule in this repository is orders of magnitude below that.
+fn tag(frame_tag: u64, step: usize, span_start: usize) -> u64 {
+    debug_assert!(
+        (step as u64) < (1 << (rt_comm::FRAME_TAG_SHIFT - 40)),
+        "step index {step} overflows into the frame tag namespace"
+    );
+    frame_tag | ((step as u64) << 40) | span_start as u64
 }
 
 /// Tag namespace of the repair (reconstruction-fetch) phase; disjoint from
-/// step tags (bits < 60) and the comm layer's control namespaces (bits
+/// step tags (bits < 58) and the comm layer's control namespaces (bits
 /// 59/61/62/63).
 const REPAIR_TAG_BIT: u64 = 1 << 60;
 
-/// Tag of the repair fetch `fetch` of plan entry `entry`.
-fn repair_tag(entry: usize, fetch: usize) -> u64 {
-    REPAIR_TAG_BIT | ((entry as u64) << 16) | fetch as u64
+/// Tag of the repair fetch `fetch` of plan entry `entry`, carrying the
+/// frame namespace so per-frame repairs of a stream never collide.
+fn repair_tag(frame_tag: u64, entry: usize, fetch: usize) -> u64 {
+    REPAIR_TAG_BIT | frame_tag | ((entry as u64) << 16) | fetch as u64
 }
 
 /// Lowest-ranked survivor, for gather-root reassignment after failures.
@@ -477,10 +519,10 @@ pub fn compose_with_scratch<P: Pixel>(
                     c.wide_kernel_bytes += wire;
                 }
             });
-            ctx.send(t.dst, tag(k, t.span.start), encoded.bytes)?;
+            ctx.send(t.dst, tag(config.frame_tag, k, t.span.start), encoded.bytes)?;
         }
         for t in step.recvs_of(me) {
-            let bytes = match ctx.recv(t.src, tag(k, t.span.start)) {
+            let bytes = match ctx.recv(t.src, tag(config.frame_tag, k, t.span.start)) {
                 Ok(bytes) => bytes,
                 // A confirmed-dead peer's contribution is skipped: `over`
                 // is associative, so the composite of the remaining
@@ -690,7 +732,7 @@ pub fn compose_with_scratch<P: Pixel>(
                         }
                         let wire = encoded.bytes.len() as u64;
                         ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
-                        ctx.send(e.owner, repair_tag(ei, fi), encoded.bytes)?;
+                        ctx.send(e.owner, repair_tag(config.frame_tag, ei, fi), encoded.bytes)?;
                     }
                 }
             }
@@ -714,7 +756,7 @@ pub fn compose_with_scratch<P: Pixel>(
                             }
                         }
                     } else {
-                        let bytes = ctx.recv(fetch.holder, repair_tag(ei, fi))?;
+                        let bytes = ctx.recv(fetch.holder, repair_tag(config.frame_tag, ei, fi))?;
                         if config.codec != CodecKind::Raw {
                             // Charged on the encoded wire size (see the
                             // step-receive path).
@@ -804,7 +846,7 @@ pub fn compose_with_scratch<P: Pixel>(
         ctx.obs_span(Phase::Encode, enc_started);
         let wire = encoded.bytes.len() as u64;
         ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
-        ctx.send(root, tag(gather_step, me), encoded.bytes)?;
+        ctx.send(root, tag(config.frame_tag, gather_step, me), encoded.bytes)?;
     }
     if let Some(frame) = frame.as_mut() {
         for (owner, owner_spans) in spans_of.iter().enumerate() {
@@ -835,7 +877,7 @@ pub fn compose_with_scratch<P: Pixel>(
                 }
                 continue;
             }
-            let bytes = ctx.recv(owner, tag(gather_step, owner))?;
+            let bytes = ctx.recv(owner, tag(config.frame_tag, gather_step, owner))?;
             if config.codec != CodecKind::Raw {
                 // Charged on the encoded wire size (see the step-receive
                 // path).
@@ -1122,6 +1164,46 @@ mod tests {
                 "codec {codec:?}"
             );
         }
+    }
+
+    #[test]
+    fn frame_namespaced_tags_change_nothing_but_the_tags() {
+        // A compose tagged as frame k of a stream produces the same frame
+        // and the same traffic shape as the classic single-frame compose;
+        // only the tag values move into the frame namespace.
+        let schedule = two_rank_swap(24);
+        let (base_results, base_trace) = run_composition(
+            &schedule,
+            provenance_partials(2, 6, 4),
+            &ComposeConfig::default(),
+        );
+        let config = ComposeConfig::default().with_frame(3);
+        assert_eq!(config.frame_tag, rt_comm::frame_tag_base(3));
+        let (results, trace) = run_composition(&schedule, provenance_partials(2, 6, 4), &config);
+        let frame = results[0].as_ref().unwrap().frame.clone().unwrap();
+        let base_frame = base_results[0].as_ref().unwrap().frame.clone().unwrap();
+        assert_eq!(frame.pixels(), base_frame.pixels());
+        assert_eq!(trace.message_count(), base_trace.message_count());
+        assert_eq!(trace.bytes_sent(), base_trace.bytes_sent());
+        // Frame 0 is the identity: bit-identical trace, tags included.
+        let zero = ComposeConfig::default().with_frame(0);
+        let (_, zero_trace) = run_composition(&schedule, provenance_partials(2, 6, 4), &zero);
+        assert_eq!(zero_trace, base_trace);
+    }
+
+    #[test]
+    fn scratch_pool_counts_fresh_checkouts() {
+        let pool = ScratchPool::<Provenance>::new();
+        assert_eq!(pool.fresh_checkouts(), 0);
+        let s0 = pool.checkout(0);
+        let s1 = pool.checkout(1);
+        assert_eq!(pool.fresh_checkouts(), 2);
+        pool.checkin(0, s0);
+        pool.checkin(1, s1);
+        // Steady state: checked-in scratches are reused, the counter is flat.
+        let s0 = pool.checkout(0);
+        pool.checkin(0, s0);
+        assert_eq!(pool.fresh_checkouts(), 2);
     }
 
     #[test]

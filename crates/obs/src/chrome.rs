@@ -29,7 +29,7 @@ pub const PID_WALL: u64 = 2;
 /// trace.meta_process(rt_obs::chrome::PID_VIRTUAL, "virtual clock");
 /// let tl = RankTimeline {
 ///     rank: 0,
-///     spans: vec![SpanRec { phase: Phase::Send, step: Some(0), start: 0.0, dur: 1e-3 }],
+///     spans: vec![SpanRec { phase: Phase::Send, step: Some(0), frame: None, start: 0.0, dur: 1e-3 }],
 /// };
 /// trace.add_timeline(rt_obs::chrome::PID_VIRTUAL, &tl);
 /// let json = trace.to_json();
@@ -91,6 +91,9 @@ impl ChromeTrace {
             let mut args = Vec::new();
             if let Some(step) = span.step {
                 args.push(("step", Value::U64(step as u64)));
+            }
+            if let Some(frame) = span.frame {
+                args.push(("frame", Value::U64(frame as u64)));
             }
             self.events.push(obj(vec![
                 ("name", Value::Str(span.phase.name().into())),
@@ -229,12 +232,14 @@ mod tests {
                 SpanRec {
                     phase: Phase::Encode,
                     step: Some(0),
+                    frame: None,
                     start: 0.0,
                     dur: 0.001,
                 },
                 SpanRec {
                     phase: Phase::Send,
                     step: Some(0),
+                    frame: None,
                     start: 0.001,
                     dur: 0.002,
                 },

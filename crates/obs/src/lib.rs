@@ -32,7 +32,7 @@
 //! let mut rec = observer.recorder(0);
 //! let t0 = Instant::now();
 //! // ... do some encode work ...
-//! rec.record_span(Phase::Encode, Some(0), t0);
+//! rec.record_span(Phase::Encode, Some(0), None, t0);
 //! observer.checkin(rec);
 //! let timelines = observer.timelines();
 //! assert_eq!(timelines.len(), 1);

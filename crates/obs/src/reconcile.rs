@@ -163,6 +163,7 @@ mod tests {
         SpanRec {
             phase,
             step: None,
+            frame: None,
             start,
             dur,
         }

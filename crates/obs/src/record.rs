@@ -46,12 +46,22 @@ impl Recorder {
     }
 
     /// Record a span that began at `started` and ends now.
-    pub fn record_span(&mut self, phase: Phase, step: Option<u32>, started: Instant) {
+    ///
+    /// `frame` scopes the span to a streaming frame; single-frame runs pass
+    /// `None` and nothing changes for them.
+    pub fn record_span(
+        &mut self,
+        phase: Phase,
+        step: Option<u32>,
+        frame: Option<u32>,
+        started: Instant,
+    ) {
         let start = started.duration_since(self.origin).as_secs_f64();
         let dur = started.elapsed().as_secs_f64();
         self.spans.push(SpanRec {
             phase,
             step,
+            frame,
             start,
             dur,
         });
@@ -155,17 +165,17 @@ mod tests {
         let obs = Observer::new();
         let mut r0 = obs.recorder(0);
         let t = Instant::now();
-        r0.record_span(Phase::Send, Some(1), t);
+        r0.record_span(Phase::Send, Some(1), None, t);
         r0.counters_mut().sends = 2;
         obs.checkin(r0);
 
         let mut r0b = obs.recorder(0);
-        r0b.record_span(Phase::Over, None, Instant::now());
+        r0b.record_span(Phase::Over, None, None, Instant::now());
         r0b.counters_mut().sends = 3;
         obs.checkin(r0b);
 
         let mut r3 = obs.recorder(3);
-        r3.record_span(Phase::Wait, Some(0), Instant::now());
+        r3.record_span(Phase::Wait, Some(0), Some(2), Instant::now());
         obs.checkin(r3);
 
         let timelines = obs.timelines();
@@ -186,7 +196,7 @@ mod tests {
         let obs = Observer::new();
         let mut rec = obs.recorder(1);
         let started = Instant::now();
-        rec.record_span(Phase::Encode, None, started);
+        rec.record_span(Phase::Encode, None, None, started);
         let (tl, _) = rec.into_parts();
         assert!(tl.spans[0].start >= 0.0);
         assert!(tl.spans[0].dur >= 0.0);

@@ -14,6 +14,9 @@ pub struct SpanRec {
     /// Composition step the span belongs to (`None` for work outside the
     /// per-step loop, e.g. render, flush or gather).
     pub step: Option<u32>,
+    /// Streaming frame the span belongs to (`None` for single-frame runs
+    /// or work outside any frame, e.g. session setup).
+    pub frame: Option<u32>,
     /// Start time in seconds from the timeline origin.
     pub start: f64,
     /// Duration in seconds.
@@ -131,6 +134,7 @@ mod tests {
         SpanRec {
             phase,
             step: None,
+            frame: None,
             start,
             dur,
         }

@@ -16,8 +16,8 @@ const BAR_WIDTH: usize = 40;
 /// let tl = RankTimeline {
 ///     rank: 0,
 ///     spans: vec![
-///         SpanRec { phase: Phase::Send, step: None, start: 0.0, dur: 3.0 },
-///         SpanRec { phase: Phase::Wait, step: None, start: 3.0, dur: 1.0 },
+///         SpanRec { phase: Phase::Send, step: None, frame: None, start: 0.0, dur: 3.0 },
+///         SpanRec { phase: Phase::Wait, step: None, frame: None, start: 3.0, dur: 1.0 },
 ///     ],
 /// };
 /// let text = phase_summary("demo", &[tl]);
@@ -118,12 +118,14 @@ mod tests {
                 SpanRec {
                     phase: Phase::Send,
                     step: None,
+                    frame: None,
                     start: 0.0,
                     dur: 1.0,
                 },
                 SpanRec {
                     phase: Phase::Over,
                     step: None,
+                    frame: None,
                     start: 1.0,
                     dur: 1.0,
                 },

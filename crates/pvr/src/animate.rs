@@ -58,6 +58,24 @@ pub struct FrameStats {
     pub rank_of_depth: Vec<usize>,
 }
 
+/// The camera of every frame of `orbit`, with its yaw: index `i` gets yaw
+/// interpolated linearly from `start_yaw` to `end_yaw` (a single-frame
+/// orbit sits at `start_yaw`). Shared by the serial sweep and the
+/// streaming pipeline so both render the exact same views.
+pub fn orbit_cameras(orbit: &OrbitConfig) -> Vec<(f64, rt_render::camera::Camera)> {
+    (0..orbit.frames)
+        .map(|i| {
+            let t = if orbit.frames == 1 {
+                0.0
+            } else {
+                i as f64 / (orbit.frames - 1) as f64
+            };
+            let yaw = orbit.start_yaw + t * (orbit.end_yaw - orbit.start_yaw);
+            (yaw, rt_render::camera::Camera::yaw_pitch(yaw, orbit.pitch))
+        })
+        .collect()
+}
+
 /// Render an orbit: `frames` pipeline runs with yaw interpolated across
 /// the sweep. Returns each frame's output and its statistics.
 pub fn render_orbit(
@@ -66,21 +84,52 @@ pub fn render_orbit(
     orbit: &OrbitConfig,
     cost: &CostModel,
 ) -> Result<Vec<(PipelineOutput, FrameStats)>, PvrError> {
-    assert!(orbit.frames > 0, "an orbit needs at least one frame");
+    let pool = ScratchPool::<GrayAlpha>::new();
+    render_orbit_with_pool(p, base, orbit, cost, &pool)
+}
+
+/// [`render_orbit`] compositing in a caller-owned [`ScratchPool`] — the
+/// session-lifetime pool of a [`crate::StreamSession`], so successive
+/// sweeps reuse the same buffers.
+///
+/// The steady state is enforced, not just hoped for: if the pool hands out
+/// any fresh allocation after the first frame (a pool-reuse regression),
+/// the sweep fails with a typed [`PvrError::Config`] error.
+pub fn render_orbit_with_pool(
+    p: usize,
+    base: &PipelineConfig,
+    orbit: &OrbitConfig,
+    cost: &CostModel,
+    pool: &ScratchPool<GrayAlpha>,
+) -> Result<Vec<(PipelineOutput, FrameStats)>, PvrError> {
+    if orbit.frames == 0 {
+        return Err(PvrError::Config {
+            what: "an orbit needs at least one frame".into(),
+        });
+    }
     let mut out = Vec::with_capacity(orbit.frames);
     // One scratch pool for the whole sweep: frame i+1 composites in the
     // buffers frame i grew, so steady-state frames allocate nothing.
-    let pool = ScratchPool::<GrayAlpha>::new();
-    for i in 0..orbit.frames {
-        let t = if orbit.frames == 1 {
-            0.0
-        } else {
-            i as f64 / (orbit.frames - 1) as f64
-        };
-        let yaw = orbit.start_yaw + t * (orbit.end_yaw - orbit.start_yaw);
+    let mut after_first_frame = None;
+    for (i, (yaw, camera)) in orbit_cameras(orbit).into_iter().enumerate() {
         let mut config = *base;
-        config.camera = rt_render::camera::Camera::yaw_pitch(yaw, orbit.pitch);
-        let frame = render_frame_pooled(p, &config, FaultPlan::none(), &pool)?;
+        config.camera = camera;
+        let frame = render_frame_pooled(p, &config, FaultPlan::none(), pool)?;
+        match after_first_frame {
+            None => after_first_frame = Some(pool.fresh_checkouts()),
+            Some(baseline) => {
+                let now = pool.fresh_checkouts();
+                if now != baseline {
+                    return Err(PvrError::Config {
+                        what: format!(
+                            "scratch pool allocated {} fresh buffer(s) after frame 0 \
+                             (pool-reuse regression at frame {i})",
+                            now - baseline
+                        ),
+                    });
+                }
+            }
+        }
         let report = replay(&frame.trace, cost).map_err(|e| PvrError::Config {
             what: format!("trace replay failed: {e}"),
         })?;
@@ -140,6 +189,32 @@ mod tests {
         let frames = render_orbit(3, &base(), &orbit, &CostModel::SP2).unwrap();
         assert_eq!(frames[0].1.rank_of_depth, vec![0, 1, 2]);
         assert_eq!(frames[1].1.rank_of_depth, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn zero_frame_orbit_is_a_typed_error() {
+        let orbit = OrbitConfig {
+            frames: 0,
+            start_yaw: 0.0,
+            end_yaw: 1.0,
+            pitch: 0.0,
+        };
+        let err = render_orbit(2, &base(), &orbit, &CostModel::SP2).unwrap_err();
+        assert!(matches!(err, PvrError::Config { .. }), "{err}");
+        assert!(err.to_string().contains("at least one frame"), "{err}");
+    }
+
+    #[test]
+    fn session_pool_is_reused_across_sequential_sweeps() {
+        let pool = ScratchPool::new();
+        let orbit = OrbitConfig::quarter(3);
+        render_orbit_with_pool(3, &base(), &orbit, &CostModel::SP2, &pool).unwrap();
+        let after_first_sweep = pool.fresh_checkouts();
+        assert!(after_first_sweep > 0);
+        // A second sweep over the same session pool allocates nothing new
+        // (the sweep itself also enforces flatness after its frame 0).
+        render_orbit_with_pool(3, &base(), &orbit, &CostModel::SP2, &pool).unwrap();
+        assert_eq!(pool.fresh_checkouts(), after_first_sweep);
     }
 
     #[test]

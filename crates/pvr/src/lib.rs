@@ -20,19 +20,25 @@
 //!   would run it per frame.
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod animate;
 pub mod permute;
 pub mod pipeline;
 pub mod scene;
+pub mod stream;
 
-pub use animate::{render_orbit, FrameStats, OrbitConfig};
+pub use animate::{orbit_cameras, render_orbit, render_orbit_with_pool, FrameStats, OrbitConfig};
 pub use permute::permute_schedule;
 pub use pipeline::{
-    render_frame, render_frame_on, render_frame_pooled, render_frame_with_faults, PipelineConfig,
-    PipelineOutput,
+    render_frame, render_frame_on, render_frame_pooled, render_frame_pooled_on,
+    render_frame_with_faults, PipelineConfig, PipelineOutput,
 };
 pub use scene::{compose_scene, prepare_scene, Scene};
+pub use stream::{StreamClient, StreamConfig, StreamFrame, StreamHandle, StreamSession};
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +52,15 @@ pub enum PvrError {
         /// Human-readable description.
         what: String,
     },
+    /// A specific frame of a streaming run failed; `index` is the frame
+    /// the failure belongs to (not the frame on which it was detected —
+    /// see the frame-boundary attribution rules in `stream`).
+    Frame {
+        /// Zero-based index of the failed frame in the stream.
+        index: usize,
+        /// What went wrong on that frame.
+        source: Box<PvrError>,
+    },
 }
 
 impl std::fmt::Display for PvrError {
@@ -54,6 +69,7 @@ impl std::fmt::Display for PvrError {
             PvrError::Core(e) => write!(f, "composition: {e}"),
             PvrError::Render(e) => write!(f, "rendering: {e}"),
             PvrError::Config { what } => write!(f, "pipeline config: {what}"),
+            PvrError::Frame { index, source } => write!(f, "frame {index}: {source}"),
         }
     }
 }

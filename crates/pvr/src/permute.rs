@@ -8,20 +8,35 @@
 //! stay baked in depth terms, so correctness is preserved by construction
 //! (and re-checked end-to-end by the pipeline tests).
 
+use crate::PvrError;
 use rt_core::schedule::Schedule;
 
 /// Relabel `schedule` (depth-indexed) onto physical ranks:
 /// `rank_of_depth[d]` is the physical rank whose partial sits at depth
 /// position `d` (0 = nearest).
 ///
-/// # Panics
-/// Panics if `rank_of_depth` is not a permutation of `0..schedule.p`.
-pub fn permute_schedule(schedule: &Schedule, rank_of_depth: &[usize]) -> Schedule {
+/// Errors with [`PvrError::Config`] if `rank_of_depth` is not a
+/// permutation of `0..schedule.p`.
+pub fn permute_schedule(
+    schedule: &Schedule,
+    rank_of_depth: &[usize],
+) -> Result<Schedule, PvrError> {
     let p = schedule.p;
-    assert_eq!(rank_of_depth.len(), p, "permutation size mismatch");
+    if rank_of_depth.len() != p {
+        return Err(PvrError::Config {
+            what: format!(
+                "permutation size mismatch: {} depth positions for {p} ranks",
+                rank_of_depth.len()
+            ),
+        });
+    }
     let mut seen = vec![false; p];
     for &r in rank_of_depth {
-        assert!(r < p && !seen[r], "rank_of_depth is not a permutation");
+        if r >= p || seen[r] {
+            return Err(PvrError::Config {
+                what: format!("rank_of_depth {rank_of_depth:?} is not a permutation of 0..{p}"),
+            });
+        }
         seen[r] = true;
     }
     let mut out = schedule.clone();
@@ -42,7 +57,7 @@ pub fn permute_schedule(schedule: &Schedule, rank_of_depth: &[usize]) -> Schedul
     }
     out.depth_of_rank = Some(depth_of_rank);
     out.method = format!("{}∘π", schedule.method);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -54,7 +69,7 @@ mod tests {
     #[test]
     fn identity_permutation_changes_only_the_label() {
         let s = ParallelPipelined::new().build(4, 400).unwrap();
-        let q = permute_schedule(&s, &[0, 1, 2, 3]);
+        let q = permute_schedule(&s, &[0, 1, 2, 3]).unwrap();
         assert_eq!(s.steps, q.steps);
         assert_eq!(s.final_owners, q.final_owners);
     }
@@ -63,7 +78,7 @@ mod tests {
     fn permutation_relabels_every_endpoint() {
         let s = BinarySwap::new().build(4, 400).unwrap();
         let perm = [2, 0, 3, 1];
-        let q = permute_schedule(&s, &perm);
+        let q = permute_schedule(&s, &perm).unwrap();
         for (a, b) in s
             .steps
             .iter()
@@ -81,16 +96,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a permutation")]
-    fn non_permutation_panics() {
+    fn non_permutation_is_a_typed_error() {
         let s = BinarySwap::new().build(4, 400).unwrap();
-        permute_schedule(&s, &[0, 0, 1, 2]);
+        let err = permute_schedule(&s, &[0, 0, 1, 2]).unwrap_err();
+        assert!(err.to_string().contains("not a permutation"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "size mismatch")]
-    fn wrong_size_panics() {
+    fn wrong_size_is_a_typed_error() {
         let s = BinarySwap::new().build(4, 400).unwrap();
-        permute_schedule(&s, &[0, 1, 2]);
+        let err = permute_schedule(&s, &[0, 1, 2]).unwrap_err();
+        assert!(err.to_string().contains("size mismatch"), "{err}");
     }
 }

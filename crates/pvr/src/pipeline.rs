@@ -15,9 +15,9 @@ use rt_core::method::{CompositionMethod, Method};
 use rt_core::repair::DegradedInfo;
 use rt_core::schedule::verify_schedule;
 use rt_imaging::{GrayAlpha, Image};
-use rt_render::camera::Camera;
+use rt_render::camera::{factorize, Camera};
 use rt_render::datasets::Dataset;
-use rt_render::partition::{depth_order, partition_1d, Subvolume};
+use rt_render::partition::{depth_order, partition_1d};
 use rt_render::shearwarp::{render_intermediate, warp_to_screen, RenderOptions};
 
 /// Configuration of one pipeline run.
@@ -121,6 +121,19 @@ pub fn render_frame_pooled(
     render_frame_inner(p, config, faults, Some(pool), TransportKind::InProc)
 }
 
+/// [`render_frame_pooled`] on an explicit communication backend — the
+/// per-frame serial baseline the streaming bench compares against, on
+/// either transport.
+pub fn render_frame_pooled_on(
+    p: usize,
+    config: &PipelineConfig,
+    faults: FaultPlan,
+    pool: &ScratchPool<GrayAlpha>,
+    transport: TransportKind,
+) -> Result<PipelineOutput, PvrError> {
+    render_frame_inner(p, config, faults, Some(pool), transport)
+}
+
 fn render_frame_inner(
     p: usize,
     config: &PipelineConfig,
@@ -129,18 +142,17 @@ fn render_frame_inner(
     transport: TransportKind,
 ) -> Result<PipelineOutput, PvrError> {
     // Data partitioning stage (host side, as the paper's stage 1): rank r
-    // owns slab r along the view's principal axis.
+    // owns slab r along the view's principal axis. The factorization is
+    // pure camera/geometry math — bit-identical to what each rank's render
+    // derives internally — so no probe render of the whole volume is
+    // needed to learn the axis.
     let volume = config.dataset.generate(config.volume_size, config.seed);
     let tf = config.dataset.transfer_function();
-    let probe = Subvolume::whole(volume.clone());
-    let (_, f) = render_intermediate(
-        &probe,
-        &tf,
+    let f = factorize(
         &config.camera,
-        &RenderOptions {
-            early_termination: 1.0,
-            ..config.render
-        },
+        volume.dims(),
+        config.render.width,
+        config.render.height,
     );
     let parts = partition_1d(&volume, p, f.axis)?;
     let rank_of_depth = depth_order(&parts, &f);
@@ -150,7 +162,7 @@ fn render_frame_inner(
     // onto the physical ranks for this view.
     let depth_schedule = config.method.build(p, image_len)?;
     verify_schedule(&depth_schedule)?;
-    let schedule = permute_schedule(&depth_schedule, &rank_of_depth);
+    let schedule = permute_schedule(&depth_schedule, &rank_of_depth)?;
     let method_name = depth_schedule.method.clone();
 
     let resilient = !faults.is_none();
@@ -225,6 +237,7 @@ fn render_frame_inner(
 mod tests {
     use super::*;
     use rt_core::rotate::RtVariant;
+    use rt_render::partition::Subvolume;
     use rt_render::shearwarp::render;
 
     fn reference_frame(config: &PipelineConfig) -> Image<GrayAlpha> {

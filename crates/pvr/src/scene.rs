@@ -13,9 +13,9 @@ use rt_core::exec::{run_composition, ComposeConfig};
 use rt_core::method::CompositionMethod;
 use rt_core::schedule::verify_schedule;
 use rt_imaging::{GrayAlpha, Image};
-use rt_render::camera::{Camera, Factorization};
+use rt_render::camera::{factorize, Camera, Factorization};
 use rt_render::datasets::Dataset;
-use rt_render::partition::{depth_order, partition_1d, Subvolume};
+use rt_render::partition::{depth_order, partition_1d};
 use rt_render::shearwarp::{render_intermediate, RenderOptions};
 
 /// Pre-rendered composition inputs: `partials[d]` is the partial
@@ -44,9 +44,12 @@ impl Scene {
     }
 
     /// The sequential depth-ordered composite (correctness reference).
-    pub fn reference(&self) -> Image<GrayAlpha> {
-        rt_imaging::image::reference_composite(&self.partials)
-            .expect("scene always has at least one partial")
+    ///
+    /// Errors with [`PvrError::Config`] on an empty scene (no partials).
+    pub fn reference(&self) -> Result<Image<GrayAlpha>, PvrError> {
+        rt_imaging::image::reference_composite(&self.partials).map_err(|e| PvrError::Config {
+            what: format!("scene has no composable partials: {e}"),
+        })
     }
 
     /// Mean fraction of blank pixels across the partials — the sparsity
@@ -73,17 +76,9 @@ pub fn prepare_scene(
 ) -> Result<Scene, PvrError> {
     let volume = dataset.generate(volume_size, seed);
     // Factorize once to learn the principal axis, then partition along it
-    // so slabs stack in depth.
-    let probe = Subvolume::whole(volume.clone());
-    let (_, f) = render_intermediate(
-        &probe,
-        &dataset.transfer_function(),
-        camera,
-        &RenderOptions {
-            early_termination: 1.0,
-            ..*opts
-        },
-    );
+    // so slabs stack in depth. (The factorization is pure camera/geometry
+    // math — identical to what each slab's render derives internally.)
+    let f = factorize(camera, volume.dims(), opts.width, opts.height);
     let parts = partition_1d(&volume, p, f.axis)?;
     let order = depth_order(&parts, &f);
     let tf = dataset.transfer_function();
@@ -194,7 +189,7 @@ mod tests {
     #[test]
     fn every_method_matches_the_sequential_reference() {
         let scene = small_scene(4);
-        let want = scene.reference();
+        let want = scene.reference().unwrap();
         let methods: Vec<Box<dyn CompositionMethod>> = vec![
             Box::new(BinarySwap::new()),
             Box::new(ParallelPipelined::new()),
@@ -217,7 +212,7 @@ mod tests {
     #[test]
     fn codecs_do_not_change_the_frame() {
         let scene = small_scene(3);
-        let want = scene.reference();
+        let want = scene.reference().unwrap();
         for codec in CodecKind::ALL {
             let (frame, _) = compose_scene(&scene, &RotateTiling::two_n(2), codec, true).unwrap();
             assert!(
@@ -248,7 +243,7 @@ mod tests {
         }
         assert!(scene.mean_blank_fraction() > 0.2);
         // Composition still matches its own reference exactly.
-        let want = scene.reference();
+        let want = scene.reference().unwrap();
         let (frame, _) =
             compose_scene(&scene, &RotateTiling::two_n(4), CodecKind::Raw, true).unwrap();
         assert!(frame.unwrap().approx_eq(&want, 1e-4));

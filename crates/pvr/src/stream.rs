@@ -1,0 +1,844 @@
+//! Pipelined frame streaming: render frame `k+1` while frame `k`'s
+//! composition is in flight.
+//!
+//! The serial animation loop ([`crate::render_orbit`]) pays the paper's
+//! Eq. 5/6 communication cost *after* each frame's render, so every rank
+//! idles through composition — the per-frame render→compose stall. This
+//! module removes it:
+//!
+//! * **Per-rank render thread.** Each rank spawns a renderer that
+//!   shear-warps its subvolume for upcoming frames into fresh partials and
+//!   hands them over a bounded channel. While the rank's compose loop works
+//!   on frame `k`, the renderer is already producing frame `k+1`.
+//! * **Bounded in-flight window.** The hand-off channel holds at most
+//!   `window - 1` rendered frames (default window 2), so the renderer
+//!   stalls — backpressure — instead of ballooning memory when composition
+//!   is the bottleneck.
+//! * **Frame-namespaced tags.** Every composition message of frame `k`
+//!   carries [`rt_comm::frame_tag_base`]`(k)` in bits 48..58 of its tag, so
+//!   ranks on *different* frames exchange concurrently without collision
+//!   and with no inter-frame barrier. Reliability (acks, retransmission),
+//!   chaos injection and observability work unchanged per frame. Frame 0's
+//!   namespace is the identity, so single-frame tags and traces are
+//!   byte-compatible with the serial path.
+//! * **Double-buffered scratch.** Compose scratch is checked out of a
+//!   session-lifetime [`ScratchPool`] keyed by `(rank, frame parity)`: two
+//!   scratch sets per rank alternate across frames, and after the first two
+//!   frames the pool hands out no fresh allocation.
+//! * **In-order emission.** A collector assembles the per-rank event
+//!   slices of each frame into a per-frame [`Trace`], replays it for
+//!   [`FrameStats`], and emits [`StreamFrame`]s strictly in sequence.
+//!
+//! Failure semantics per frame follow the established trichotomy: a clean
+//! frame is byte-identical to the serial pipeline's; a frame degraded by a
+//! planned crash is the exact composite of the survivors; anything else is
+//! a typed error. A rank that dies *between* frames (see
+//! [`StreamConfig::kill_rank_before_frame`]) surfaces as the **next**
+//! frame's [`PvrError::Frame`] with that frame's index — never as a stale
+//! deadline from the previous frame — because death notifications travel
+//! the same FIFO channels as data: every already-sent contribution of the
+//! dead rank is consumed before the death marker, and the marker then
+//! fails the first frame the rank truly abandoned, fast.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{mpsc, Arc};
+
+use crate::animate::{orbit_cameras, FrameStats, OrbitConfig};
+use crate::permute::permute_schedule;
+use crate::pipeline::PipelineConfig;
+use crate::PvrError;
+use rt_comm::{replay, ComputeKind, CostModel, FaultPlan, RankCtx, RankTrace, Trace};
+use rt_core::exec::{compose_with_scratch, ComposeConfig, Machine, ScratchPool, TransportKind};
+use rt_core::method::CompositionMethod;
+use rt_core::repair::DegradedInfo;
+use rt_core::schedule::{verify_schedule, Schedule};
+use rt_imaging::{GrayAlpha, Image};
+use rt_render::camera::{factorize, Camera, Factorization};
+use rt_render::partition::{depth_order, partition_1d, Subvolume};
+use rt_render::shearwarp::{render_intermediate, warp_to_screen};
+use rt_render::tf::TransferFunction;
+
+/// Configuration of one streaming run: the per-frame pipeline settings
+/// plus the streaming-specific knobs.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Per-frame pipeline settings (dataset, method, codec, resolution).
+    /// The camera field is ignored — each frame's camera comes from the
+    /// orbit.
+    pub base: PipelineConfig,
+    /// Maximum frames in flight per rank (rendered-but-not-composed),
+    /// minimum 1. The default of 2 overlaps the render of frame `k+1`
+    /// with the composition of frame `k` and nothing more.
+    pub window: usize,
+    /// Fault-injection plan; a non-empty plan switches composition to
+    /// resilient mode, exactly like the serial pipeline.
+    pub faults: FaultPlan,
+    /// Scripted between-frame deaths: `(rank, frame)` makes `rank` die
+    /// after finishing frame `frame - 1`, before touching frame `frame`.
+    pub death_at_frame: Vec<(usize, usize)>,
+    /// Communication backend for every inter-rank transfer.
+    pub transport: TransportKind,
+    /// Cost model pricing each frame's trace for [`FrameStats`].
+    pub cost: CostModel,
+}
+
+impl StreamConfig {
+    /// Streaming defaults around `base`: window 2, no faults, in-process
+    /// transport, SP2 cost model.
+    pub fn new(base: PipelineConfig) -> Self {
+        StreamConfig {
+            base,
+            window: 2,
+            faults: FaultPlan::none(),
+            death_at_frame: Vec::new(),
+            transport: TransportKind::InProc,
+            cost: CostModel::SP2,
+        }
+    }
+
+    /// Set the in-flight window (clamped to at least 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Install a fault plan (switches composition to resilient mode).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Select the communication backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Price frame traces with `cost`.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Script `rank` to die between frames `frame - 1` and `frame`: it
+    /// completes every frame before `frame`, announces its death, and
+    /// contributes nothing from `frame` on. Survivors surface the loss as
+    /// frame `frame`'s typed error with that index.
+    pub fn kill_rank_before_frame(mut self, rank: usize, frame: usize) -> Self {
+        self.death_at_frame.push((rank, frame));
+        self
+    }
+}
+
+/// One emitted frame of a stream, in sequence order.
+#[derive(Debug, Clone)]
+pub struct StreamFrame {
+    /// Sequence number (equals the frame index; emission is in order).
+    pub seq: u64,
+    /// The final screen frame.
+    pub frame: Image<GrayAlpha>,
+    /// Per-frame statistics (virtual compose time, traffic, depth order).
+    pub stats: FrameStats,
+    /// `Some` when rank failures degraded this frame — it is then the
+    /// exact composite of the surviving ranks.
+    pub degraded: Option<DegradedInfo>,
+    /// This frame's assembled event trace (all ranks, this frame only).
+    pub trace: Trace,
+}
+
+/// A streaming service endpoint owning the session-lifetime scratch pool.
+///
+/// One session serves any number of clients ([`StreamSession::open`]);
+/// each client can run orbit streams, sequentially or concurrently. The
+/// shared pool means successive streams reuse the same compositing
+/// buffers — concurrent streams stay correct (checkout removes a buffer
+/// from the pool, so nothing is shared mid-frame) and merely fall back to
+/// fresh allocations when they collide on a slot.
+#[derive(Debug)]
+pub struct StreamSession {
+    p: usize,
+    pool: Arc<ScratchPool<GrayAlpha>>,
+}
+
+impl StreamSession {
+    /// A session for machines of `p` ranks.
+    pub fn new(p: usize) -> Self {
+        StreamSession {
+            p,
+            pool: Arc::new(ScratchPool::new()),
+        }
+    }
+
+    /// Machine size this session serves.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Fresh scratch allocations handed out so far (see
+    /// [`ScratchPool::fresh_checkouts`]) — flat across steady-state frames.
+    pub fn fresh_checkouts(&self) -> u64 {
+        self.pool.fresh_checkouts()
+    }
+
+    /// Open a client on this session.
+    pub fn open(&self) -> StreamClient {
+        StreamClient {
+            p: self.p,
+            pool: Arc::clone(&self.pool),
+        }
+    }
+}
+
+/// A client of a [`StreamSession`]: runs orbit streams against the
+/// session's shared scratch pool.
+#[derive(Debug, Clone)]
+pub struct StreamClient {
+    p: usize,
+    pool: Arc<ScratchPool<GrayAlpha>>,
+}
+
+impl StreamClient {
+    /// Start streaming `orbit` under `config`; returns immediately with a
+    /// handle that yields frames in order as they complete.
+    pub fn stream_orbit(&self, config: &StreamConfig, orbit: &OrbitConfig) -> StreamHandle {
+        let (out_tx, out_rx) = mpsc::channel();
+        let p = self.p;
+        let pool = Arc::clone(&self.pool);
+        let config = config.clone();
+        let orbit = *orbit;
+        let join = std::thread::spawn(move || run_stream(p, &config, &orbit, &pool, &out_tx));
+        StreamHandle {
+            rx: out_rx,
+            join: Some(join),
+        }
+    }
+
+    /// Stream `orbit` and collect every frame, failing on the first frame
+    /// error (the emitter stops the stream at a failed frame, so nothing
+    /// after it is produced).
+    pub fn collect_orbit(
+        &self,
+        config: &StreamConfig,
+        orbit: &OrbitConfig,
+    ) -> Result<Vec<StreamFrame>, PvrError> {
+        self.stream_orbit(config, orbit).collect()
+    }
+}
+
+/// An in-flight stream: iterate to receive frames in sequence order.
+///
+/// Dropping the handle early does not abort the machine — remaining frames
+/// are rendered and discarded; the drop blocks until the run finishes.
+#[derive(Debug)]
+pub struct StreamHandle {
+    rx: mpsc::Receiver<Result<StreamFrame, PvrError>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Iterator for StreamHandle {
+    type Item = Result<StreamFrame, PvrError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Host-side per-frame plan, derived before the machine starts.
+struct FramePlan {
+    index: usize,
+    yaw: f64,
+    camera: Camera,
+    f: Factorization,
+    parts: Arc<Vec<Subvolume>>,
+    rank_of_depth: Vec<usize>,
+    schedule: Arc<Schedule>,
+}
+
+/// What one rank reports for one frame.
+enum FrameOutcome {
+    /// The rank completed the frame's composition (its `frame` is `Some`
+    /// only on the rank holding the assembled image).
+    Alive {
+        frame: Option<Image<GrayAlpha>>,
+        degraded: Option<DegradedInfo>,
+    },
+    /// The rank was dead for this frame and contributed nothing.
+    Dead,
+    /// The frame's composition failed on this rank.
+    Failed(PvrError),
+}
+
+struct Contribution {
+    frame: usize,
+    rank: usize,
+    events: RankTrace,
+    outcome: FrameOutcome,
+}
+
+/// Derive every frame's partition/schedule once, on the host — the volume
+/// is generated once for the whole stream and partitions are cached per
+/// principal axis (there are at most three).
+fn plan_frames(
+    p: usize,
+    base: &PipelineConfig,
+    orbit: &OrbitConfig,
+) -> Result<(Vec<FramePlan>, TransferFunction), PvrError> {
+    if orbit.frames == 0 {
+        return Err(PvrError::Config {
+            what: "a stream needs at least one frame".into(),
+        });
+    }
+    let volume = base.dataset.generate(base.volume_size, base.seed);
+    let tf = base.dataset.transfer_function();
+    let mut parts_by_axis: HashMap<usize, Arc<Vec<Subvolume>>> = HashMap::new();
+    let mut plans = Vec::with_capacity(orbit.frames);
+    for (index, (yaw, camera)) in orbit_cameras(orbit).into_iter().enumerate() {
+        let f = factorize(
+            &camera,
+            volume.dims(),
+            base.render.width,
+            base.render.height,
+        );
+        let parts = match parts_by_axis.get(&f.axis) {
+            Some(parts) => Arc::clone(parts),
+            None => {
+                let parts = Arc::new(partition_1d(&volume, p, f.axis)?);
+                parts_by_axis.insert(f.axis, Arc::clone(&parts));
+                parts
+            }
+        };
+        let rank_of_depth = depth_order(&parts, &f);
+        let image_len = f.inter_size.0 * f.inter_size.1;
+        let depth_schedule = base.method.build(p, image_len)?;
+        verify_schedule(&depth_schedule)?;
+        let schedule = Arc::new(permute_schedule(&depth_schedule, &rank_of_depth)?);
+        plans.push(FramePlan {
+            index,
+            yaw,
+            camera,
+            f,
+            parts,
+            rank_of_depth,
+            schedule,
+        });
+    }
+    Ok((plans, tf))
+}
+
+fn run_stream(
+    p: usize,
+    config: &StreamConfig,
+    orbit: &OrbitConfig,
+    pool: &ScratchPool<GrayAlpha>,
+    out: &mpsc::Sender<Result<StreamFrame, PvrError>>,
+) {
+    let (plans, tf) = match plan_frames(p, &config.base, orbit) {
+        Ok(ok) => ok,
+        Err(e) => {
+            let _ = out.send(Err(e));
+            return;
+        }
+    };
+    let n_frames = plans.len();
+    let resilient = !config.faults.is_none();
+    let compose_cfg = ComposeConfig::default()
+        .with_codec(config.base.codec)
+        .with_root(config.base.root)
+        .resilient(resilient)
+        .with_transport(config.transport);
+    let machine = Machine::build(p, &compose_cfg, config.faults.clone(), None);
+
+    // Frame metadata the emitter needs to build FrameStats.
+    let frame_meta: Vec<(f64, Vec<usize>)> = plans
+        .iter()
+        .map(|plan| (plan.yaw, plan.rank_of_depth.clone()))
+        .collect();
+    let (ctb_tx, ctb_rx) = mpsc::channel::<Contribution>();
+    let cost = config.cost;
+
+    std::thread::scope(|scope| {
+        let emitter =
+            scope.spawn(move || emit_frames(p, n_frames, &frame_meta, cost, &ctb_rx, out));
+        machine.run(|ctx| {
+            stream_rank(ctx, config, &plans, &tf, pool, &compose_cfg, &ctb_tx);
+        });
+        drop(ctb_tx);
+        let _ = emitter.join();
+    });
+}
+
+/// One rank's whole stream: a scoped render thread feeding a bounded
+/// channel, and a compose loop draining it frame by frame.
+fn stream_rank(
+    ctx: &mut RankCtx,
+    config: &StreamConfig,
+    plans: &[FramePlan],
+    tf: &TransferFunction,
+    pool: &ScratchPool<GrayAlpha>,
+    compose_cfg: &ComposeConfig,
+    ctb_tx: &mpsc::Sender<Contribution>,
+) {
+    let me = ctx.rank();
+    let my_death = config
+        .death_at_frame
+        .iter()
+        .filter(|(rank, _)| *rank == me)
+        .map(|(_, frame)| *frame)
+        .min();
+    let report = |frame: usize, events: RankTrace, outcome: FrameOutcome| {
+        // A send failure means the emitter is gone; the rank keeps
+        // composing so its peers never deadlock waiting for it.
+        let _ = ctb_tx.send(Contribution {
+            frame,
+            rank: me,
+            events,
+            outcome,
+        });
+    };
+
+    std::thread::scope(|scope| {
+        // Render pipeline: the channel buffers `window - 1` finished
+        // partials, so with the one the renderer is working on, at most
+        // `window` frames are in flight beyond the composing one.
+        let (part_tx, part_rx) =
+            mpsc::sync_channel::<(usize, Image<GrayAlpha>)>(config.window.saturating_sub(1));
+        let render = &config.base.render;
+        scope.spawn(move || {
+            for plan in plans {
+                if my_death.is_some_and(|death| plan.index >= death) {
+                    break;
+                }
+                let (partial, _) = render_intermediate(&plan.parts[me], tf, &plan.camera, render);
+                if part_tx.send((plan.index, partial)).is_err() {
+                    break; // compose loop stopped; backpressure doubles as shutdown
+                }
+            }
+        });
+
+        for plan in plans {
+            let k = plan.index;
+            if my_death == Some(k) {
+                // Die between frames: the notification rides the same FIFO
+                // channels as data, so peers consume every contribution of
+                // the frames this rank finished before seeing the death.
+                ctx.announce_death(0);
+                let _ = ctx.take_events();
+                for rest in &plans[k..] {
+                    report(rest.index, RankTrace::new(), FrameOutcome::Dead);
+                }
+                return;
+            }
+            let Ok((rendered, partial)) = part_rx.recv() else {
+                ctx.announce_death(0);
+                report(
+                    k,
+                    ctx.take_events(),
+                    FrameOutcome::Failed(PvrError::Config {
+                        what: format!("rank {me}: renderer stopped before frame {k}"),
+                    }),
+                );
+                return;
+            };
+            debug_assert_eq!(rendered, k, "renderer and compose loop out of step");
+            ctx.mark(format!("frame:{k}:start"));
+            ctx.mark("render:start");
+            ctx.compute(ComputeKind::Render, plan.parts[me].vol.len() as u64);
+            ctx.mark("render:end");
+            let frame_cfg = compose_cfg.with_frame(k as u64);
+            // Double-buffered scratch: frames alternate between two
+            // session-pooled scratch sets per rank.
+            let slot = me * 2 + (k & 1);
+            let mut scratch = pool.checkout(slot);
+            let composed =
+                compose_with_scratch(ctx, &plan.schedule, partial, &frame_cfg, &mut scratch);
+            pool.checkin(slot, scratch);
+            match composed {
+                Ok(band) => {
+                    let crashed_self = band
+                        .degraded
+                        .as_ref()
+                        .is_some_and(|d| d.failed.iter().any(|&(rank, _)| rank == me));
+                    let screen = band.frame.map(|inter| {
+                        ctx.compute(
+                            ComputeKind::Render,
+                            (config.base.render.width * config.base.render.height) as u64,
+                        );
+                        let screen = warp_to_screen(&inter, &plan.f, &config.base.render);
+                        ctx.mark("warp:end");
+                        screen
+                    });
+                    ctx.mark(format!("frame:{k}:end"));
+                    report(
+                        k,
+                        ctx.take_events(),
+                        FrameOutcome::Alive {
+                            frame: screen,
+                            degraded: band.degraded,
+                        },
+                    );
+                    if crashed_self {
+                        // The fault plan crashed this rank mid-frame; it is
+                        // gone for the rest of the stream.
+                        for rest in &plans[k + 1..] {
+                            report(rest.index, RankTrace::new(), FrameOutcome::Dead);
+                        }
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Abort the stream on this rank — and say so, so peers
+                    // blocked on recvs from us fail over their fast
+                    // dead-rank path instead of burning a full receive
+                    // deadline. The error cascades and the machine drains
+                    // promptly.
+                    ctx.announce_death(0);
+                    ctx.mark(format!("frame:{k}:end"));
+                    let _ = ctx.take_events();
+                    report(k, RankTrace::new(), FrameOutcome::Failed(e.into()));
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// Collect contributions, assemble frames in order, emit. Stops the
+/// stream at the first failed frame.
+fn emit_frames(
+    p: usize,
+    n_frames: usize,
+    frame_meta: &[(f64, Vec<usize>)],
+    cost: CostModel,
+    ctb_rx: &mpsc::Receiver<Contribution>,
+    out: &mpsc::Sender<Result<StreamFrame, PvrError>>,
+) {
+    let mut pending: BTreeMap<usize, Vec<Contribution>> = BTreeMap::new();
+    let mut next = 0usize;
+    while next < n_frames {
+        let Ok(contribution) = ctb_rx.recv() else {
+            // Every rank finished without completing frame `next`.
+            let _ = out.send(Err(PvrError::Frame {
+                index: next,
+                source: Box::new(PvrError::Config {
+                    what: "stream ended before the frame was produced".into(),
+                }),
+            }));
+            return;
+        };
+        pending
+            .entry(contribution.frame)
+            .or_default()
+            .push(contribution);
+        while next < n_frames && pending.get(&next).is_some_and(|c| c.len() == p) {
+            let contributions = pending.remove(&next).unwrap_or_default();
+            let (yaw, rank_of_depth) = frame_meta.get(next).cloned().unwrap_or((0.0, Vec::new()));
+            match assemble_frame(p, next, contributions, yaw, rank_of_depth, &cost) {
+                Ok(frame) => {
+                    // A closed receiver means the consumer lost interest;
+                    // keep draining so the ranks never block.
+                    let _ = out.send(Ok(frame));
+                }
+                Err(e) => {
+                    let _ = out.send(Err(e));
+                    return;
+                }
+            }
+            next += 1;
+        }
+    }
+}
+
+fn assemble_frame(
+    p: usize,
+    index: usize,
+    contributions: Vec<Contribution>,
+    yaw: f64,
+    rank_of_depth: Vec<usize>,
+    cost: &CostModel,
+) -> Result<StreamFrame, PvrError> {
+    let mut ranks: Vec<RankTrace> = vec![RankTrace::new(); p];
+    let mut image = None;
+    let mut degraded = None;
+    for c in contributions {
+        match c.outcome {
+            FrameOutcome::Failed(e) => {
+                return Err(PvrError::Frame {
+                    index,
+                    source: Box::new(e),
+                })
+            }
+            FrameOutcome::Dead => {}
+            FrameOutcome::Alive { frame, degraded: d } => {
+                // Like the serial pipeline, the degraded report travels
+                // with the frame-holding rank (survivors agree; a crashed
+                // rank only knows about itself).
+                if let Some(img) = frame {
+                    image = Some(img);
+                    degraded = d;
+                }
+            }
+        }
+        ranks[c.rank] = c.events;
+    }
+    let image = image.ok_or_else(|| PvrError::Frame {
+        index,
+        source: Box::new(PvrError::Config {
+            what: "no rank produced the final frame".into(),
+        }),
+    })?;
+    let trace = Trace { ranks };
+    // Best-effort pricing: a degraded frame's trace replays like the
+    // serial degraded path; anything unpriceable reports zero.
+    let compose_time = replay(&trace, cost)
+        .ok()
+        .and_then(|report| report.phase("compose:start", "gather:end"))
+        .unwrap_or_default();
+    let stats = FrameStats {
+        index,
+        yaw,
+        compose_time,
+        bytes: trace.bytes_sent(),
+        messages: trace.message_count(),
+        rank_of_depth,
+    };
+    Ok(StreamFrame {
+        seq: index as u64,
+        frame: image,
+        stats,
+        degraded,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{render_frame, render_frame_with_faults};
+    use rt_core::method::Method;
+    use rt_core::rotate::RtVariant;
+
+    fn base() -> PipelineConfig {
+        PipelineConfig::small(Method::RotateTiling {
+            variant: RtVariant::TwoN,
+            blocks: 2,
+        })
+    }
+
+    fn serial_frames(p: usize, orbit: &OrbitConfig) -> Vec<Image<GrayAlpha>> {
+        orbit_cameras(orbit)
+            .into_iter()
+            .map(|(_, camera)| {
+                let mut config = base();
+                config.camera = camera;
+                render_frame(p, &config).unwrap().frame
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_frames_match_the_serial_loop_byte_for_byte() {
+        let orbit = OrbitConfig::quarter(4);
+        let session = StreamSession::new(3);
+        let frames = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()), &orbit)
+            .unwrap();
+        let want = serial_frames(3, &orbit);
+        assert_eq!(frames.len(), 4);
+        for (got, want) in frames.iter().zip(&want) {
+            assert_eq!(got.frame.pixels(), want.pixels(), "frame {}", got.seq);
+        }
+        // In order, with sequence numbers, each priced.
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64);
+            assert_eq!(f.stats.index, i);
+            assert!(f.stats.compose_time > 0.0);
+            assert!(f.degraded.is_none());
+        }
+    }
+
+    #[test]
+    fn session_pool_allocation_is_flat_after_the_first_two_frames() {
+        let session = StreamSession::new(3);
+        let client = session.open();
+        let orbit = OrbitConfig::quarter(5);
+        client
+            .collect_orbit(&StreamConfig::new(base()), &orbit)
+            .unwrap();
+        // Two scratch sets per rank (double-buffering), allocated on the
+        // first two frames.
+        let after_first = session.fresh_checkouts();
+        assert!(after_first <= 6, "expected ≤ 2·p fresh, got {after_first}");
+        // A second stream on the same session reuses every buffer.
+        client
+            .collect_orbit(&StreamConfig::new(base()), &orbit)
+            .unwrap();
+        assert_eq!(session.fresh_checkouts(), after_first);
+    }
+
+    #[test]
+    fn concurrent_clients_stream_independently() {
+        let orbit = OrbitConfig::quarter(3);
+        let session = StreamSession::new(3);
+        let a = session
+            .open()
+            .stream_orbit(&StreamConfig::new(base()), &orbit);
+        let b = session
+            .open()
+            .stream_orbit(&StreamConfig::new(base()), &orbit);
+        let got_a: Vec<_> = a.map(Result::unwrap).collect();
+        let got_b: Vec<_> = b.map(Result::unwrap).collect();
+        let want = serial_frames(3, &orbit);
+        for frames in [&got_a, &got_b] {
+            assert_eq!(frames.len(), 3);
+            for (got, want) in frames.iter().zip(&want) {
+                assert_eq!(got.frame.pixels(), want.pixels());
+            }
+        }
+    }
+
+    #[test]
+    fn wide_windows_change_nothing_but_memory() {
+        let orbit = OrbitConfig::quarter(4);
+        let session = StreamSession::new(2);
+        let narrow = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()).with_window(1), &orbit)
+            .unwrap();
+        let wide = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()).with_window(4), &orbit)
+            .unwrap();
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(a.frame.pixels(), b.frame.pixels());
+        }
+    }
+
+    #[test]
+    fn message_chaos_is_invisible_to_streamed_frames() {
+        let orbit = OrbitConfig::quarter(4);
+        let faults = FaultPlan::none()
+            .with_seed(11)
+            .drop_rate(0.05)
+            .corrupt_rate(0.05);
+        let session = StreamSession::new(3);
+        let frames = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()).with_faults(faults), &orbit)
+            .unwrap();
+        let want = serial_frames(3, &orbit);
+        let mut retransmits = 0;
+        for (got, want) in frames.iter().zip(&want) {
+            assert_eq!(got.frame.pixels(), want.pixels(), "frame {}", got.seq);
+            assert!(got.degraded.is_none());
+            retransmits += got.trace.retransmit_count();
+        }
+        assert!(retransmits > 0, "the seed should lose at least one message");
+    }
+
+    #[test]
+    fn mid_stream_crash_degrades_every_following_frame() {
+        let orbit = OrbitConfig::quarter(3);
+        let faults = FaultPlan::none().crash_rank_at_step(2, 1);
+        let session = StreamSession::new(4);
+        let frames = session
+            .open()
+            .collect_orbit(
+                &StreamConfig::new(base()).with_faults(faults.clone()),
+                &orbit,
+            )
+            .unwrap();
+        assert_eq!(frames.len(), 3);
+        // Frame 0 matches the serial faulty frame exactly (same fresh
+        // sequence numbers, same participation).
+        let mut config = base();
+        config.camera = orbit_cameras(&orbit)[0].1;
+        let serial = render_frame_with_faults(4, &config, faults).unwrap();
+        assert_eq!(frames[0].frame.pixels(), serial.frame.pixels());
+        // Every frame resolves to the degraded arm of the trichotomy: the
+        // exact survivors' composite, with the crash attributed.
+        for f in &frames {
+            let info = f.degraded.as_ref().expect("crash must be reported");
+            assert_eq!(info.failed, vec![(2, 1)]);
+            assert!(f.frame.pixels().iter().all(|px| px.a.is_finite()));
+        }
+    }
+
+    #[test]
+    fn between_frame_death_fails_the_next_frame_with_its_index() {
+        let orbit = OrbitConfig::quarter(4);
+        for transport in [TransportKind::InProc, TransportKind::TcpLoopback] {
+            let config = StreamConfig::new(base())
+                .with_transport(transport)
+                .kill_rank_before_frame(1, 2);
+            let started = std::time::Instant::now();
+            let session = StreamSession::new(3);
+            let mut stream = session.open().stream_orbit(&config, &orbit);
+            // Frames before the death complete cleanly.
+            for expect in 0..2usize {
+                let frame = stream.next().expect("stream open").expect("clean frame");
+                assert_eq!(frame.stats.index, expect);
+            }
+            // The death between frames 1 and 2 surfaces as *frame 2's*
+            // typed error — the frame the rank abandoned — not as a stale
+            // deadline from frame 1.
+            let err = stream.next().expect("error emitted").unwrap_err();
+            match err {
+                PvrError::Frame { index, .. } => assert_eq!(index, 2, "{transport:?}"),
+                other => panic!("expected frame error, got {other}"),
+            }
+            assert!(stream.next().is_none(), "stream ends at the failed frame");
+            // Death notifications travel the data channels, so detection is
+            // prompt — far inside the 10 s receive deadline.
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(8),
+                "death detection stalled: {:?}",
+                started.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_frame_stream_is_a_typed_error() {
+        let orbit = OrbitConfig {
+            frames: 0,
+            start_yaw: 0.0,
+            end_yaw: 1.0,
+            pitch: 0.0,
+        };
+        let session = StreamSession::new(2);
+        let err = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()), &orbit)
+            .unwrap_err();
+        assert!(matches!(err, PvrError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn frame_traces_carry_frame_scoped_spans() {
+        let orbit = OrbitConfig::quarter(3);
+        let session = StreamSession::new(2);
+        let frames = session
+            .open()
+            .collect_orbit(&StreamConfig::new(base()), &orbit)
+            .unwrap();
+        // Replaying frame k's trace attributes its spans to frame k via
+        // the frame:k:start/end marks.
+        let (_, timelines) = rt_comm::replay_timeline(&frames[2].trace, &CostModel::SP2).unwrap();
+        let spans: Vec<_> = timelines
+            .iter()
+            .flat_map(|tl| &tl.spans)
+            .filter(|s| s.frame.is_some())
+            .collect();
+        assert!(!spans.is_empty());
+        assert!(spans.iter().all(|s| s.frame == Some(2)));
+    }
+}
