@@ -24,6 +24,18 @@ echo "== docs =="
 # public items under the crates' #![warn(missing_docs)]).
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "== markdown links =="
+# Every relative link and #anchor in tracked markdown must resolve
+# (stdlib-only checker; external URLs are not fetched).
+python3 tools/linkcheck.py
+
+echo "== doc examples =="
+# The facade crate includes README.md and docs/METHODS.md as rustdoc, so
+# every Rust block in them compiles and runs here. (The workspace test
+# stage below repeats this; a dedicated stage makes a rotted doc snippet
+# fail with a legible stage name.)
+cargo test -q --release --doc -p rotate-tiling
+
 echo "== tests (PROPTEST_CASES=$PROPTEST_CASES) =="
 cargo test --workspace -q
 
@@ -80,7 +92,7 @@ rm -f "$tcp_out" "$tcp_trace"
 tcp_log=$(cargo run -q --release -p rt-bench --bin perf -- \
     --smoke --transport tcp --out "$tcp_out" --trace-out "$tcp_trace")
 echo "$tcp_log"
-grep -q 'reconciled 12 tcp cell(s)' <<<"$tcp_log"
+grep -q 'reconciled 15 tcp cell(s)' <<<"$tcp_log"
 test -s "$tcp_out"
 test -s "$tcp_trace"
 grep -q '"transport": "tcp"' "$tcp_out"
@@ -110,6 +122,17 @@ rm -f "$stream_out"
 cargo run -q --release -p rt-bench --bin stream -- --smoke --out "$stream_out"
 test -s "$stream_out"
 grep -q '"schema": "bench-stream/v1"' "$stream_out"
+
+echo "== display wall smoke =="
+# The tile-ownership display-wall workload at CI size (720p virtual
+# framebuffer onto a 2x2 wall): every cell is verified pixel-for-pixel
+# against the sequential reference composite inside the binary, and the
+# cell summary JSON is kept as a CI artifact.
+wall_out=target/displaywall_cells.json
+rm -f "$wall_out"
+cargo run -q --release --example displaywall -- --smoke --out "$wall_out"
+test -s "$wall_out"
+grep -q '"schema": "displaywall-cells/v1"' "$wall_out"
 
 echo "== profile smoke =="
 # One-rep observed cell per method x codec at P=8: runs the observability

@@ -17,9 +17,9 @@
 use rt_bench::netgrid::{band_partials, frame_hash, parse_codec, NetJob, WorkerResult};
 use rt_comm::comm::{RankCtx, RankOptions};
 use rt_comm::Transport;
-use rt_core::exec::{compose, compose_with_scratch, ComposeConfig, ExecPath, Scratch};
+use rt_core::exec::{ComposeConfig, ExecPath, Scratch};
 use rt_core::method::CompositionMethod;
-use rt_core::schedule::verify_schedule;
+use rt_core::tile::compose_plan;
 use rt_net::WorkerSession;
 use std::time::Instant;
 
@@ -73,10 +73,11 @@ fn main() {
     );
 
     let method = job.method();
-    let schedule = method
-        .build(p, job.frame * job.frame)
+    let plan = method
+        .plan(p, job.frame, job.frame)
         .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-    verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+    plan.verify()
+        .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
     let partial = band_partials(p, job.frame, job.frame).swap_remove(rank);
     let pooled_cfg = ComposeConfig::default()
         .with_codec(job.codec)
@@ -95,9 +96,8 @@ fn main() {
         let local = partial.clone();
         let t0 = Instant::now();
         let mut ctx = RankCtx::over_transport(transport, RankOptions::default());
-        let out_pooled =
-            compose_with_scratch(&mut ctx, &schedule, local, &pooled_cfg, &mut scratch)
-                .unwrap_or_else(|e| panic!("rank {rank} pooled compose failed: {e}"));
+        let out_pooled = compose_plan(&mut ctx, &plan, local, &pooled_cfg, &mut scratch)
+            .unwrap_or_else(|e| panic!("rank {rank} pooled compose failed: {e}"));
         let dt_pooled = t0.elapsed().as_secs_f64() * 1e3;
         let (events, tr, _) = ctx.into_parts();
         transport = tr;
@@ -109,7 +109,7 @@ fn main() {
         let local = partial.clone();
         let t1 = Instant::now();
         let mut ctx = RankCtx::over_transport(transport, RankOptions::default());
-        let out_base = compose(&mut ctx, &schedule, local, &baseline_cfg)
+        let out_base = compose_plan(&mut ctx, &plan, local, &baseline_cfg, &mut scratch)
             .unwrap_or_else(|e| panic!("rank {rank} per-transfer compose failed: {e}"));
         let dt_base = t1.elapsed().as_secs_f64() * 1e3;
         let (_, tr, _) = ctx.into_parts();

@@ -2,7 +2,8 @@
 //!
 //! Unlike the figure binaries (virtual-clock replay), this measures *real*
 //! elapsed time, comparing the pooled zero-copy execution path against the
-//! per-transfer allocation baseline over the Figure 6 method lineup ×
+//! per-transfer allocation baseline over the bench method lineup (the
+//! Figure 6 methods plus tile-ownership, [`Method::bench_lineup`]) ×
 //! codec × machine size grid — on one or both communication backends:
 //!
 //! * `--transport inproc` (default): the threaded multicomputer.
@@ -25,11 +26,9 @@ use rt_bench::netgrid::{
 };
 use rt_comm::{replay_timeline, CostModel, Trace};
 use rt_compress::CodecKind;
-use rt_core::exec::{
-    run_composition, run_composition_pooled, ComposeConfig, ExecPath, ScratchPool,
-};
+use rt_core::exec::{ComposeConfig, ExecPath, ScratchPool};
 use rt_core::method::{CompositionMethod, Method};
-use rt_core::schedule::{verify_schedule, Schedule};
+use rt_core::tile::{run_plan_composition, run_plan_composition_pooled, ComposePlan};
 use rt_imaging::pixel::GrayAlpha8;
 use rt_net::{process::read_blob, Launcher};
 use rt_obs::{validate_chrome_trace, ChromeTrace};
@@ -209,7 +208,7 @@ fn root_frame_hash(
 /// One in-process cell: both paths timed per rep, trace + frame hash from
 /// the first timed pooled rep.
 fn run_inproc_cell(
-    schedule: &Schedule,
+    plan: &ComposePlan,
     partials: &[rt_imaging::Image<GrayAlpha8>],
     codec: CodecKind,
     pool: &ScratchPool<GrayAlpha8>,
@@ -231,10 +230,10 @@ fn run_inproc_cell(
         let a = partials.to_vec();
         let b = partials.to_vec();
         let t0 = Instant::now();
-        let (out_pooled, trace) = run_composition_pooled(schedule, a, &pooled_cfg, pool);
+        let (out_pooled, trace) = run_plan_composition_pooled(plan, a, &pooled_cfg, pool);
         let dt_pooled = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let (out_base, _) = run_composition(schedule, b, &baseline_cfg);
+        let (out_base, _) = run_plan_composition(plan, b, &baseline_cfg);
         let dt_base = t1.elapsed().as_secs_f64() * 1e3;
         if rep == warmup {
             // Equivalence check once per cell, on the first timed rep:
@@ -244,7 +243,7 @@ fn run_inproc_cell(
                 pooled_hash,
                 root_frame_hash(&out_base),
                 "{}/{codec:?}: paths diverged",
-                schedule.method
+                plan.method_name()
             );
             outcome.frame_hash = pooled_hash;
             outcome.trace = trace;
@@ -361,18 +360,19 @@ fn main() {
     for &p in &args.ps {
         let partials = band_partials(p, args.frame, args.frame);
         let pool = ScratchPool::<GrayAlpha8>::new();
-        for (method_index, method) in Method::figure6_lineup().into_iter().enumerate() {
-            let schedule = method
-                .build(p, args.frame * args.frame)
+        for (method_index, method) in Method::bench_lineup().into_iter().enumerate() {
+            let plan = method
+                .plan(p, args.frame, args.frame)
                 .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
-            verify_schedule(&schedule).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            plan.verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", method.name()));
             for &codec in &args.codecs {
                 // The in-process cell doubles as the reconciliation
                 // reference whenever the TCP backend is in the grid.
                 let needs_inproc = args.transports.contains(&TransportArg::InProc)
                     || args.transports.contains(&TransportArg::Tcp);
                 let inproc = needs_inproc.then(|| {
-                    run_inproc_cell(&schedule, &partials, codec, &pool, args.reps, args.warmup)
+                    run_inproc_cell(&plan, &partials, codec, &pool, args.reps, args.warmup)
                 });
                 for &transport in &args.transports {
                     let cell = match transport {

@@ -10,8 +10,11 @@
 //! prints an aligned table.
 //!
 //! `--smoke` shrinks to a P=8 reconciliation subset for CI. The full run
-//! additionally asserts the headline: raw-codec P=32 cells must stream at
-//! ≥ 1.3× the serial frame rate.
+//! covers the bench lineup ([`Method::bench_lineup`]) and additionally
+//! asserts the headline: step-structured raw-codec P=32 cells must stream
+//! at ≥ 1.3× the serial frame rate (tile-ownership cells are
+//! byte-identity-gated but not floor-gated — they ship too little per
+//! frame for the stall the floor measures).
 
 use rt_bench::harness::print_table;
 use rt_comm::{CostModel, FaultPlan};
@@ -229,7 +232,7 @@ fn main() {
             Method::BinarySwap,
         ]
     } else {
-        Method::figure6_lineup()
+        Method::bench_lineup()
     };
     let codecs: &[CodecKind] = if args.smoke {
         &[CodecKind::Raw, CodecKind::Trle]
@@ -352,11 +355,15 @@ fn main() {
     if !args.smoke {
         // The headline claim: at P=32 with the raw codec (the heaviest
         // per-frame communication), pipelining must lift the frame rate
-        // by at least 1.3x on every transport.
+        // by at least 1.3x on every transport. Scoped to the
+        // step-structured methods: tile-ownership ships only non-blank
+        // tiles, so its serial baseline has little communication stall to
+        // hide — its cells are still byte-identity-gated above, just not
+        // held to a speedup floor built for frame-spanning traffic.
         for cell in report
             .results
             .iter()
-            .filter(|c| c.p == 32 && c.codec == "Raw")
+            .filter(|c| c.p == 32 && c.codec == "Raw" && !c.method.starts_with("TO("))
         {
             assert!(
                 cell.speedup >= 1.3,

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// command line and the worker decodes it back.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetJob {
-    /// Index into [`Method::figure6_lineup`] (indices are stable across
+    /// Index into [`Method::bench_lineup`] (indices are stable across
     /// processes of one build — both sides call the same function).
     pub method_index: usize,
     /// Message codec for every transfer and the gather.
@@ -38,10 +38,10 @@ impl NetJob {
     /// # Panics
     /// Panics if `method_index` is out of range for the lineup.
     pub fn method(&self) -> Method {
-        let lineup = Method::figure6_lineup();
+        let lineup = Method::bench_lineup();
         *lineup.get(self.method_index).unwrap_or_else(|| {
             panic!(
-                "method index {} outside the figure-6 lineup of {}",
+                "method index {} outside the bench lineup of {}",
                 self.method_index,
                 lineup.len()
             )

@@ -38,6 +38,46 @@ use std::time::Duration;
 /// repair (bit 60), liveness (bit 59) and collective (bit 62) namespaces.
 pub const NET_CONTROL_TAG_BIT: u64 = 1 << 58;
 
+/// Step-field values at or above this base belong to the tile-ownership
+/// protocol's sub-channels, not to schedule steps.
+///
+/// Schedule executors place the step index in bits `40..48` of a tag (see
+/// `rt-core`'s executor); real schedules never exceed a few dozen steps,
+/// so the top half of that field is free. The tile-ownership path — which
+/// has no step structure at all — claims step values `0x80..0x100` as
+/// five sub-channels ([`TILE_CH_MANIFEST`] … [`TILE_CH_GATHER`]), keeping
+/// every control bit (58–63) clear and the frame namespace (bits 48–57)
+/// composable, so streaming, fault injection, retransmission and tracing
+/// work unchanged for tile traffic.
+pub const TILE_STEP_BASE: u64 = 0x80;
+
+/// Tile sub-channel: per-sender manifest bitmaps announcing which tiles
+/// the sender will ship (low bits: sending rank).
+pub const TILE_CH_MANIFEST: u64 = 0;
+/// Tile sub-channel: encoded tile payloads (low bits: tile index).
+pub const TILE_CH_PAYLOAD: u64 = 1;
+/// Tile sub-channel: manifest bitmaps of the post-failure repair round
+/// (low bits: sending rank).
+pub const TILE_CH_REPAIR_MANIFEST: u64 = 2;
+/// Tile sub-channel: re-sent tile payloads of the repair round (low bits:
+/// tile index).
+pub const TILE_CH_REPAIR_PAYLOAD: u64 = 3;
+/// Tile sub-channel: gather messages from tile owners to the root or to
+/// display-wall ranks (low bits: cell/owner coordinates).
+pub const TILE_CH_GATHER: u64 = 4;
+
+/// Tag of a tile-protocol message: frame-namespace bits on top, the
+/// sub-channel in the reserved step-field range, and a channel-specific
+/// discriminator in the low 40 bits.
+pub fn tile_tag(frame_tag: u64, channel: u64, low: u64) -> u64 {
+    debug_assert!(
+        channel < TILE_STEP_BASE,
+        "tile channel {channel} overflows the reserved step-field range"
+    );
+    debug_assert!(low < (1 << 40), "tile tag low bits {low} overflow");
+    frame_tag | ((TILE_STEP_BASE + channel) << 40) | low
+}
+
 /// Bit position of the frame-stream tag namespace: bits
 /// `FRAME_TAG_SHIFT .. FRAME_TAG_SHIFT + FRAME_TAG_BITS` carry the frame
 /// index of a multi-frame streaming pipeline, so two frames can be in

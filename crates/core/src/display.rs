@@ -1,0 +1,183 @@
+//! Display-wall gather geometry: a grid of display ranks, each assembling
+//! one cell of a large virtual framebuffer.
+//!
+//! The classic gather funnels every finally-owned pixel to one root rank —
+//! fine for a single monitor, hopeless for a tiled display wall driving a
+//! 4K–8K virtual framebuffer, where the pixels must *end up* spread over
+//! the machines wired to the physical panels (see "A Virtual Frame Buffer
+//! Abstraction for Parallel Rendering of Large Tiled Display Walls",
+//! arXiv:2009.03368, in PAPERS.md). A [`DisplayWall`] describes that
+//! arrangement: `cols × rows` display cells splitting the frame evenly
+//! along both axes, cell `d` assembled by rank `base + d`. Both gather
+//! implementations — the schedule executor's span gather and the
+//! tile-ownership path — consult the same geometry here, so a frame
+//! gathered to a wall is byte-identical to the corresponding sub-rectangles
+//! of a root gather.
+
+use crate::CoreError;
+use rt_imaging::{Rect, Span};
+
+/// A tiled display wall: `cols × rows` cells over the final frame, cell
+/// `d` (row-major) assembled by rank `base + d`.
+///
+/// Cells split each axis evenly (edge cells absorb the remainder, like
+/// [`Span::split_even`]), so a `2×1` wall over 3840×2160 yields two
+/// 1920×2160 cells on ranks `base` and `base + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisplayWall {
+    /// Cells along the x axis.
+    pub cols: usize,
+    /// Cells along the y axis.
+    pub rows: usize,
+    /// Rank assembling cell 0; cell `d` goes to rank `base + d`.
+    pub base: usize,
+}
+
+impl DisplayWall {
+    /// A `cols × rows` wall assembled by ranks `0..cols*rows`.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        Self {
+            cols,
+            rows,
+            base: 0,
+        }
+    }
+
+    /// Move the display ranks to `base..base + cols*rows`.
+    pub fn with_base(mut self, base: usize) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Number of display cells (= display ranks).
+    pub fn count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The rank assembling cell `d`.
+    pub fn rank_of(&self, d: usize) -> usize {
+        self.base + d
+    }
+
+    /// The cell `rank` assembles, if it is a display rank.
+    pub fn display_of(&self, rank: usize) -> Option<usize> {
+        (rank >= self.base && rank < self.base + self.count()).then(|| rank - self.base)
+    }
+
+    /// Check the wall fits a machine of `p` ranks.
+    pub fn validate(&self, p: usize) -> Result<(), CoreError> {
+        if self.cols == 0 || self.rows == 0 {
+            return Err(CoreError::InvalidSchedule {
+                why: format!(
+                    "display wall must have cells, got {}x{}",
+                    self.cols, self.rows
+                ),
+            });
+        }
+        if self.base + self.count() > p {
+            return Err(CoreError::InvalidSchedule {
+                why: format!(
+                    "display wall needs ranks {}..{}, machine has {p}",
+                    self.base,
+                    self.base + self.count()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The frame-space rectangle of cell `d` for a `width × height` frame.
+    pub fn cell_rect(&self, d: usize, width: usize, height: usize) -> Rect {
+        let (col, row) = (d % self.cols, d / self.cols);
+        Rect::new(
+            col * width / self.cols,
+            row * height / self.rows,
+            (col + 1) * width / self.cols,
+            (row + 1) * height / self.rows,
+        )
+    }
+}
+
+/// Intersect a flat frame-space `span` with a display cell: the row
+/// segments of the overlap, as `(frame_span, cell_offset)` pairs where
+/// `cell_offset` is the segment's flat pixel position inside the cell's
+/// own `cell.width() × cell.height()` framebuffer.
+///
+/// Segments come out in frame order (ascending start), so sender and
+/// receiver serialize the overlap identically without negotiation.
+pub fn span_cell_segments(span: Span, width: usize, cell: Rect) -> Vec<(Span, usize)> {
+    let mut out = Vec::new();
+    if span.is_empty() || cell.is_empty() || width == 0 {
+        return out;
+    }
+    let y0 = (span.start / width).max(cell.y0);
+    let y1 = ((span.end() - 1) / width + 1).min(cell.y1);
+    for y in y0..y1 {
+        let row = Span::new(y * width + cell.x0, cell.width());
+        if let Some(seg) = span.intersect(&row) {
+            let local = (y - cell.y0) * cell.width() + (seg.start - y * width - cell.x0);
+            out.push((seg, local));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_tile_the_frame_exactly() {
+        for (cols, rows, w, h) in [(2, 1, 10, 4), (3, 2, 17, 11), (1, 1, 5, 5), (4, 3, 12, 12)] {
+            let wall = DisplayWall::new(cols, rows);
+            let mut covered = vec![0u8; w * h];
+            for d in 0..wall.count() {
+                let r = wall.cell_rect(d, w, h);
+                for y in r.y0..r.y1 {
+                    for x in r.x0..r.x1 {
+                        covered[y * w + x] += 1;
+                    }
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "{cols}x{rows} over {w}x{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_mapping_round_trips() {
+        let wall = DisplayWall::new(2, 2).with_base(3);
+        assert_eq!(wall.count(), 4);
+        assert_eq!(wall.rank_of(2), 5);
+        assert_eq!(wall.display_of(5), Some(2));
+        assert_eq!(wall.display_of(2), None);
+        assert_eq!(wall.display_of(7), None);
+        wall.validate(7).unwrap();
+        assert!(wall.validate(6).is_err());
+        assert!(DisplayWall::new(0, 2).validate(4).is_err());
+    }
+
+    #[test]
+    fn segments_cover_the_intersection_once() {
+        // A span crossing three rows against a cell that clips both ends.
+        let w = 10;
+        let cell = Rect::new(3, 1, 8, 3); // rows 1..3, cols 3..8
+        let span = Span::new(7, 20); // pixels 7..27 → rows 0,1,2
+        let segs = span_cell_segments(span, w, cell);
+        // Row 1: frame 13..18; row 2: frame 23..27 (span ends at 27).
+        assert_eq!(segs, vec![(Span::new(13, 5), 0), (Span::new(23, 4), 5),]);
+        // Local offsets address a 5-wide, 2-tall cell buffer.
+        for (seg, local) in &segs {
+            assert!(local + seg.len <= cell.area());
+        }
+    }
+
+    #[test]
+    fn disjoint_span_and_cell_yield_nothing() {
+        let segs = span_cell_segments(Span::new(0, 10), 10, Rect::new(0, 5, 10, 6));
+        assert!(segs.is_empty());
+        assert!(span_cell_segments(Span::new(0, 0), 10, Rect::new(0, 0, 10, 10)).is_empty());
+    }
+}

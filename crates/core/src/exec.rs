@@ -30,6 +30,7 @@
 //!   merge path materializing a `Vec<P>` per transfer; kept as the
 //!   reference implementation and perf baseline.
 
+use crate::display::{span_cell_segments, DisplayWall};
 use crate::repair::{repair, DegradedInfo};
 use crate::schedule::{MergeDir, Schedule};
 use crate::CoreError;
@@ -112,6 +113,11 @@ pub struct ComposeConfig {
     /// frames' transfers, repairs and gathers never collide in the tag
     /// space while sharing one live multicomputer.
     pub frame_tag: u64,
+    /// Gather to a tiled display wall instead of the single root: each
+    /// display rank assembles its own cell of the virtual framebuffer
+    /// (see [`crate::display::DisplayWall`]). `None` (default) keeps the
+    /// classic root gather. Ignored when [`ComposeConfig::gather`] is off.
+    pub display: Option<DisplayWall>,
 }
 
 impl Default for ComposeConfig {
@@ -126,6 +132,7 @@ impl Default for ComposeConfig {
             kernel: KernelPath::default(),
             transport: TransportKind::default(),
             frame_tag: 0,
+            display: None,
         }
     }
 }
@@ -183,6 +190,14 @@ impl ComposeConfig {
     /// is the identity — identical tags to a non-streaming run).
     pub fn with_frame(mut self, frame: u64) -> Self {
         self.frame_tag = rt_comm::frame_tag_base(frame);
+        self
+    }
+
+    /// Gather to a tiled display wall instead of the single root (also
+    /// re-enables the gather stage).
+    pub fn with_display_wall(mut self, wall: DisplayWall) -> Self {
+        self.display = Some(wall);
+        self.gather = true;
         self
     }
 }
@@ -259,7 +274,7 @@ impl Machine {
 #[derive(Debug)]
 pub struct Scratch<P: Pixel> {
     /// Staging for the gather's concatenated owner spans.
-    gather_pixels: Vec<P>,
+    pub(crate) gather_pixels: Vec<P>,
     /// Retired deferred-back accumulators awaiting reuse.
     spare_accs: Vec<Vec<P>>,
 }
@@ -282,7 +297,7 @@ impl<P: Pixel> Scratch<P> {
     /// A blank-filled accumulator of `len` pixels, reusing a retired
     /// buffer when one is available. Reuses and fresh allocations are
     /// tallied as pool hits/misses on observed runs.
-    fn take_acc(&mut self, len: usize, ctx: &mut RankCtx) -> Vec<P> {
+    pub(crate) fn take_acc(&mut self, len: usize, ctx: &mut RankCtx) -> Vec<P> {
         let reused = !self.spare_accs.is_empty();
         ctx.obs_counters(|c| {
             if reused {
@@ -298,7 +313,7 @@ impl<P: Pixel> Scratch<P> {
     }
 
     /// Retire an accumulator for later reuse.
-    fn put_acc(&mut self, buf: Vec<P>) {
+    pub(crate) fn put_acc(&mut self, buf: Vec<P>) {
         self.spare_accs.push(buf);
     }
 }
@@ -399,7 +414,7 @@ fn repair_tag(frame_tag: u64, entry: usize, fetch: usize) -> u64 {
 /// Lowest-ranked survivor, for gather-root reassignment after failures.
 /// Every survivor computes the same answer from the agreed `crashed` set;
 /// if no rank survived there is nobody to assemble a frame at all.
-fn elect_root(
+pub(crate) fn elect_root(
     p: usize,
     crashed: &std::collections::BTreeMap<usize, usize>,
 ) -> Result<usize, CoreError> {
@@ -449,6 +464,9 @@ pub fn compose_with_scratch<P: Pixel>(
                 local.len()
             ),
         });
+    }
+    if let Some(wall) = config.display {
+        wall.validate(schedule.p)?;
     }
     let codec = config.codec.build::<P>();
     // Which kernel implementation actually runs: the wide path engages only
@@ -811,7 +829,6 @@ pub fn compose_with_scratch<P: Pixel>(
     // concatenated in span order (the coalesced collection a real system
     // would do with MPI_Gatherv), tagged past the last step.
     let gather_step = schedule.steps.len();
-    let mut frame = (me == root).then(|| Image::blank(local.width(), local.height()));
     // Spans per owner, in (possibly repaired) ownership order.
     let mut spans_of = vec![Vec::<Span>::new(); schedule.p];
     for (span, owner) in &owners {
@@ -819,6 +836,30 @@ pub fn compose_with_scratch<P: Pixel>(
             spans_of[*owner].push(*span);
         }
     }
+    if let Some(wall) = config.display {
+        let dead: std::collections::BTreeSet<usize> = degraded
+            .as_ref()
+            .map(|d| d.failed.iter().map(|(r, _)| *r).collect())
+            .unwrap_or_default();
+        let frame = gather_spans_to_wall(
+            ctx,
+            &spans_of,
+            &local,
+            config,
+            scratch,
+            codec.as_ref(),
+            wall,
+            gather_step,
+            &dead,
+        )?;
+        ctx.mark("gather:end");
+        return Ok(ComposeOutput {
+            frame,
+            owned_pixels,
+            degraded,
+        });
+    }
+    let mut frame = (me == root).then(|| Image::blank(local.width(), local.height()));
     if me != root && !spans_of[me].is_empty() {
         let enc_started = ctx.obs_start();
         let encoded = match config.path {
@@ -942,6 +983,124 @@ pub fn compose_with_scratch<P: Pixel>(
         owned_pixels,
         degraded,
     })
+}
+
+/// Display-wall gather for the schedule path: each final owner ships, per
+/// display cell its spans overlap, one message with the overlap segments
+/// concatenated in span order; each display rank assembles its own
+/// cell-sized framebuffer. Returns the cell image on display ranks, `None`
+/// elsewhere. Dead ranks (post-repair) neither send nor receive.
+#[allow(clippy::too_many_arguments)]
+fn gather_spans_to_wall<P: Pixel>(
+    ctx: &mut RankCtx,
+    spans_of: &[Vec<Span>],
+    local: &Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn rt_compress::Codec<P>,
+    wall: DisplayWall,
+    gather_step: usize,
+    dead: &std::collections::BTreeSet<usize>,
+) -> Result<Option<Image<P>>, CoreError> {
+    let me = ctx.rank();
+    let raw = config.codec == CodecKind::Raw;
+    let width = local.width();
+    // Overlap of `owner`'s final spans with a cell, in deterministic span
+    // order: sender and receiver compute the same segment list locally.
+    let segments = |owner: usize, cell: rt_imaging::Rect| -> Vec<(Span, usize)> {
+        let mut segs = Vec::new();
+        for span in &spans_of[owner] {
+            segs.extend(span_cell_segments(*span, width, cell));
+        }
+        segs
+    };
+    for d in 0..wall.count() {
+        let drank = wall.rank_of(d);
+        if drank == me || spans_of[me].is_empty() || dead.contains(&drank) {
+            continue;
+        }
+        let cell = wall.cell_rect(d, width, local.height());
+        let segs = segments(me, cell);
+        if segs.is_empty() {
+            continue;
+        }
+        let total: usize = segs.iter().map(|(s, _)| s.len).sum();
+        let enc_started = ctx.obs_start();
+        let encoded = match config.path {
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for (seg, _) in &segs {
+                    scratch
+                        .gather_pixels
+                        .extend_from_slice(local.span_pixels(*seg)?);
+                }
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(total);
+                for (seg, _) in &segs {
+                    pixels.extend(local.extract(*seg)?);
+                }
+                codec.encode(&pixels)
+            }
+        };
+        if !raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        ctx.obs_span(Phase::Encode, enc_started);
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
+        ctx.send(
+            drank,
+            tag(config.frame_tag, gather_step, (d << 20) | me),
+            encoded.bytes,
+        )?;
+    }
+    let Some(d) = wall.display_of(me) else {
+        return Ok(None);
+    };
+    let cell = wall.cell_rect(d, width, local.height());
+    let mut out = Image::blank(cell.width(), cell.height());
+    for owner in 0..spans_of.len() {
+        if dead.contains(&owner) {
+            continue;
+        }
+        let segs = segments(owner, cell);
+        if segs.is_empty() {
+            continue;
+        }
+        if owner == me {
+            for (seg, local_at) in &segs {
+                out.insert(Span::new(*local_at, seg.len), local.span_pixels(*seg)?)?;
+            }
+            continue;
+        }
+        let bytes = ctx.recv(owner, tag(config.frame_tag, gather_step, (d << 20) | owner))?;
+        if !raw {
+            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+        }
+        let total: usize = segs.iter().map(|(s, _)| s.len).sum();
+        let dec_started = ctx.obs_start();
+        let mut staged = scratch.take_acc(total, ctx);
+        match config.path {
+            ExecPath::Pooled => {
+                // `over` in front of a blank buffer is an exact copy.
+                codec.decode_over_with(&bytes, &mut staged, OverDir::Front, config.kernel)?;
+            }
+            ExecPath::PerTransfer => {
+                let pixels: Vec<P> = codec.decode(&bytes, total)?;
+                staged.clone_from_slice(&pixels);
+            }
+        }
+        let mut at = 0usize;
+        for (seg, local_at) in &segs {
+            out.insert(Span::new(*local_at, seg.len), &staged[at..at + seg.len])?;
+            at += seg.len;
+        }
+        scratch.put_acc(staged);
+        ctx.obs_span(Phase::Decode, dec_started);
+    }
+    Ok(Some(out))
 }
 
 /// Convenience harness: run `schedule` over a fresh multicomputer with the

@@ -69,6 +69,7 @@
 pub mod analysis;
 pub mod binary_swap;
 pub mod direct;
+pub mod display;
 pub mod exec;
 pub mod method;
 pub mod pipelined;
@@ -76,11 +77,13 @@ pub mod repair;
 pub mod rotate;
 pub mod schedule;
 pub mod theory;
+pub mod tile;
 pub mod tune;
 
 pub use analysis::{analyze, ScheduleCost};
 pub use binary_swap::BinarySwap;
 pub use direct::DirectSend;
+pub use display::{span_cell_segments, DisplayWall};
 pub use exec::{
     compose, compose_with_scratch, run_composition, run_composition_faulty,
     run_composition_observed, run_composition_pooled, ComposeConfig, ComposeOutput, ExecPath,
@@ -91,6 +94,12 @@ pub use pipelined::ParallelPipelined;
 pub use repair::{repair, DegradedInfo, RepairEntry, RepairFetch, RepairPlan};
 pub use rotate::{RotateTiling, RtVariant};
 pub use schedule::{verify_schedule, MergeDir, Schedule, Step, Transfer};
+pub use tile::{
+    compose_plan, compose_tiles, run_plan_composition, run_plan_composition_faulty,
+    run_plan_composition_pooled, run_tile_composition, run_tile_composition_faulty,
+    run_tile_composition_observed, run_tile_composition_pooled, verify_tile_plan, ComposePlan,
+    TileGrid, TilePlan,
+};
 pub use tune::{choose, sweep, Candidate, TuneOptions};
 
 /// Errors produced while building or executing composition schedules.

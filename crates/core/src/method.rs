@@ -5,6 +5,7 @@ use crate::direct::DirectSend;
 use crate::pipelined::ParallelPipelined;
 use crate::rotate::{RotateTiling, RtVariant};
 use crate::schedule::Schedule;
+use crate::tile::{ComposePlan, TileGrid, TilePlan};
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +37,17 @@ pub enum Method {
         /// Initial block count.
         blocks: usize,
     },
+    /// Tile-ownership: content-adaptive direct-to-owner compositing over a
+    /// static 2-D tile grid (any `P`; extension). Not expressible as a
+    /// span [`Schedule`] — its message set depends on which tiles hold
+    /// content — so it compiles through [`Method::plan`] instead of
+    /// [`CompositionMethod::build`].
+    TileOwner {
+        /// Tile columns.
+        tiles_x: usize,
+        /// Tile rows.
+        tiles_y: usize,
+    },
 }
 
 impl Method {
@@ -54,6 +66,31 @@ impl Method {
             },
         ]
     }
+
+    /// The bench line-up: the paper's Figure 6/8 methods plus the
+    /// tile-ownership extension on a 16×16 grid.
+    pub fn bench_lineup() -> Vec<Method> {
+        let mut lineup = Self::figure6_lineup();
+        lineup.push(Method::TileOwner {
+            tiles_x: 16,
+            tiles_y: 16,
+        });
+        lineup
+    }
+
+    /// Compile to a [`ComposePlan`] of the appropriate family: a span
+    /// [`Schedule`] for the step-structured methods, a [`TilePlan`] for
+    /// [`Method::TileOwner`]. The tile path needs the real frame geometry,
+    /// not just the pixel count, hence the extra parameters.
+    pub fn plan(&self, p: usize, width: usize, height: usize) -> Result<ComposePlan, CoreError> {
+        match self {
+            Method::TileOwner { tiles_x, tiles_y } => {
+                let grid = TileGrid::new(width, height, *tiles_x, *tiles_y)?;
+                Ok(ComposePlan::Tiles(TilePlan::new(p, grid)?))
+            }
+            _ => Ok(ComposePlan::Schedule(self.build(p, width * height)?)),
+        }
+    }
 }
 
 impl CompositionMethod for Method {
@@ -67,6 +104,7 @@ impl CompositionMethod for Method {
                 RtVariant::TwoN => RotateTiling::two_n(*blocks).name(),
                 RtVariant::N => RotateTiling::n(*blocks).name(),
             },
+            Method::TileOwner { tiles_x, tiles_y } => format!("TO({tiles_x}x{tiles_y})"),
         }
     }
 
@@ -80,6 +118,12 @@ impl CompositionMethod for Method {
                 RtVariant::TwoN => RotateTiling::two_n(*blocks).build(p, image_len),
                 RtVariant::N => RotateTiling::n(*blocks).build(p, image_len),
             },
+            Method::TileOwner { .. } => Err(CoreError::UnsupportedShape {
+                method: "tile-owner",
+                why: "content-adaptive message set cannot compile to a static span \
+                      schedule; use Method::plan for a ComposePlan"
+                    .into(),
+            }),
         }
     }
 }
@@ -101,6 +145,32 @@ mod tests {
     fn names_are_the_paper_labels() {
         let names: Vec<String> = Method::figure6_lineup().iter().map(|m| m.name()).collect();
         assert_eq!(names, vec!["BS", "PP", "2N_RT(B=4)", "N_RT(B=3)"]);
+    }
+
+    #[test]
+    fn tile_owner_plans_but_does_not_build() {
+        let m = Method::TileOwner {
+            tiles_x: 16,
+            tiles_y: 16,
+        };
+        assert_eq!(m.name(), "TO(16x16)");
+        assert!(m.build(32, 512 * 512).is_err());
+        let plan = m.plan(32, 512, 512).unwrap();
+        plan.verify().unwrap();
+        assert_eq!(plan.p(), 32);
+        assert_eq!(plan.image_len(), 512 * 512);
+    }
+
+    #[test]
+    fn bench_lineup_is_figure6_plus_tile_owner() {
+        let lineup = Method::bench_lineup();
+        assert_eq!(lineup.len(), 5);
+        assert_eq!(&lineup[..4], &Method::figure6_lineup()[..]);
+        assert_eq!(lineup[4].name(), "TO(16x16)");
+        // Every lineup member plans for the bench shapes.
+        for m in &lineup {
+            m.plan(32, 512, 512).unwrap().verify().unwrap();
+        }
     }
 
     #[test]

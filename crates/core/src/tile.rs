@@ -1,0 +1,1459 @@
+//! Tile-ownership compositing: sparse, step-free, direct-to-owner.
+//!
+//! Every schedule-driven method in this repository exchanges
+//! frame-spanning block halves through the paper's `ceil(log2 P)`-ish step
+//! structure. The tile-ownership method (after the Direct Send Compositing
+//! / DFB family) removes the step barrier entirely:
+//!
+//! 1. the final frame is statically partitioned into a [`TileGrid`] of
+//!    rectangular tiles, each tile assigned an owner rank by the
+//!    [`TilePlan`]'s owner map;
+//! 2. each rank scans its rendered partial once, then encodes and sends
+//!    **only its non-blank tiles**, each directly to that tile's owner —
+//!    a fully blank rank ships zero tile payloads;
+//! 3. tiny per-sender manifest bitmaps tell each owner exactly which
+//!    payloads to expect, so arrival order never matters (the comm layer
+//!    stashes out-of-order messages until the owner asks);
+//! 4. each owner composites every owned tile with a strict front-to-back
+//!    left fold from a blank accumulator, in depth order — **the exact
+//!    association order of [`rt_imaging::image::reference_composite`]**,
+//!    so the result is byte-identical to the sequential reference on any
+//!    content, not merely algebraically equivalent.
+//!
+//! Point 4 is load-bearing: saturating integer `over` is not associative
+//! at the byte level, so two *different* parallel association orders can
+//! legitimately differ in low bits. The left fold sidesteps the issue —
+//! every tile/owner/permutation configuration reproduces the reference
+//! fold exactly (blank is a two-sided identity of `over`, so skipping
+//! blank tiles is also exact).
+//!
+//! The method slots into the existing matrix end to end: both transports,
+//! both execution paths, fault trichotomy (bit-exact | exact-degraded |
+//! typed error) with tile-granular repair, observability counters and
+//! virtual-clock replay. The gather stage additionally supports the
+//! [`DisplayWall`] scenario for both this path and the schedule executor.
+
+use crate::display::{span_cell_segments, DisplayWall};
+use crate::exec::{ComposeConfig, ComposeOutput, ExecPath, Machine, Scratch, ScratchPool};
+use crate::repair::DegradedInfo;
+use crate::schedule::{verify_schedule, Schedule};
+use crate::CoreError;
+use rt_comm::{
+    tile_tag, CommError, ComputeKind, FaultPlan, RankCtx, Trace, TILE_CH_GATHER, TILE_CH_MANIFEST,
+    TILE_CH_PAYLOAD, TILE_CH_REPAIR_MANIFEST, TILE_CH_REPAIR_PAYLOAD,
+};
+use rt_compress::{Codec, CodecKind, KernelPath, OverDir};
+use rt_imaging::pixel::Pixel;
+use rt_imaging::{Image, Rect, Span};
+use rt_obs::{Observer, Phase};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A static partition of a `width × height` frame into `tiles_x × tiles_y`
+/// rectangular tiles, row-major (tile `t` is column `t % tiles_x`, row
+/// `t / tiles_x`).
+///
+/// Both axes split evenly with the remainder spread like
+/// [`Span::split_even`]; a tile count exceeding an axis produces empty
+/// tiles, which every phase skips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Tile columns.
+    pub tiles_x: usize,
+    /// Tile rows.
+    pub tiles_y: usize,
+}
+
+impl TileGrid {
+    /// A `tiles_x × tiles_y` grid over a `width × height` frame.
+    ///
+    /// Errors with [`CoreError::UnsupportedShape`] when either tile count
+    /// is zero.
+    pub fn new(
+        width: usize,
+        height: usize,
+        tiles_x: usize,
+        tiles_y: usize,
+    ) -> Result<Self, CoreError> {
+        if tiles_x == 0 || tiles_y == 0 {
+            return Err(CoreError::UnsupportedShape {
+                method: "tile-owner",
+                why: format!("grid must have tiles, got {tiles_x}x{tiles_y}"),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            tiles_x,
+            tiles_y,
+        })
+    }
+
+    /// Total tile count.
+    pub fn tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Frame-space rectangle of tile `t`.
+    pub fn rect(&self, t: usize) -> Rect {
+        let (tx, ty) = (t % self.tiles_x, t / self.tiles_x);
+        Rect::new(
+            tx * self.width / self.tiles_x,
+            ty * self.height / self.tiles_y,
+            (tx + 1) * self.width / self.tiles_x,
+            (ty + 1) * self.height / self.tiles_y,
+        )
+    }
+
+    /// Pixel area of tile `t`.
+    pub fn area(&self, t: usize) -> usize {
+        self.rect(t).area()
+    }
+
+    /// The flat frame-space row spans of tile `t`, top to bottom.
+    pub fn row_spans(&self, t: usize) -> Vec<Span> {
+        let r = self.rect(t);
+        (r.y0..r.y1)
+            .map(|y| Span::new(y * self.width + r.x0, r.width()))
+            .collect()
+    }
+}
+
+/// A tile-ownership composition plan: the grid, the owner map, and the
+/// depth order — the tile path's counterpart of a [`Schedule`].
+///
+/// Plans are built in *depth coordinates* (rank `d` renders the partial at
+/// depth position `d`, like every schedule) and relabeled onto physical
+/// ranks with [`TilePlan::permute`] when the view changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePlan {
+    /// Number of ranks.
+    pub p: usize,
+    /// The static frame partition.
+    pub grid: TileGrid,
+    /// Owner (physical) rank of each tile.
+    pub owner_of: Vec<usize>,
+    /// Physical rank whose partial sits at each depth position (0 =
+    /// nearest the viewer). Identity until [`TilePlan::permute`].
+    pub rank_at_depth: Vec<usize>,
+    /// Display name, e.g. `TO(16x16)`.
+    pub method: String,
+}
+
+impl TilePlan {
+    /// A plan distributing tiles round-robin (`owner = t % p`) with the
+    /// identity depth order.
+    pub fn new(p: usize, grid: TileGrid) -> Result<Self, CoreError> {
+        if p == 0 {
+            return Err(CoreError::UnsupportedShape {
+                method: "tile-owner",
+                why: "at least one rank required".into(),
+            });
+        }
+        Ok(Self {
+            p,
+            grid,
+            owner_of: (0..grid.tiles()).map(|t| t % p).collect(),
+            rank_at_depth: (0..p).collect(),
+            method: format!("TO({}x{})", grid.tiles_x, grid.tiles_y),
+        })
+    }
+
+    /// Relabel the plan onto physical ranks: `rank_of_depth[d]` is the
+    /// physical rank whose partial sits at depth position `d`. Owners move
+    /// with the relabeling so the tile distribution stays balanced.
+    pub fn permute(&self, rank_of_depth: &[usize]) -> Result<TilePlan, CoreError> {
+        let p = self.p;
+        if rank_of_depth.len() != p {
+            return Err(CoreError::InvalidSchedule {
+                why: format!(
+                    "permutation size mismatch: {} depth positions for {p} ranks",
+                    rank_of_depth.len()
+                ),
+            });
+        }
+        let mut seen = vec![false; p];
+        for &r in rank_of_depth {
+            if r >= p || seen[r] {
+                return Err(CoreError::InvalidSchedule {
+                    why: format!("rank_of_depth {rank_of_depth:?} is not a permutation of 0..{p}"),
+                });
+            }
+            seen[r] = true;
+        }
+        let mut out = self.clone();
+        for owner in &mut out.owner_of {
+            *owner = rank_of_depth[*owner];
+        }
+        let mut rank_at_depth = vec![0usize; p];
+        for (d, &slot) in self.rank_at_depth.iter().enumerate() {
+            rank_at_depth[d] = rank_of_depth[slot];
+        }
+        out.rank_at_depth = rank_at_depth;
+        out.method = format!("{}∘π", self.method);
+        Ok(out)
+    }
+
+    /// Tiles owned by `rank` (ascending), skipping empty tiles.
+    pub fn tiles_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.grid.tiles())
+            .filter(|&t| self.owner_of[t] == rank && self.grid.area(t) > 0)
+            .collect()
+    }
+
+    /// Pixels finally owned by `rank`.
+    pub fn owned_area(&self, rank: usize) -> usize {
+        self.tiles_of(rank).iter().map(|&t| self.grid.area(t)).sum()
+    }
+}
+
+/// Check a [`TilePlan`]'s invariants: the owner map covers every tile with
+/// an in-range rank, the depth order is a permutation, and the tiles cover
+/// every frame pixel exactly once — the tile path's counterpart of
+/// [`verify_schedule`].
+pub fn verify_tile_plan(plan: &TilePlan) -> Result<(), CoreError> {
+    let nt = plan.grid.tiles();
+    if plan.owner_of.len() != nt {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "owner map has {} entries for {nt} tiles",
+                plan.owner_of.len()
+            ),
+        });
+    }
+    if let Some(&bad) = plan.owner_of.iter().find(|&&r| r >= plan.p) {
+        return Err(CoreError::InvalidSchedule {
+            why: format!("tile owner {bad} out of range for {} ranks", plan.p),
+        });
+    }
+    let mut seen = vec![false; plan.p];
+    if plan.rank_at_depth.len() != plan.p {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "depth order has {} slots for {} ranks",
+                plan.rank_at_depth.len(),
+                plan.p
+            ),
+        });
+    }
+    for &r in &plan.rank_at_depth {
+        if r >= plan.p || seen[r] {
+            return Err(CoreError::InvalidSchedule {
+                why: format!(
+                    "rank_at_depth {:?} is not a permutation",
+                    plan.rank_at_depth
+                ),
+            });
+        }
+        seen[r] = true;
+    }
+    let mut covered = vec![0u32; plan.grid.width * plan.grid.height];
+    for t in 0..nt {
+        for span in plan.grid.row_spans(t) {
+            for c in &mut covered[span.range()] {
+                *c += 1;
+            }
+        }
+    }
+    if covered.iter().any(|&c| c != 1) {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "grid {}x{} does not tile the {}x{} frame exactly once",
+                plan.grid.tiles_x, plan.grid.tiles_y, plan.grid.width, plan.grid.height
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A composition plan of either family — span schedules or tile ownership
+/// — so pipelines, benches and streams dispatch on one value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComposePlan {
+    /// A step-structured span schedule ([`crate::method::Method`]'s
+    /// schedule-compiling variants).
+    Schedule(Schedule),
+    /// A tile-ownership plan.
+    Tiles(TilePlan),
+}
+
+impl ComposePlan {
+    /// Number of ranks the plan was built for.
+    pub fn p(&self) -> usize {
+        match self {
+            ComposePlan::Schedule(s) => s.p,
+            ComposePlan::Tiles(t) => t.p,
+        }
+    }
+
+    /// Pixels per partial image.
+    pub fn image_len(&self) -> usize {
+        match self {
+            ComposePlan::Schedule(s) => s.image_len,
+            ComposePlan::Tiles(t) => t.grid.width * t.grid.height,
+        }
+    }
+
+    /// Display name of the compiled method.
+    pub fn method_name(&self) -> &str {
+        match self {
+            ComposePlan::Schedule(s) => &s.method,
+            ComposePlan::Tiles(t) => &t.method,
+        }
+    }
+
+    /// Verify the plan's invariants ([`verify_schedule`] or
+    /// [`verify_tile_plan`]).
+    pub fn verify(&self) -> Result<(), CoreError> {
+        match self {
+            ComposePlan::Schedule(s) => verify_schedule(s),
+            ComposePlan::Tiles(t) => verify_tile_plan(t),
+        }
+    }
+}
+
+/// Execute either plan family on this rank — dispatches to
+/// [`crate::exec::compose_with_scratch`] or [`compose_tiles`].
+pub fn compose_plan<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &ComposePlan,
+    local: Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+) -> Result<ComposeOutput<P>, CoreError> {
+    match plan {
+        ComposePlan::Schedule(s) => {
+            crate::exec::compose_with_scratch(ctx, s, local, config, scratch)
+        }
+        ComposePlan::Tiles(t) => compose_tiles(ctx, t, local, config, scratch),
+    }
+}
+
+/// Manifest bitmap: bit `t` set when the sender will ship tile `t`.
+fn manifest_bytes(have: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; have.len().div_ceil(8)];
+    for (t, &h) in have.iter().enumerate() {
+        if h {
+            bytes[t / 8] |= 1 << (t % 8);
+        }
+    }
+    bytes
+}
+
+/// Read bit `t` of a manifest (an absent manifest reads all-blank).
+fn manifest_bit(manifest: Option<&Vec<u8>>, t: usize) -> bool {
+    manifest.is_some_and(|m| m.get(t / 8).is_some_and(|b| b & (1 << (t % 8)) != 0))
+}
+
+/// Lowest live rank strictly "after" `dead` cyclically — the deterministic
+/// reassignment every survivor computes identically from the agreed
+/// crashed set.
+fn next_live_owner(
+    dead: usize,
+    p: usize,
+    crashed: &BTreeMap<usize, usize>,
+) -> Result<usize, CoreError> {
+    (1..=p)
+        .map(|k| (dead + k) % p)
+        .find(|r| !crashed.contains_key(r))
+        .ok_or(CoreError::AllRanksFailed { p })
+}
+
+/// Execute a [`TilePlan`] on this rank with `local` as the rank's rendered
+/// partial. Depth position of each rank comes from the plan's
+/// `rank_at_depth` (identity unless permuted — see [`TilePlan::permute`]).
+///
+/// Crash semantics (resilient mode): a fault-plan step of `0` fails the
+/// rank before any traffic (its whole contribution is lost), `1` after
+/// compositing but before the gather (only its *owned tiles* are lost;
+/// tiles it shipped to live owners survive). Either triggers the
+/// deterministic repair round that reassigns dead owners' tiles to the
+/// next live rank and re-collects the survivors' content for them.
+pub fn compose_tiles<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &TilePlan,
+    mut local: Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+) -> Result<ComposeOutput<P>, CoreError> {
+    let me = ctx.rank();
+    let p = plan.p;
+    if p != ctx.size() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!("plan built for {p} ranks, machine has {}", ctx.size()),
+        });
+    }
+    if plan.grid.width != local.width() || plan.grid.height != local.height() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "plan built for {}x{} frames, image is {}x{}",
+                plan.grid.width,
+                plan.grid.height,
+                local.width(),
+                local.height()
+            ),
+        });
+    }
+    if let Some(wall) = config.display {
+        wall.validate(p)?;
+    }
+    let codec = config.codec.build::<P>();
+    let raw = config.codec == CodecKind::Raw;
+    let wide_requested = config.kernel == KernelPath::Wide;
+    let wide_active = wide_requested && P::HAS_WIDE_KERNEL;
+    let count_kernel_pixels = move |c: &mut rt_obs::Counters, source_pixels: u64| {
+        if wide_active {
+            c.wide_kernel_pixels += source_pixels;
+        } else {
+            c.scalar_kernel_pixels += source_pixels;
+        }
+        if wide_requested && !wide_active {
+            c.kernel_fallbacks += 1;
+        }
+    };
+    let nt = plan.grid.tiles();
+
+    // Fail-stop points: 0 = before any traffic, 1 = after compose. Only
+    // honored in resilient mode (mirrors the schedule executor).
+    let my_crash = if config.resilient {
+        ctx.my_crash_step().filter(|k| *k <= 1)
+    } else {
+        None
+    };
+
+    ctx.mark("compose:start");
+    if my_crash == Some(0) {
+        ctx.announce_death(0);
+        ctx.mark("compose:crashed");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels: 0,
+            degraded: Some(DegradedInfo::self_crash(me, 0)),
+        });
+    }
+    ctx.mark("step:0");
+
+    // ---- Scan: which of this rank's tiles carry any content. ----------
+    let mut have = vec![false; nt];
+    for (t, have_t) in have.iter_mut().enumerate() {
+        for span in plan.grid.row_spans(t) {
+            if local.span_pixels(span)?.iter().any(|px| !px.is_blank()) {
+                *have_t = true;
+                break;
+            }
+        }
+    }
+    let blank_tiles = have.iter().filter(|h| !**h).count() as u64;
+    ctx.obs_counters(|c| {
+        c.tiles_scanned += nt as u64;
+        c.tiles_blank += blank_tiles;
+    });
+
+    // Ranks that own at least one non-empty tile expect traffic.
+    let owner_ranks: Vec<usize> = (0..p).filter(|&r| plan.owned_area(r) > 0).collect();
+
+    // ---- Manifests: one fixed-size bitmap to every other owner rank. --
+    let manifest = manifest_bytes(&have);
+    for &r in &owner_ranks {
+        if r == me {
+            continue;
+        }
+        let wire = manifest.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes("tile-manifest", wire));
+        ctx.send(
+            r,
+            tile_tag(config.frame_tag, TILE_CH_MANIFEST, me as u64),
+            manifest.clone(),
+        )?;
+    }
+
+    // ---- Ship non-blank tiles straight to their owners. ---------------
+    for (t, &owner) in plan.owner_of.iter().enumerate() {
+        if !have[t] || owner == me || plan.grid.area(t) == 0 {
+            continue;
+        }
+        let spans = plan.grid.row_spans(t);
+        let enc_started = ctx.obs_start();
+        let encoded = match config.path {
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for span in &spans {
+                    scratch
+                        .gather_pixels
+                        .extend_from_slice(local.span_pixels(*span)?);
+                }
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(plan.grid.area(t));
+                for span in &spans {
+                    pixels.extend(local.extract(*span)?);
+                }
+                codec.encode(&pixels)
+            }
+        };
+        ctx.obs_span(Phase::Encode, enc_started);
+        if !raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| {
+            c.tiles_sent += 1;
+            c.add_wire_bytes(config.codec.name(), wire);
+            if wide_active && config.path == ExecPath::Pooled {
+                c.wide_kernel_bytes += wire;
+            }
+        });
+        ctx.send(
+            owner,
+            tile_tag(config.frame_tag, TILE_CH_PAYLOAD, t as u64),
+            encoded.bytes,
+        )?;
+    }
+
+    // ---- Collect manifests (owners only), in rank order. --------------
+    let my_tiles = plan.tiles_of(me);
+    let mut have_of: Vec<Option<Vec<u8>>> = vec![None; p];
+    if !my_tiles.is_empty() {
+        for (src, slot) in have_of.iter_mut().enumerate() {
+            if src == me {
+                continue;
+            }
+            match ctx.recv(
+                src,
+                tile_tag(config.frame_tag, TILE_CH_MANIFEST, src as u64),
+            ) {
+                Ok(bytes) => *slot = Some(bytes.to_vec()),
+                // A confirmed-dead peer contributed nothing: an absent
+                // manifest reads all-blank, which is exact (blank is the
+                // identity of `over`).
+                Err(CommError::RankFailed { .. }) if config.resilient => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    // ---- Composite owned tiles: strict front-to-back left fold. -------
+    for &t in &my_tiles {
+        compose_one_tile(
+            ctx,
+            plan,
+            &mut local,
+            config,
+            scratch,
+            codec.as_ref(),
+            t,
+            &have,
+            |r, t| manifest_bit(have_of[r].as_ref(), t),
+            TILE_CH_PAYLOAD,
+            None,
+            &count_kernel_pixels,
+        )?;
+    }
+
+    ctx.mark("flush:start");
+    if my_crash == Some(1) {
+        ctx.announce_death(1);
+        ctx.mark("compose:crashed");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels: 0,
+            degraded: Some(DegradedInfo::self_crash(me, 1)),
+        });
+    }
+    ctx.mark("compose:end");
+
+    // ---- Failure agreement + tile-granular repair. --------------------
+    let mut effective_owner = plan.owner_of.clone();
+    let mut root = config.root;
+    let mut degraded: Option<DegradedInfo> = None;
+    let mut crashed: BTreeMap<usize, usize> = BTreeMap::new();
+    let crash_planned = config.resilient && ctx.planned_crashes().iter().any(|(_, k)| *k <= 1);
+    if crash_planned {
+        ctx.mark("repair:start");
+        let announced: Vec<(usize, usize)> = ctx
+            .planned_crashes()
+            .into_iter()
+            .filter(|&(_, k)| k <= 1)
+            .collect();
+        crashed = ctx.liveness_exchange(&announced)?;
+        if !crashed.is_empty() {
+            // Deterministic reassignment of dead owners' tiles.
+            let mut reassigned: Vec<usize> = Vec::new();
+            for (t, owner) in effective_owner.iter_mut().enumerate() {
+                if crashed.contains_key(owner) {
+                    *owner = next_live_owner(*owner, p, &crashed)?;
+                    if plan.grid.area(t) > 0 {
+                        reassigned.push(t);
+                    }
+                }
+            }
+            // Repair round: every live rank re-announces its content to
+            // the new owners, then re-ships the non-blank reassigned
+            // tiles. The new owner re-folds from the *live* ranks only —
+            // the dead owner's own content died with it.
+            let new_owners: std::collections::BTreeSet<usize> =
+                reassigned.iter().map(|&t| effective_owner[t]).collect();
+            for &o in &new_owners {
+                if o == me {
+                    continue;
+                }
+                let wire = manifest.len() as u64;
+                ctx.obs_counters(|c| c.add_wire_bytes("tile-manifest", wire));
+                ctx.send(
+                    o,
+                    tile_tag(config.frame_tag, TILE_CH_REPAIR_MANIFEST, me as u64),
+                    manifest.clone(),
+                )?;
+            }
+            for &t in &reassigned {
+                let owner = effective_owner[t];
+                if !have[t] || owner == me {
+                    continue;
+                }
+                let spans = plan.grid.row_spans(t);
+                let enc_started = ctx.obs_start();
+                let encoded = match config.path {
+                    ExecPath::Pooled => {
+                        scratch.gather_pixels.clear();
+                        for span in &spans {
+                            scratch
+                                .gather_pixels
+                                .extend_from_slice(local.span_pixels(*span)?);
+                        }
+                        codec.encode_with(&scratch.gather_pixels, config.kernel)
+                    }
+                    ExecPath::PerTransfer => {
+                        let mut pixels: Vec<P> = Vec::with_capacity(plan.grid.area(t));
+                        for span in &spans {
+                            pixels.extend(local.extract(*span)?);
+                        }
+                        codec.encode(&pixels)
+                    }
+                };
+                ctx.obs_span(Phase::Encode, enc_started);
+                if !raw {
+                    ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+                }
+                let wire = encoded.bytes.len() as u64;
+                ctx.obs_counters(|c| {
+                    c.tiles_sent += 1;
+                    c.add_wire_bytes(config.codec.name(), wire);
+                });
+                ctx.send(
+                    owner,
+                    tile_tag(config.frame_tag, TILE_CH_REPAIR_PAYLOAD, t as u64),
+                    encoded.bytes,
+                )?;
+            }
+            let my_new: Vec<usize> = reassigned
+                .iter()
+                .copied()
+                .filter(|&t| effective_owner[t] == me)
+                .collect();
+            if !my_new.is_empty() {
+                let mut rhave: Vec<Option<Vec<u8>>> = vec![None; p];
+                for (src, slot) in rhave.iter_mut().enumerate() {
+                    if src == me || crashed.contains_key(&src) {
+                        continue;
+                    }
+                    match ctx.recv(
+                        src,
+                        tile_tag(config.frame_tag, TILE_CH_REPAIR_MANIFEST, src as u64),
+                    ) {
+                        Ok(bytes) => *slot = Some(bytes.to_vec()),
+                        Err(CommError::RankFailed { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                for &t in &my_new {
+                    compose_one_tile(
+                        ctx,
+                        plan,
+                        &mut local,
+                        config,
+                        scratch,
+                        codec.as_ref(),
+                        t,
+                        &have,
+                        |r, t| manifest_bit(rhave[r].as_ref(), t),
+                        TILE_CH_REPAIR_PAYLOAD,
+                        Some(&crashed),
+                        &count_kernel_pixels,
+                    )?;
+                }
+            }
+            // What the degraded frame is missing: a step-0 crasher's
+            // content is absent everywhere; a step-1 crasher's content
+            // survives except on the tiles it owned (its composites died
+            // unreachable, and the repair re-folds survivors only).
+            let failed: Vec<(usize, usize)> = crashed.iter().map(|(&r, &k)| (r, k)).collect();
+            let image_len = plan.grid.width * plan.grid.height;
+            let any_step0 = crashed.values().any(|&k| k == 0);
+            let lost_pixels = if any_step0 {
+                image_len
+            } else {
+                reassigned.iter().map(|&t| plan.grid.area(t)).sum()
+            };
+            let lost_contributions: Vec<usize> = crashed
+                .iter()
+                .filter(|(&r, &k)| k == 0 || !plan.tiles_of(r).is_empty())
+                .map(|(&r, _)| r)
+                .collect();
+            let mut info = DegradedInfo {
+                failed,
+                lost_contributions,
+                lost_pixels,
+                reassigned_spans: reassigned.len(),
+                root_reassigned_to: None,
+            };
+            if crashed.contains_key(&root) {
+                let nr = crate::exec::elect_root(p, &crashed)?;
+                info.root_reassigned_to = Some(nr);
+                root = nr;
+            }
+            degraded = Some(info);
+        }
+        ctx.mark("repair:end");
+    }
+
+    let my_final: Vec<usize> = (0..nt)
+        .filter(|&t| effective_owner[t] == me && plan.grid.area(t) > 0)
+        .collect();
+    let owned_pixels: usize = my_final.iter().map(|&t| plan.grid.area(t)).sum();
+
+    if !config.gather {
+        ctx.mark("gather:end");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels,
+            degraded,
+        });
+    }
+
+    // ---- Gather: to the root, or to the display wall. ------------------
+    let tiles_of_eff = |r: usize| -> Vec<usize> {
+        (0..nt)
+            .filter(|&t| effective_owner[t] == r && plan.grid.area(t) > 0)
+            .collect()
+    };
+    let frame = match config.display {
+        None => gather_to_root(
+            ctx,
+            plan,
+            &local,
+            config,
+            scratch,
+            codec.as_ref(),
+            root,
+            &tiles_of_eff,
+            &crashed,
+        )?,
+        Some(wall) => gather_to_wall(
+            ctx,
+            plan,
+            &local,
+            config,
+            scratch,
+            codec.as_ref(),
+            wall,
+            &tiles_of_eff,
+            &crashed,
+        )?,
+    };
+    ctx.mark("gather:end");
+
+    Ok(ComposeOutput {
+        frame,
+        owned_pixels,
+        degraded,
+    })
+}
+
+/// Left-fold one owned tile in depth order: blank accumulator, local
+/// content merged at this rank's depth slot, remote payloads streamed
+/// through the fused kernels on arrival. Writes the finished tile back
+/// into `local`.
+#[allow(clippy::too_many_arguments)]
+fn compose_one_tile<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &TilePlan,
+    local: &mut Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn Codec<P>,
+    t: usize,
+    have: &[bool],
+    expects: impl Fn(usize, usize) -> bool,
+    channel: u64,
+    skip: Option<&BTreeMap<usize, usize>>,
+    count_kernel_pixels: &impl Fn(&mut rt_obs::Counters, u64),
+) -> Result<(), CoreError> {
+    let me = ctx.rank();
+    let raw = config.codec == CodecKind::Raw;
+    let area = plan.grid.area(t);
+    let spans = plan.grid.row_spans(t);
+    let mut acc = scratch.take_acc(area, ctx);
+    for d in 0..plan.p {
+        let r = plan.rank_at_depth[d];
+        if skip.is_some_and(|dead| dead.contains_key(&r)) {
+            continue;
+        }
+        if r == me {
+            if !have[t] {
+                continue;
+            }
+            // Fold the local tile at its depth position: acc = acc over
+            // local (the incoming piece is deeper than everything folded
+            // so far).
+            let over_started = ctx.obs_start();
+            let mut non_blank = 0usize;
+            let mut at = 0usize;
+            for span in &spans {
+                for (a, s) in acc[at..at + span.len]
+                    .iter_mut()
+                    .zip(local.span_pixels(*span)?)
+                {
+                    if !s.is_blank() {
+                        non_blank += 1;
+                    }
+                    *a = a.over(s);
+                }
+                at += span.len;
+            }
+            ctx.obs_span(Phase::Over, over_started);
+            ctx.obs_counters(|c| {
+                c.non_blank_merged += non_blank as u64;
+                c.blank_skipped += (area - non_blank) as u64;
+            });
+            let over_units = if raw { area } else { non_blank };
+            ctx.compute(ComputeKind::Over, over_units as u64);
+            continue;
+        }
+        if !expects(r, t) {
+            continue;
+        }
+        let bytes = match ctx.recv(r, tile_tag(config.frame_tag, channel, t as u64)) {
+            Ok(bytes) => bytes,
+            Err(CommError::RankFailed { .. }) if config.resilient => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if !raw {
+            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+        }
+        match config.path {
+            ExecPath::Pooled => {
+                let over_started = ctx.obs_start();
+                let stats =
+                    codec.decode_over_with(&bytes, &mut acc, OverDir::Back, config.kernel)?;
+                ctx.obs_span(Phase::Over, over_started);
+                let wire = bytes.len() as u64;
+                let wide_active = config.kernel == KernelPath::Wide && P::HAS_WIDE_KERNEL;
+                ctx.obs_counters(|c| {
+                    c.tiles_recv += 1;
+                    c.non_blank_merged += stats.non_blank as u64;
+                    c.blank_skipped += stats.blank_skipped as u64;
+                    c.opaque_fast += stats.opaque_fast as u64;
+                    count_kernel_pixels(c, stats.source_pixels() as u64);
+                    if wide_active {
+                        c.wide_kernel_bytes += wire;
+                    }
+                });
+                let over_units = if raw { area } else { stats.non_blank };
+                ctx.compute(ComputeKind::Over, over_units as u64);
+            }
+            ExecPath::PerTransfer => {
+                let dec_started = ctx.obs_start();
+                let pixels: Vec<P> = codec.decode(&bytes, area)?;
+                ctx.obs_span(Phase::Decode, dec_started);
+                let over_units = if raw {
+                    area
+                } else {
+                    pixels.iter().filter(|p| !p.is_blank()).count()
+                };
+                ctx.obs_counters(|c| c.tiles_recv += 1);
+                ctx.compute(ComputeKind::Over, over_units as u64);
+                let over_started = ctx.obs_start();
+                for (a, s) in acc.iter_mut().zip(&pixels) {
+                    *a = a.over(s);
+                }
+                ctx.obs_span(Phase::Over, over_started);
+            }
+        }
+    }
+    let mut at = 0usize;
+    for span in &spans {
+        local.insert(*span, &acc[at..at + span.len])?;
+        at += span.len;
+    }
+    scratch.put_acc(acc);
+    Ok(())
+}
+
+/// Classic gather for the tile path: every effective owner ships one
+/// message with its tiles concatenated (tile order, row order); the root
+/// scatters them into the frame.
+#[allow(clippy::too_many_arguments)]
+fn gather_to_root<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &TilePlan,
+    local: &Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn Codec<P>,
+    root: usize,
+    tiles_of_eff: &impl Fn(usize) -> Vec<usize>,
+    crashed: &BTreeMap<usize, usize>,
+) -> Result<Option<Image<P>>, CoreError> {
+    let me = ctx.rank();
+    let raw = config.codec == CodecKind::Raw;
+    let mine = tiles_of_eff(me);
+    if me != root && !mine.is_empty() {
+        let total: usize = mine.iter().map(|&t| plan.grid.area(t)).sum();
+        let enc_started = ctx.obs_start();
+        let encoded = match config.path {
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for &t in &mine {
+                    for span in plan.grid.row_spans(t) {
+                        scratch
+                            .gather_pixels
+                            .extend_from_slice(local.span_pixels(span)?);
+                    }
+                }
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(total);
+                for &t in &mine {
+                    for span in plan.grid.row_spans(t) {
+                        pixels.extend(local.extract(span)?);
+                    }
+                }
+                codec.encode(&pixels)
+            }
+        };
+        if !raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        ctx.obs_span(Phase::Encode, enc_started);
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
+        ctx.send(
+            root,
+            tile_tag(config.frame_tag, TILE_CH_GATHER, me as u64),
+            encoded.bytes,
+        )?;
+    }
+    if me != root {
+        return Ok(None);
+    }
+    let mut frame = Image::blank(plan.grid.width, plan.grid.height);
+    for owner in 0..plan.p {
+        if crashed.contains_key(&owner) {
+            continue;
+        }
+        let tiles = tiles_of_eff(owner);
+        if tiles.is_empty() {
+            continue;
+        }
+        let total: usize = tiles.iter().map(|&t| plan.grid.area(t)).sum();
+        if owner == me {
+            for &t in &tiles {
+                for span in plan.grid.row_spans(t) {
+                    frame.insert(span, local.span_pixels(span)?)?;
+                }
+            }
+            continue;
+        }
+        let bytes = ctx.recv(
+            owner,
+            tile_tag(config.frame_tag, TILE_CH_GATHER, owner as u64),
+        )?;
+        if !raw {
+            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+        }
+        let dec_started = ctx.obs_start();
+        let mut staged = scratch.take_acc(total, ctx);
+        match config.path {
+            ExecPath::Pooled => {
+                // `over` in front of a blank accumulator is an exact copy.
+                codec.decode_over_with(&bytes, &mut staged, OverDir::Front, config.kernel)?;
+            }
+            ExecPath::PerTransfer => {
+                let pixels: Vec<P> = codec.decode(&bytes, total)?;
+                staged.clone_from_slice(&pixels);
+            }
+        }
+        let mut at = 0usize;
+        for &t in &tiles {
+            for span in plan.grid.row_spans(t) {
+                frame.insert(span, &staged[at..at + span.len])?;
+                at += span.len;
+            }
+        }
+        scratch.put_acc(staged);
+        ctx.obs_span(Phase::Decode, dec_started);
+    }
+    Ok(Some(frame))
+}
+
+/// Display-wall gather for the tile path: each effective owner ships, per
+/// display cell it overlaps, one message with the overlap segments
+/// concatenated; each display rank assembles its own cell-sized
+/// framebuffer. Returns the cell image on display ranks, `None` elsewhere.
+#[allow(clippy::too_many_arguments)]
+fn gather_to_wall<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &TilePlan,
+    local: &Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn Codec<P>,
+    wall: DisplayWall,
+    tiles_of_eff: &impl Fn(usize) -> Vec<usize>,
+    crashed: &BTreeMap<usize, usize>,
+) -> Result<Option<Image<P>>, CoreError> {
+    let me = ctx.rank();
+    let raw = config.codec == CodecKind::Raw;
+    let (w, h) = (plan.grid.width, plan.grid.height);
+    // Segments of `owner`'s tiles inside cell `d`, in deterministic
+    // (tile, row) order: both sides compute the same list locally.
+    let segments = |owner: usize, cell: Rect| -> Result<Vec<(Span, usize)>, CoreError> {
+        let mut segs = Vec::new();
+        for t in tiles_of_eff(owner) {
+            for span in plan.grid.row_spans(t) {
+                segs.extend(span_cell_segments(span, w, cell));
+            }
+        }
+        Ok(segs)
+    };
+    let mine = tiles_of_eff(me);
+    for d in 0..wall.count() {
+        let drank = wall.rank_of(d);
+        if drank == me || mine.is_empty() || crashed.contains_key(&drank) {
+            continue;
+        }
+        let cell = wall.cell_rect(d, w, h);
+        let segs = segments(me, cell)?;
+        if segs.is_empty() {
+            continue;
+        }
+        let total: usize = segs.iter().map(|(s, _)| s.len).sum();
+        let enc_started = ctx.obs_start();
+        let encoded = match config.path {
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for (seg, _) in &segs {
+                    scratch
+                        .gather_pixels
+                        .extend_from_slice(local.span_pixels(*seg)?);
+                }
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(total);
+                for (seg, _) in &segs {
+                    pixels.extend(local.extract(*seg)?);
+                }
+                codec.encode(&pixels)
+            }
+        };
+        if !raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        ctx.obs_span(Phase::Encode, enc_started);
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes(config.codec.name(), wire));
+        ctx.send(
+            drank,
+            tile_tag(
+                config.frame_tag,
+                TILE_CH_GATHER,
+                ((d as u64) << 20) | me as u64,
+            ),
+            encoded.bytes,
+        )?;
+    }
+    let Some(d) = wall.display_of(me) else {
+        return Ok(None);
+    };
+    let cell = wall.cell_rect(d, w, h);
+    let mut out = Image::blank(cell.width(), cell.height());
+    for owner in 0..plan.p {
+        if crashed.contains_key(&owner) {
+            continue;
+        }
+        let segs = segments(owner, cell)?;
+        if segs.is_empty() {
+            continue;
+        }
+        if owner == me {
+            for (seg, local_at) in &segs {
+                out.insert(Span::new(*local_at, seg.len), local.span_pixels(*seg)?)?;
+            }
+            continue;
+        }
+        let bytes = ctx.recv(
+            owner,
+            tile_tag(
+                config.frame_tag,
+                TILE_CH_GATHER,
+                ((d as u64) << 20) | owner as u64,
+            ),
+        )?;
+        if !raw {
+            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+        }
+        let total: usize = segs.iter().map(|(s, _)| s.len).sum();
+        let dec_started = ctx.obs_start();
+        let mut staged = scratch.take_acc(total, ctx);
+        match config.path {
+            ExecPath::Pooled => {
+                codec.decode_over_with(&bytes, &mut staged, OverDir::Front, config.kernel)?;
+            }
+            ExecPath::PerTransfer => {
+                let pixels: Vec<P> = codec.decode(&bytes, total)?;
+                staged.clone_from_slice(&pixels);
+            }
+        }
+        let mut at = 0usize;
+        for (seg, local_at) in &segs {
+            out.insert(Span::new(*local_at, seg.len), &staged[at..at + seg.len])?;
+            at += seg.len;
+        }
+        scratch.put_acc(staged);
+        ctx.obs_span(Phase::Decode, dec_started);
+    }
+    Ok(Some(out))
+}
+
+/// Convenience harness: run `plan` over a fresh multicomputer with the
+/// given per-rank partial images (`partials[d]` at depth position `d`
+/// under the identity depth order), returning per-rank outputs and the
+/// trace — the tile path's [`crate::exec::run_composition`].
+pub fn run_tile_composition<P: Pixel>(
+    plan: &TilePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    run_tile_composition_faulty(plan, partials, config, FaultPlan::none())
+}
+
+/// [`run_tile_composition`] with fault injection installed.
+pub fn run_tile_composition_faulty<P: Pixel>(
+    plan: &TilePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    faults: FaultPlan,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        plan.p,
+        "one partial image per rank required"
+    );
+    let mc = Machine::build(plan.p, config, faults, None);
+    let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = Scratch::new();
+        compose_tiles(ctx, plan, local, config, &mut scratch)
+    })
+}
+
+/// [`run_tile_composition`] backed by a caller-held [`ScratchPool`], so
+/// repeated invocations reuse each rank's buffers across frames.
+pub fn run_tile_composition_pooled<P: Pixel>(
+    plan: &TilePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    pool: &ScratchPool<P>,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        plan.p,
+        "one partial image per rank required"
+    );
+    let mc = Machine::build(plan.p, config, FaultPlan::none(), None);
+    let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = pool.checkout(ctx.rank());
+        let out = compose_tiles(ctx, plan, local, config, &mut scratch);
+        pool.checkin(ctx.rank(), scratch);
+        out
+    })
+}
+
+/// [`run_tile_composition_pooled`] with wall-clock observability installed
+/// (spans and counters accumulate into `observer`; the trace and frames
+/// are identical to an unobserved run).
+pub fn run_tile_composition_observed<P: Pixel>(
+    plan: &TilePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    pool: &ScratchPool<P>,
+    observer: Arc<Observer>,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        plan.p,
+        "one partial image per rank required"
+    );
+    let mc = Machine::build(plan.p, config, FaultPlan::none(), Some(observer));
+    let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = pool.checkout(ctx.rank());
+        let out = compose_tiles(ctx, plan, local, config, &mut scratch);
+        pool.checkin(ctx.rank(), scratch);
+        out
+    })
+}
+
+/// Run a [`ComposePlan`] of either family over a fresh multicomputer.
+pub fn run_plan_composition<P: Pixel>(
+    plan: &ComposePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    run_plan_composition_faulty(plan, partials, config, FaultPlan::none())
+}
+
+/// [`run_plan_composition`] with fault injection installed.
+pub fn run_plan_composition_faulty<P: Pixel>(
+    plan: &ComposePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    faults: FaultPlan,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        plan.p(),
+        "one partial image per rank required"
+    );
+    let mc = Machine::build(plan.p(), config, faults, None);
+    let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = Scratch::new();
+        compose_plan(ctx, plan, local, config, &mut scratch)
+    })
+}
+
+/// [`run_plan_composition`] backed by a caller-held [`ScratchPool`].
+pub fn run_plan_composition_pooled<P: Pixel>(
+    plan: &ComposePlan,
+    partials: Vec<Image<P>>,
+    config: &ComposeConfig,
+    pool: &ScratchPool<P>,
+) -> (Vec<Result<ComposeOutput<P>, CoreError>>, Trace) {
+    assert_eq!(
+        partials.len(),
+        plan.p(),
+        "one partial image per rank required"
+    );
+    let mc = Machine::build(plan.p(), config, FaultPlan::none(), None);
+    let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
+    mc.run(move |ctx| {
+        let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
+            .take()
+            .ok_or_else(|| CoreError::InvalidSchedule {
+                why: format!("rank {} has no partial image to compose", ctx.rank()),
+            })?;
+        let mut scratch = pool.checkout(ctx.rank());
+        let out = compose_plan(ctx, plan, local, config, &mut scratch);
+        pool.checkin(ctx.rank(), scratch);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_imaging::image::reference_composite;
+    use rt_imaging::pixel::{GrayAlpha8, Provenance};
+
+    fn provenance_partials(p: usize, w: usize, h: usize) -> Vec<Image<Provenance>> {
+        (0..p)
+            .map(|r| Image::from_fn(w, h, |_, _| Provenance::rank(r as u16)))
+            .collect()
+    }
+
+    fn gray_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+        (0..p)
+            .map(|r| {
+                Image::from_fn(w, h, |x, y| match (x + 2 * y + 3 * r) % 5 {
+                    0 | 1 => GrayAlpha8::blank(),
+                    2 => GrayAlpha8::new((60 * r + x) as u8, 255),
+                    _ => GrayAlpha8::new((40 * r + y) as u8, (x * 11 % 251) as u8),
+                })
+            })
+            .collect()
+    }
+
+    fn plan(p: usize, w: usize, h: usize, tx: usize, ty: usize) -> TilePlan {
+        TilePlan::new(p, TileGrid::new(w, h, tx, ty).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grid_tiles_cover_the_frame() {
+        for (w, h, tx, ty) in [(16, 16, 4, 4), (17, 11, 4, 3), (5, 5, 1, 1), (3, 3, 5, 5)] {
+            verify_tile_plan(&plan(3, w, h, tx, ty)).unwrap();
+        }
+    }
+
+    #[test]
+    fn provenance_composite_is_complete_at_root() {
+        let plan = plan(4, 16, 16, 4, 4);
+        let (results, _) = run_tile_composition(
+            &plan,
+            provenance_partials(4, 16, 16),
+            &ComposeConfig::default(),
+        );
+        let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+        assert!(frame
+            .pixels()
+            .iter()
+            .all(|px| *px == Provenance::complete(4)));
+        let owned: usize = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().owned_pixels)
+            .sum();
+        assert_eq!(owned, 256);
+    }
+
+    #[test]
+    fn gray_composite_is_byte_identical_to_reference_fold() {
+        // The left-fold association makes the tile path byte-identical to
+        // the sequential reference even on saturating integer pixels —
+        // across codecs, tile shapes and owner maps.
+        let partials = gray_partials(5, 24, 18);
+        let want = reference_composite(&partials).unwrap();
+        for codec in CodecKind::ALL {
+            for (tx, ty) in [(1, 1), (3, 2), (5, 5), (24, 18)] {
+                let plan = plan(5, 24, 18, tx, ty);
+                let (results, _) = run_tile_composition(
+                    &plan,
+                    partials.clone(),
+                    &ComposeConfig::default().with_codec(codec),
+                );
+                let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+                assert_eq!(
+                    frame.pixels(),
+                    want.pixels(),
+                    "codec {codec:?}, grid {tx}x{ty}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_depth_order_still_matches_reference() {
+        let partials = gray_partials(4, 12, 12);
+        let want = reference_composite(&partials).unwrap();
+        // Physical rank r holds the partial at depth position perm^-1(r).
+        let rank_of_depth = vec![2usize, 0, 3, 1];
+        let plan = plan(4, 12, 12, 2, 3).permute(&rank_of_depth).unwrap();
+        // Scatter the depth-ordered partials onto physical ranks.
+        let mut physical: Vec<Option<Image<GrayAlpha8>>> = vec![None; 4];
+        for (d, img) in partials.into_iter().enumerate() {
+            physical[rank_of_depth[d]] = Some(img);
+        }
+        let physical: Vec<_> = physical.into_iter().map(Option::unwrap).collect();
+        let (results, _) = run_tile_composition(&plan, physical, &ComposeConfig::default());
+        let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+        assert_eq!(frame.pixels(), want.pixels());
+    }
+
+    #[test]
+    fn pooled_and_per_transfer_paths_are_trace_identical() {
+        for codec in CodecKind::ALL {
+            let plan = plan(4, 16, 16, 4, 2);
+            let partials = gray_partials(4, 16, 16);
+            let pooled = ComposeConfig::default().with_codec(codec);
+            let per = pooled.with_path(ExecPath::PerTransfer);
+            let (r_pooled, t_pooled) = run_tile_composition(&plan, partials.clone(), &pooled);
+            let (r_per, t_per) = run_tile_composition(&plan, partials, &per);
+            assert_eq!(t_pooled, t_per, "{codec:?}: traces must be bit-identical");
+            assert_eq!(r_pooled, r_per, "{codec:?}: outputs must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn kernel_paths_are_trace_identical() {
+        for codec in CodecKind::ALL {
+            let plan = plan(4, 16, 16, 3, 3);
+            let partials = gray_partials(4, 16, 16);
+            let scalar = ComposeConfig::default()
+                .with_codec(codec)
+                .with_kernel(KernelPath::Scalar);
+            let wide = scalar.with_kernel(KernelPath::Wide);
+            let (r_s, t_s) = run_tile_composition(&plan, partials.clone(), &scalar);
+            let (r_w, t_w) = run_tile_composition(&plan, partials, &wide);
+            assert_eq!(t_s, t_w, "{codec:?}");
+            assert_eq!(r_s, r_w, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn display_wall_cells_match_the_root_frame() {
+        let partials = gray_partials(6, 32, 16);
+        let tplan = plan(6, 32, 16, 4, 4);
+        let (root_results, _) =
+            run_tile_composition(&tplan, partials.clone(), &ComposeConfig::default());
+        let want = root_results[0].as_ref().unwrap().frame.clone().unwrap();
+        let wall = DisplayWall::new(2, 1).with_base(1);
+        let config = ComposeConfig::default().with_display_wall(wall);
+        let (results, _) = run_tile_composition(&tplan, partials, &config);
+        for d in 0..wall.count() {
+            let cell = wall.cell_rect(d, 32, 16);
+            let out = results[wall.rank_of(d)].as_ref().unwrap();
+            let img = out.frame.as_ref().expect("display rank holds its cell");
+            assert_eq!((img.width(), img.height()), (cell.width(), cell.height()));
+            for y in 0..cell.height() {
+                for x in 0..cell.width() {
+                    assert_eq!(
+                        img.pixels()[y * cell.width() + x],
+                        want.pixels()[(cell.y0 + y) * 32 + cell.x0 + x],
+                        "cell {d} at ({x},{y})"
+                    );
+                }
+            }
+        }
+        // Non-display ranks hold no frame.
+        assert!(results[0].as_ref().unwrap().frame.is_none());
+    }
+
+    #[test]
+    fn plan_rejects_bad_shapes() {
+        assert!(TileGrid::new(8, 8, 0, 2).is_err());
+        assert!(TilePlan::new(0, TileGrid::new(8, 8, 2, 2).unwrap()).is_err());
+        let p = plan(3, 8, 8, 2, 2);
+        assert!(p.permute(&[0, 1]).is_err());
+        assert!(p.permute(&[0, 1, 1]).is_err());
+        let mut bad = p.clone();
+        bad.owner_of[0] = 9;
+        assert!(verify_tile_plan(&bad).is_err());
+    }
+}

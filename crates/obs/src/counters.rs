@@ -61,6 +61,14 @@ pub struct Counters {
     /// Operations where the wide kernel was requested but the pixel type
     /// has no word-wise implementation, so the scalar path ran instead.
     pub kernel_fallbacks: u64,
+    /// Tiles scanned for blankness by the tile-ownership path.
+    pub tiles_scanned: u64,
+    /// Scanned tiles found fully blank (and therefore never shipped).
+    pub tiles_blank: u64,
+    /// Non-blank tile payloads sent to remote owner ranks.
+    pub tiles_sent: u64,
+    /// Tile payloads received and composited by owner ranks.
+    pub tiles_recv: u64,
     /// Wire bytes sent per codec name, as an ordered `(codec, bytes)` list.
     ///
     /// A list instead of a map so the derived serde impls apply; entries
@@ -105,6 +113,10 @@ impl Counters {
         self.wide_kernel_bytes += other.wide_kernel_bytes;
         self.scalar_kernel_pixels += other.scalar_kernel_pixels;
         self.kernel_fallbacks += other.kernel_fallbacks;
+        self.tiles_scanned += other.tiles_scanned;
+        self.tiles_blank += other.tiles_blank;
+        self.tiles_sent += other.tiles_sent;
+        self.tiles_recv += other.tiles_recv;
         for (codec, bytes) in &other.wire_bytes {
             self.add_wire_bytes(codec, *bytes);
         }
@@ -129,6 +141,10 @@ impl Counters {
             ("wide_kernel_bytes", self.wide_kernel_bytes),
             ("scalar_kernel_pixels", self.scalar_kernel_pixels),
             ("kernel_fallbacks", self.kernel_fallbacks),
+            ("tiles_scanned", self.tiles_scanned),
+            ("tiles_blank", self.tiles_blank),
+            ("tiles_sent", self.tiles_sent),
+            ("tiles_recv", self.tiles_recv),
         ]
     }
 }
@@ -168,6 +184,10 @@ mod tests {
             wide_kernel_bytes: 14,
             scalar_kernel_pixels: 15,
             kernel_fallbacks: 16,
+            tiles_scanned: 17,
+            tiles_blank: 18,
+            tiles_sent: 19,
+            tiles_recv: 20,
             wire_bytes: vec![("raw".into(), 100)],
         };
         let b = a.clone();
@@ -188,6 +208,10 @@ mod tests {
         assert_eq!(a.wide_kernel_bytes, 28);
         assert_eq!(a.scalar_kernel_pixels, 30);
         assert_eq!(a.kernel_fallbacks, 32);
+        assert_eq!(a.tiles_scanned, 34);
+        assert_eq!(a.tiles_blank, 36);
+        assert_eq!(a.tiles_sent, 38);
+        assert_eq!(a.tiles_recv, 40);
         assert_eq!(a.wire_bytes_for("raw"), 200);
     }
 

@@ -10,6 +10,7 @@
 
 use crate::PvrError;
 use rt_core::schedule::Schedule;
+use rt_core::tile::ComposePlan;
 
 /// Relabel `schedule` (depth-indexed) onto physical ranks:
 /// `rank_of_depth[d]` is the physical rank whose partial sits at depth
@@ -60,6 +61,16 @@ pub fn permute_schedule(
     Ok(out)
 }
 
+/// Relabel a [`ComposePlan`] of either family onto physical ranks —
+/// [`permute_schedule`] for span schedules,
+/// [`rt_core::tile::TilePlan::permute`] for tile-ownership plans.
+pub fn permute_plan(plan: &ComposePlan, rank_of_depth: &[usize]) -> Result<ComposePlan, PvrError> {
+    match plan {
+        ComposePlan::Schedule(s) => Ok(ComposePlan::Schedule(permute_schedule(s, rank_of_depth)?)),
+        ComposePlan::Tiles(t) => Ok(ComposePlan::Tiles(t.permute(rank_of_depth)?)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +104,26 @@ mod tests {
         for ((_, a), (_, b)) in s.final_owners.iter().zip(&q.final_owners) {
             assert_eq!(*b, perm[*a]);
         }
+    }
+
+    #[test]
+    fn tile_plans_permute_through_the_same_entry_point() {
+        use rt_core::method::Method;
+        let plan = Method::TileOwner {
+            tiles_x: 4,
+            tiles_y: 2,
+        }
+        .plan(4, 20, 20)
+        .unwrap();
+        let q = permute_plan(&plan, &[2, 0, 3, 1]).unwrap();
+        let (ComposePlan::Tiles(orig), ComposePlan::Tiles(perm)) = (&plan, &q) else {
+            panic!("tile-owner must stay a tile plan through permutation");
+        };
+        assert_eq!(perm.rank_at_depth, vec![2, 0, 3, 1]);
+        for (t, &owner) in orig.owner_of.iter().enumerate() {
+            assert_eq!(perm.owner_of[t], [2, 0, 3, 1][owner]);
+        }
+        assert!(permute_plan(&plan, &[0, 0, 1, 2]).is_err());
     }
 
     #[test]

@@ -6,14 +6,14 @@
 //! permuted onto the physical ranks for the current view, and the root
 //! finishes with the 2-D warp — the complete system of the paper.
 
-use crate::permute::permute_schedule;
+use crate::permute::permute_plan;
 use crate::PvrError;
 use rt_comm::{ComputeKind, FaultPlan, Trace};
 use rt_compress::CodecKind;
-use rt_core::exec::{compose_with_scratch, ComposeConfig, Machine, ScratchPool, TransportKind};
-use rt_core::method::{CompositionMethod, Method};
+use rt_core::exec::{ComposeConfig, Machine, ScratchPool, TransportKind};
+use rt_core::method::Method;
 use rt_core::repair::DegradedInfo;
-use rt_core::schedule::verify_schedule;
+use rt_core::tile::compose_plan;
 use rt_imaging::{GrayAlpha, Image};
 use rt_render::camera::{factorize, Camera};
 use rt_render::datasets::Dataset;
@@ -156,14 +156,15 @@ fn render_frame_inner(
     );
     let parts = partition_1d(&volume, p, f.axis)?;
     let rank_of_depth = depth_order(&parts, &f);
-    let image_len = f.inter_size.0 * f.inter_size.1;
 
-    // Compile and verify the schedule in depth coordinates, then relabel
-    // onto the physical ranks for this view.
-    let depth_schedule = config.method.build(p, image_len)?;
-    verify_schedule(&depth_schedule)?;
-    let schedule = permute_schedule(&depth_schedule, &rank_of_depth)?;
-    let method_name = depth_schedule.method.clone();
+    // Compile and verify the plan in depth coordinates, then relabel onto
+    // the physical ranks for this view. Step-structured methods compile to
+    // a span schedule; tile-ownership compiles to a tile plan — both run
+    // through the same dispatch below.
+    let depth_plan = config.method.plan(p, f.inter_size.0, f.inter_size.1)?;
+    depth_plan.verify()?;
+    let plan = permute_plan(&depth_plan, &rank_of_depth)?;
+    let method_name = depth_plan.method_name().to_string();
 
     let resilient = !faults.is_none();
     let compose_config = ComposeConfig::default()
@@ -190,7 +191,7 @@ fn render_frame_inner(
             Some(pool) => pool.checkout(ctx.rank()),
             None => Default::default(),
         };
-        let composed = compose_with_scratch(ctx, &schedule, partial, &compose_config, &mut scratch);
+        let composed = compose_plan(ctx, &plan, partial, &compose_config, &mut scratch);
         if let Some(pool) = pool {
             pool.checkin(ctx.rank(), scratch);
         }
@@ -267,6 +268,30 @@ mod tests {
                 out.frame.approx_eq(&want, 1e-3),
                 "{}: {:?}",
                 out.method_name,
+                out.frame.first_mismatch(&want, 1e-3)
+            );
+        }
+    }
+
+    #[test]
+    fn tile_owner_pipeline_matches_the_sequential_renderer() {
+        // The content-adaptive tile path rides the same pipeline dispatch,
+        // including the view permutation that reverses the depth order.
+        let mut config = PipelineConfig::small(Method::TileOwner {
+            tiles_x: 8,
+            tiles_y: 8,
+        });
+        for camera in [
+            Camera::yaw_pitch(0.3, 0.15),
+            Camera::yaw_pitch(std::f64::consts::PI, 0.0),
+        ] {
+            config.camera = camera;
+            let out = render_frame(4, &config).unwrap();
+            assert_eq!(out.method_name, "TO(8x8)");
+            let want = reference_frame(&config);
+            assert!(
+                out.frame.approx_eq(&want, 1e-3),
+                "{:?}",
                 out.frame.first_mismatch(&want, 1e-3)
             );
         }

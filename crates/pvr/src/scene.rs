@@ -10,8 +10,9 @@ use crate::PvrError;
 use rt_comm::Trace;
 use rt_compress::CodecKind;
 use rt_core::exec::{run_composition, ComposeConfig};
-use rt_core::method::CompositionMethod;
+use rt_core::method::{CompositionMethod, Method};
 use rt_core::schedule::verify_schedule;
+use rt_core::tile::run_plan_composition;
 use rt_imaging::{GrayAlpha, Image};
 use rt_render::camera::{factorize, Camera, Factorization};
 use rt_render::datasets::Dataset;
@@ -159,6 +160,32 @@ pub fn compose_scene(
     Ok((frame, trace))
 }
 
+/// [`compose_scene`] for a [`Method`] selector, dispatching through
+/// [`Method::plan`] — the entry point that also runs the tile-ownership
+/// family, which has no span schedule for [`compose_scene`] to build.
+pub fn compose_scene_method(
+    scene: &Scene,
+    method: Method,
+    codec: CodecKind,
+    gather: bool,
+) -> Result<(Option<Image<GrayAlpha>>, Trace), PvrError> {
+    let (w, h) = (scene.partials[0].width(), scene.partials[0].height());
+    let plan = method.plan(scene.p(), w, h)?;
+    plan.verify()?;
+    let config = ComposeConfig::default()
+        .with_codec(codec)
+        .with_gather(gather);
+    let (results, trace) = run_plan_composition(&plan, scene.partials.clone(), &config);
+    let mut frame = None;
+    for r in results {
+        let out = r?;
+        if out.frame.is_some() {
+            frame = out.frame;
+        }
+    }
+    Ok((frame, trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +232,26 @@ mod tests {
                 "{} diverges: {:?}",
                 m.name(),
                 frame.first_mismatch(&want, 1e-4)
+            );
+        }
+    }
+
+    #[test]
+    fn tile_owner_scene_matches_the_sequential_reference_exactly() {
+        // The tile path's left fold reproduces the reference fold — on
+        // rendered content the match is bit-exact, not approximate.
+        let scene = small_scene(4);
+        let want = scene.reference().unwrap();
+        for codec in CodecKind::ALL {
+            let method = Method::TileOwner {
+                tiles_x: 6,
+                tiles_y: 6,
+            };
+            let (frame, _) = compose_scene_method(&scene, method, codec, true).unwrap();
+            assert_eq!(
+                frame.unwrap().pixels(),
+                want.pixels(),
+                "codec {codec:?} diverges"
             );
         }
     }

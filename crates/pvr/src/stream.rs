@@ -44,14 +44,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{mpsc, Arc};
 
 use crate::animate::{orbit_cameras, FrameStats, OrbitConfig};
-use crate::permute::permute_schedule;
+use crate::permute::permute_plan;
 use crate::pipeline::PipelineConfig;
 use crate::PvrError;
 use rt_comm::{replay, ComputeKind, CostModel, FaultPlan, RankCtx, RankTrace, Trace};
-use rt_core::exec::{compose_with_scratch, ComposeConfig, Machine, ScratchPool, TransportKind};
-use rt_core::method::CompositionMethod;
+use rt_core::exec::{ComposeConfig, Machine, ScratchPool, TransportKind};
 use rt_core::repair::DegradedInfo;
-use rt_core::schedule::{verify_schedule, Schedule};
+use rt_core::tile::{compose_plan, ComposePlan};
 use rt_imaging::{GrayAlpha, Image};
 use rt_render::camera::{factorize, Camera, Factorization};
 use rt_render::partition::{depth_order, partition_1d, Subvolume};
@@ -259,7 +258,7 @@ struct FramePlan {
     f: Factorization,
     parts: Arc<Vec<Subvolume>>,
     rank_of_depth: Vec<usize>,
-    schedule: Arc<Schedule>,
+    compose: Arc<ComposePlan>,
 }
 
 /// What one rank reports for one frame.
@@ -316,10 +315,9 @@ fn plan_frames(
             }
         };
         let rank_of_depth = depth_order(&parts, &f);
-        let image_len = f.inter_size.0 * f.inter_size.1;
-        let depth_schedule = base.method.build(p, image_len)?;
-        verify_schedule(&depth_schedule)?;
-        let schedule = Arc::new(permute_schedule(&depth_schedule, &rank_of_depth)?);
+        let depth_plan = base.method.plan(p, f.inter_size.0, f.inter_size.1)?;
+        depth_plan.verify()?;
+        let compose = Arc::new(permute_plan(&depth_plan, &rank_of_depth)?);
         plans.push(FramePlan {
             index,
             yaw,
@@ -327,7 +325,7 @@ fn plan_frames(
             f,
             parts,
             rank_of_depth,
-            schedule,
+            compose,
         });
     }
     Ok((plans, tf))
@@ -457,8 +455,7 @@ fn stream_rank(
             // session-pooled scratch sets per rank.
             let slot = me * 2 + (k & 1);
             let mut scratch = pool.checkout(slot);
-            let composed =
-                compose_with_scratch(ctx, &plan.schedule, partial, &frame_cfg, &mut scratch);
+            let composed = compose_plan(ctx, &plan.compose, partial, &frame_cfg, &mut scratch);
             pool.checkin(slot, scratch);
             match composed {
                 Ok(band) => {

@@ -11,6 +11,14 @@
 #![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
+/// The composition-method field guide, compiled from `docs/METHODS.md` —
+/// one page per method (BS, PP, 2N_RT/N_RT, DS, TO) with data-flow
+/// diagrams, Table-1 / Eq. (5)/(6) cost references, codec interactions
+/// and when-to-use guidance. Included here so every Rust block in the
+/// guide compiles and runs under `cargo test --doc`.
+#[doc = include_str!("../docs/METHODS.md")]
+pub mod methods {}
+
 pub use rt_comm as comm;
 pub use rt_compress as compress;
 pub use rt_core as core;

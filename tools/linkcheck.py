@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Check relative markdown links across the repo's tracked *.md files.
+
+Verifies that every relative link target exists on disk and that every
+fragment (`#anchor`) resolves to a GitHub-style heading slug in the
+target markdown file. External links (http/https/mailto) are not
+fetched — CI must not depend on the network. Fenced code blocks and
+inline code spans are stripped before scanning so code that happens to
+look like `[x](y)` is never flagged.
+
+Usage: python3 tools/linkcheck.py   (from anywhere inside the repo)
+Exit status: 0 clean, 1 with one line per broken link on stderr.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Machine-retrieved reference material (paper OCR, related-work dumps):
+# their links point at scan assets that were never part of this repo.
+SKIP = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+FENCE = re.compile(r"^(```|~~~)")
+INLINE_CODE = re.compile(r"`[^`]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return Path(out.stdout.strip())
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        check=True,
+        capture_output=True,
+        text=True,
+        cwd=root,
+    )
+    return sorted(
+        {root / line for line in out.stdout.splitlines() if line and line not in SKIP}
+    )
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, near enough: lowercase, drop anything
+    that is not alphanumeric/space/hyphen/underscore, spaces become
+    hyphens. (Backticks in headings contribute their text only.)"""
+    text = heading.strip().lower().replace("`", "")
+    text = "".join(c for c in text if c.isalnum() or c in " -_")
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        slugs, counts = set(), {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            m = None if in_fence else HEADING.match(line)
+            if m:
+                slug = slugify(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def scannable_text(path: Path) -> str:
+    kept, in_fence = [], False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(INLINE_CODE.sub("", line))
+    return "\n".join(kept)
+
+
+def main() -> int:
+    root = repo_root()
+    anchor_cache: dict = {}
+    errors = []
+    files = tracked_markdown(root)
+    checked = 0
+    for md in files:
+        for target in LINK.findall(scannable_text(md)):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            target, _, fragment = target.partition("#")
+            dest = md if not target else (md.parent / target).resolve()
+            where = f"{md.relative_to(root)}: ({target}#{fragment})"
+            if not dest.exists():
+                errors.append(f"{where} target does not exist")
+                continue
+            if fragment:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue  # anchors into non-markdown: not ours to judge
+                if fragment not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{where} no heading for anchor")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"linkcheck: {checked} relative links across {len(files)} markdown files, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
