@@ -144,4 +144,20 @@ mkdir -p "$profile_dir"
 cargo run -q --release -p rt-bench --bin profile -- --smoke --out-dir "$profile_dir"
 ls "$profile_dir"/PROFILE_*.json >/dev/null
 
+echo "== scale smoke =="
+# The E11 hierarchical-compositing cell at P=256, in process: the
+# autotuner sweeps flat and two-level candidates, the binary executes
+# the pick and its strongest flat/hierarchical rivals, reconciles every
+# replayed timeline bit-exactly against its virtual-clock RankStats, and
+# asserts that the pick is the measured virtual-clock winner, that the
+# hierarchy beats the best flat method, and that its restricted topology
+# dials strictly fewer sockets than the full mesh. The bench-scale/v1
+# artifact is kept for inspection.
+scale_out=target/bench_scale_smoke.json
+rm -f "$scale_out"
+cargo run -q --release -p rt-bench --bin scale -- --smoke --out "$scale_out"
+test -s "$scale_out"
+grep -q '"schema": "bench-scale/v1"' "$scale_out"
+grep -q '"agree": true' "$scale_out"
+
 echo "CI gate passed."

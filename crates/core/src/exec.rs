@@ -225,6 +225,21 @@ impl Machine {
         faults: FaultPlan,
         observer: Option<Arc<Observer>>,
     ) -> Machine {
+        Machine::build_with_topology(p, config, faults, observer, None)
+    }
+
+    /// [`Machine::build`] with an optional connection [`rt_net::Topology`]
+    /// for the TCP backend: a plan that knows its communication graph
+    /// restricts establishment to exactly those links (`O(edges)` sockets
+    /// instead of the full `O(P²)` mesh). Ignored by the in-process
+    /// backend, which has no sockets to save.
+    pub fn build_with_topology(
+        p: usize,
+        config: &ComposeConfig,
+        faults: FaultPlan,
+        observer: Option<Arc<Observer>>,
+        topology: Option<rt_net::Topology>,
+    ) -> Machine {
         match config.transport {
             TransportKind::InProc => {
                 let mut mc = Multicomputer::new(p).with_faults(faults);
@@ -243,6 +258,9 @@ impl Machine {
                 }
                 if let Some(observer) = observer {
                     mc = mc.with_observer(observer);
+                }
+                if let Some(topology) = topology {
+                    mc = mc.with_topology(topology);
                 }
                 Machine::Tcp(Box::new(mc))
             }
@@ -378,6 +396,18 @@ pub struct ComposeOutput<P: Pixel> {
     pub frame: Option<Image<P>>,
     /// Pixels this rank finally owned (its contribution to the gather).
     pub owned_pixels: usize,
+    /// The final ownership map the run actually used — the schedule's
+    /// `final_owners` after any failure repair reassignments. Rank ids are
+    /// world-local (the machine the schedule ran on). Empty when this rank
+    /// itself crashed. The hierarchical executor reads this to route its
+    /// cross-level gathers; callers that skip the gather can use it to
+    /// collect the distributed result themselves.
+    pub owners: Vec<(Span, usize)>,
+    /// This rank's working image after composition, returned so a caller
+    /// running a larger protocol (the hierarchical executor, or a custom
+    /// collection) can read the spans `owners` assigns to this rank.
+    /// `None` only when this rank crashed.
+    pub residual: Option<Image<P>>,
     /// `Some` when the run completed without the full set of
     /// contributions: rank failures occurred and the frame is the exact
     /// composite of the survivors (or this rank itself crashed).
@@ -392,7 +422,7 @@ pub struct ComposeOutput<P: Pixel> {
 /// distinct starts. The step index must stay below 256 so it cannot bleed
 /// into the frame namespace at bit [`rt_comm::FRAME_TAG_SHIFT`]; every
 /// schedule in this repository is orders of magnitude below that.
-fn tag(frame_tag: u64, step: usize, span_start: usize) -> u64 {
+pub(crate) fn tag(frame_tag: u64, step: usize, span_start: usize) -> u64 {
     debug_assert!(
         (step as u64) < (1 << (rt_comm::FRAME_TAG_SHIFT - 40)),
         "step index {step} overflows into the frame tag namespace"
@@ -507,6 +537,8 @@ pub fn compose_with_scratch<P: Pixel>(
             return Ok(ComposeOutput {
                 frame: None,
                 owned_pixels: 0,
+                owners: Vec::new(),
+                residual: None,
                 degraded: Some(DegradedInfo::self_crash(me, k)),
             });
         }
@@ -700,6 +732,8 @@ pub fn compose_with_scratch<P: Pixel>(
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels: 0,
+            owners: Vec::new(),
+            residual: None,
             degraded: Some(DegradedInfo::self_crash(me, steps_len)),
         });
     }
@@ -821,6 +855,8 @@ pub fn compose_with_scratch<P: Pixel>(
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels,
+            owners,
+            residual: Some(local),
             degraded,
         });
     }
@@ -856,9 +892,62 @@ pub fn compose_with_scratch<P: Pixel>(
         return Ok(ComposeOutput {
             frame,
             owned_pixels,
+            owners,
+            residual: Some(local),
             degraded,
         });
     }
+    let frame = gather_spans_to_root(
+        ctx,
+        &spans_of,
+        &local,
+        root,
+        config,
+        scratch,
+        codec.as_ref(),
+        gather_step,
+    )?;
+    ctx.mark("gather:end");
+
+    Ok(ComposeOutput {
+        frame,
+        owned_pixels,
+        owners,
+        residual: Some(local),
+        degraded,
+    })
+}
+
+/// Root-gather stage shared by the flat and hierarchical executors: each
+/// owner ships ONE message carrying all its final spans concatenated in
+/// span order (the coalesced collection a real system would do with
+/// `MPI_Gatherv`), tagged at `gather_step`; the root assembles the frame.
+/// Returns the frame at the root, `None` elsewhere. Ranks owning nothing
+/// send nothing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_spans_to_root<P: Pixel>(
+    ctx: &mut RankCtx,
+    spans_of: &[Vec<Span>],
+    local: &Image<P>,
+    root: usize,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn rt_compress::Codec<P>,
+    gather_step: usize,
+) -> Result<Option<Image<P>>, CoreError> {
+    let me = ctx.rank();
+    let wide_requested = config.kernel == KernelPath::Wide;
+    let wide_active = wide_requested && P::HAS_WIDE_KERNEL;
+    let count_kernel_pixels = move |c: &mut rt_obs::Counters, source_pixels: u64| {
+        if wide_active {
+            c.wide_kernel_pixels += source_pixels;
+        } else {
+            c.scalar_kernel_pixels += source_pixels;
+        }
+        if wide_requested && !wide_active {
+            c.kernel_fallbacks += 1;
+        }
+    };
     let mut frame = (me == root).then(|| Image::blank(local.width(), local.height()));
     if me != root && !spans_of[me].is_empty() {
         let enc_started = ctx.obs_start();
@@ -874,7 +963,8 @@ pub fn compose_with_scratch<P: Pixel>(
                 codec.encode_with(&scratch.gather_pixels, config.kernel)
             }
             ExecPath::PerTransfer => {
-                let mut pixels: Vec<P> = Vec::with_capacity(owned_pixels);
+                let cap: usize = spans_of[me].iter().map(|s| s.len).sum();
+                let mut pixels: Vec<P> = Vec::with_capacity(cap);
                 for span in &spans_of[me] {
                     pixels.extend(local.extract(*span)?);
                 }
@@ -976,13 +1066,7 @@ pub fn compose_with_scratch<P: Pixel>(
             }
         }
     }
-    ctx.mark("gather:end");
-
-    Ok(ComposeOutput {
-        frame,
-        owned_pixels,
-        degraded,
-    })
+    Ok(frame)
 }
 
 /// Display-wall gather for the schedule path: each final owner ships, per
@@ -991,7 +1075,7 @@ pub fn compose_with_scratch<P: Pixel>(
 /// cell-sized framebuffer. Returns the cell image on display ranks, `None`
 /// elsewhere. Dead ranks (post-repair) neither send nor receive.
 #[allow(clippy::too_many_arguments)]
-fn gather_spans_to_wall<P: Pixel>(
+pub(crate) fn gather_spans_to_wall<P: Pixel>(
     ctx: &mut RankCtx,
     spans_of: &[Vec<Span>],
     local: &Image<P>,

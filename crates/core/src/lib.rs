@@ -71,8 +71,10 @@ pub mod binary_swap;
 pub mod direct;
 pub mod display;
 pub mod exec;
+pub mod hier;
 pub mod method;
 pub mod pipelined;
+pub mod radix;
 pub mod repair;
 pub mod rotate;
 pub mod schedule;
@@ -89,8 +91,10 @@ pub use exec::{
     run_composition_observed, run_composition_pooled, ComposeConfig, ComposeOutput, ExecPath,
     Machine, Scratch, ScratchPool, TransportKind,
 };
+pub use hier::{compose_hier, HierPlan, IntraMethod};
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;
+pub use radix::RadixK;
 pub use repair::{repair, DegradedInfo, RepairEntry, RepairFetch, RepairPlan};
 pub use rotate::{RotateTiling, RtVariant};
 pub use schedule::{verify_schedule, MergeDir, Schedule, Step, Transfer};
@@ -100,7 +104,7 @@ pub use tile::{
     run_tile_composition_observed, run_tile_composition_pooled, verify_tile_plan, ComposePlan,
     TileGrid, TilePlan,
 };
-pub use tune::{choose, sweep, Candidate, TuneOptions};
+pub use tune::{choose, fit_link_costs, sweep, Candidate, FittedLink, MeasuredCost, TuneOptions};
 
 /// Errors produced while building or executing composition schedules.
 #[derive(Debug, Clone, PartialEq)]

@@ -48,6 +48,17 @@ pub enum Method {
         /// Tile rows.
         tiles_y: usize,
     },
+    /// Two-level hierarchical composition: `intra` inside contiguous
+    /// groups of `k` ranks, Radix-k between the group leaders (extension;
+    /// the `P ≥ 256` scaling path). Spans two machine levels, so it
+    /// compiles through [`Method::plan`] instead of
+    /// [`CompositionMethod::build`].
+    Hier {
+        /// Group size (the last group may be smaller when `k ∤ P`).
+        k: usize,
+        /// The flat method run inside each group.
+        intra: crate::hier::IntraMethod,
+    },
 }
 
 impl Method {
@@ -88,6 +99,9 @@ impl Method {
                 let grid = TileGrid::new(width, height, *tiles_x, *tiles_y)?;
                 Ok(ComposePlan::Tiles(TilePlan::new(p, grid)?))
             }
+            Method::Hier { k, intra } => Ok(ComposePlan::Hier(crate::hier::HierPlan::build(
+                p, *k, *intra, width, height,
+            )?)),
             _ => Ok(ComposePlan::Schedule(self.build(p, width * height)?)),
         }
     }
@@ -105,6 +119,7 @@ impl CompositionMethod for Method {
                 RtVariant::N => RotateTiling::n(*blocks).name(),
             },
             Method::TileOwner { tiles_x, tiles_y } => format!("TO({tiles_x}x{tiles_y})"),
+            Method::Hier { k, intra } => format!("HIER(k={k},{})", intra.as_method().name()),
         }
     }
 
@@ -122,6 +137,12 @@ impl CompositionMethod for Method {
                 method: "tile-owner",
                 why: "content-adaptive message set cannot compile to a static span \
                       schedule; use Method::plan for a ComposePlan"
+                    .into(),
+            }),
+            Method::Hier { .. } => Err(CoreError::UnsupportedShape {
+                method: "hier",
+                why: "two-level plans span group views and cannot compile to one flat \
+                      span schedule; use Method::plan for a ComposePlan"
                     .into(),
             }),
         }

@@ -44,7 +44,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What the degraded output is missing, and who is to blame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DegradedInfo {
     /// Confirmed failures: `(rank, step)` pairs, sorted by rank. `step` is
     /// the schedule step at whose start the rank stopped.

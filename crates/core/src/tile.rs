@@ -34,7 +34,9 @@
 //! [`DisplayWall`] scenario for both this path and the schedule executor.
 
 use crate::display::{span_cell_segments, DisplayWall};
-use crate::exec::{ComposeConfig, ComposeOutput, ExecPath, Machine, Scratch, ScratchPool};
+use crate::exec::{
+    ComposeConfig, ComposeOutput, ExecPath, Machine, Scratch, ScratchPool, TransportKind,
+};
 use crate::repair::DegradedInfo;
 use crate::schedule::{verify_schedule, Schedule};
 use crate::CoreError;
@@ -279,6 +281,9 @@ pub enum ComposePlan {
     Schedule(Schedule),
     /// A tile-ownership plan.
     Tiles(TilePlan),
+    /// A two-level hierarchical plan (intra-group method + Radix-k
+    /// leader overlay).
+    Hier(crate::hier::HierPlan),
 }
 
 impl ComposePlan {
@@ -287,6 +292,7 @@ impl ComposePlan {
         match self {
             ComposePlan::Schedule(s) => s.p,
             ComposePlan::Tiles(t) => t.p,
+            ComposePlan::Hier(h) => h.p,
         }
     }
 
@@ -295,6 +301,7 @@ impl ComposePlan {
         match self {
             ComposePlan::Schedule(s) => s.image_len,
             ComposePlan::Tiles(t) => t.grid.width * t.grid.height,
+            ComposePlan::Hier(h) => h.width * h.height,
         }
     }
 
@@ -303,15 +310,17 @@ impl ComposePlan {
         match self {
             ComposePlan::Schedule(s) => &s.method,
             ComposePlan::Tiles(t) => &t.method,
+            ComposePlan::Hier(h) => &h.method,
         }
     }
 
-    /// Verify the plan's invariants ([`verify_schedule`] or
-    /// [`verify_tile_plan`]).
+    /// Verify the plan's invariants ([`verify_schedule`],
+    /// [`verify_tile_plan`] or [`crate::hier::HierPlan::verify`]).
     pub fn verify(&self) -> Result<(), CoreError> {
         match self {
             ComposePlan::Schedule(s) => verify_schedule(s),
             ComposePlan::Tiles(t) => verify_tile_plan(t),
+            ComposePlan::Hier(h) => h.verify(),
         }
     }
 }
@@ -330,6 +339,7 @@ pub fn compose_plan<P: Pixel>(
             crate::exec::compose_with_scratch(ctx, s, local, config, scratch)
         }
         ComposePlan::Tiles(t) => compose_tiles(ctx, t, local, config, scratch),
+        ComposePlan::Hier(h) => crate::hier::compose_hier(ctx, h, local, config, scratch),
     }
 }
 
@@ -432,6 +442,8 @@ pub fn compose_tiles<P: Pixel>(
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels: 0,
+            owners: Vec::new(),
+            residual: None,
             degraded: Some(DegradedInfo::self_crash(me, 0)),
         });
     }
@@ -562,6 +574,8 @@ pub fn compose_tiles<P: Pixel>(
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels: 0,
+            owners: Vec::new(),
+            residual: None,
             degraded: Some(DegradedInfo::self_crash(me, 1)),
         });
     }
@@ -725,12 +739,26 @@ pub fn compose_tiles<P: Pixel>(
         .filter(|&t| effective_owner[t] == me && plan.grid.area(t) > 0)
         .collect();
     let owned_pixels: usize = my_final.iter().map(|&t| plan.grid.area(t)).sum();
+    // Post-repair ownership as row-segment spans, mirroring the schedule
+    // executor's `owners` field.
+    let owners: Vec<(Span, usize)> = (0..nt)
+        .filter(|&t| plan.grid.area(t) > 0)
+        .flat_map(|t| {
+            let owner = effective_owner[t];
+            plan.grid
+                .row_spans(t)
+                .into_iter()
+                .map(move |span| (span, owner))
+        })
+        .collect();
 
     if !config.gather {
         ctx.mark("gather:end");
         return Ok(ComposeOutput {
             frame: None,
             owned_pixels,
+            owners,
+            residual: Some(local),
             degraded,
         });
     }
@@ -770,6 +798,8 @@ pub fn compose_tiles<P: Pixel>(
     Ok(ComposeOutput {
         frame,
         owned_pixels,
+        owners,
+        residual: Some(local),
         degraded,
     })
 }
@@ -1227,6 +1257,31 @@ pub fn run_tile_composition_observed<P: Pixel>(
     })
 }
 
+/// The connection topology a plan-driven TCP run can restrict itself to,
+/// when that is safe: a hierarchical plan on real sockets uses only the
+/// group meshes, the leader overlay and the gather links, so a crash-free
+/// run dials `O(P·k + (P/k)²)` sockets instead of the `O(P²)` mesh.
+/// `None` (keep the full mesh) for the in-process backend (no sockets to
+/// save), for flat plans (direct-send and the gather already touch most
+/// pairs), and for resilient or faulty runs — repair fetches and
+/// reassigned leaders may route between ranks the crash-free plan never
+/// pairs.
+fn plan_topology(
+    plan: &ComposePlan,
+    config: &ComposeConfig,
+    faults: &FaultPlan,
+) -> Option<rt_net::Topology> {
+    if config.transport != TransportKind::TcpLoopback || config.resilient || !faults.is_none() {
+        return None;
+    }
+    match plan {
+        ComposePlan::Hier(h) => Some(rt_net::Topology::from_links(
+            h.links(config.root, config.display),
+        )),
+        _ => None,
+    }
+}
+
 /// Run a [`ComposePlan`] of either family over a fresh multicomputer.
 pub fn run_plan_composition<P: Pixel>(
     plan: &ComposePlan,
@@ -1248,7 +1303,8 @@ pub fn run_plan_composition_faulty<P: Pixel>(
         plan.p(),
         "one partial image per rank required"
     );
-    let mc = Machine::build(plan.p(), config, faults, None);
+    let topology = plan_topology(plan, config, &faults);
+    let mc = Machine::build_with_topology(plan.p(), config, faults, None, topology);
     let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
     mc.run(move |ctx| {
         let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]
@@ -1273,7 +1329,9 @@ pub fn run_plan_composition_pooled<P: Pixel>(
         plan.p(),
         "one partial image per rank required"
     );
-    let mc = Machine::build(plan.p(), config, FaultPlan::none(), None);
+    let faults = FaultPlan::none();
+    let topology = plan_topology(plan, config, &faults);
+    let mc = Machine::build_with_topology(plan.p(), config, faults, None, topology);
     let partials = Mutex::new(partials.into_iter().map(Some).collect::<Vec<_>>());
     mc.run(move |ctx| {
         let local = partials.lock().unwrap_or_else(|e| e.into_inner())[ctx.rank()]

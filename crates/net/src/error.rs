@@ -31,6 +31,20 @@ pub enum NetError {
         /// The dead peer's rank.
         peer: usize,
     },
+    /// The requested world needs more sockets than this process's file
+    /// descriptor budget allows (the preflight estimate, or `EMFILE` /
+    /// `ENFILE` surfacing mid-establishment). Restrict the connection
+    /// set with a plan-driven `Topology`, raise `ulimit -n`, or split
+    /// the world across processes.
+    TooManyRanks {
+        /// The requested world size.
+        world: usize,
+        /// Descriptors the establishment would need (listeners + stream
+        /// ends in this process).
+        fds_needed: usize,
+        /// The process's open-file soft limit, when it could be read.
+        fd_limit: Option<usize>,
+    },
 }
 
 impl NetError {
@@ -56,6 +70,24 @@ impl std::fmt::Display for NetError {
             NetError::Io { context, source } => write!(f, "{context}: {source}"),
             NetError::Protocol { context } => write!(f, "protocol violation: {context}"),
             NetError::PeerDead { peer } => write!(f, "rank {peer} is dead"),
+            NetError::TooManyRanks {
+                world,
+                fds_needed,
+                fd_limit,
+            } => {
+                write!(
+                    f,
+                    "a world of {world} ranks needs ~{fds_needed} file descriptors"
+                )?;
+                if let Some(limit) = fd_limit {
+                    write!(f, " but the open-file limit is {limit}")?;
+                }
+                write!(
+                    f,
+                    "; restrict the topology, raise `ulimit -n`, or split ranks \
+                     across processes"
+                )
+            }
         }
     }
 }

@@ -71,6 +71,7 @@ pub mod link;
 pub mod multicomputer;
 pub mod process;
 pub mod tcp;
+pub mod topology;
 
 pub use chaos::{ChaosTransport, NetFaultPlan};
 pub use error::NetError;
@@ -79,3 +80,4 @@ pub use link::{TcpOptions, WireFault};
 pub use multicomputer::TcpMulticomputer;
 pub use process::{Launcher, WorkerSession, ENV_RANK, ENV_RENDEZVOUS, ENV_WORLD};
 pub use tcp::TcpTransport;
+pub use topology::Topology;

@@ -280,10 +280,14 @@ impl Fabric {
         addrs: Vec<SocketAddr>,
         opts: TcpOptions,
         tx: Sender<WireFrame>,
+        topology: &crate::topology::Topology,
     ) -> Arc<Fabric> {
+        // Only topology peers get a link: sends to anyone else fail typed
+        // (`SendRawError`), and the heartbeat/repair machinery never
+        // touches them.
         let links = (0..world)
             .map(|peer| {
-                (peer != rank).then(|| {
+                topology.connects(rank, peer).then(|| {
                     Arc::new(Link {
                         peer,
                         log: Mutex::new(SentLog::new(opts.sent_log_budget)),
@@ -314,6 +318,11 @@ impl Fabric {
 
     pub(crate) fn opts(&self) -> &TcpOptions {
         &self.opts
+    }
+
+    /// How many peers this endpoint holds a link (socket) to.
+    pub(crate) fn link_count(&self) -> usize {
+        self.links.iter().flatten().count()
     }
 
     fn link(&self, peer: usize) -> Option<&Arc<Link>> {

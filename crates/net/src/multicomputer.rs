@@ -9,6 +9,7 @@
 
 use crate::link::TcpOptions;
 use crate::tcp::TcpTransport;
+use crate::topology::Topology;
 use rt_comm::comm::{RankCtx, RankOptions};
 use rt_comm::{FaultPlan, RankTrace, Trace};
 use rt_obs::Observer;
@@ -24,6 +25,7 @@ pub struct TcpMulticomputer {
     timeout: Duration,
     faults: FaultPlan,
     observer: Option<Arc<Observer>>,
+    topology: Topology,
 }
 
 impl TcpMulticomputer {
@@ -38,7 +40,17 @@ impl TcpMulticomputer {
             timeout: Duration::from_secs(10),
             faults: FaultPlan::none(),
             observer: None,
+            topology: Topology::FullMesh,
         }
+    }
+
+    /// Restrict establishment to a connection [`Topology`] (default:
+    /// the full mesh). The centralized barrier needs a star on rank 0 —
+    /// see [`Topology::with_star`] — and sends outside the topology fail
+    /// typed, so only plan-driven closures should restrict.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Override the receive timeout (default 10 s). Link-level deadlines
@@ -92,8 +104,9 @@ impl TcpMulticomputer {
     {
         let p = self.size;
         let f = &f;
-        let mesh = TcpTransport::loopback_mesh_with(p, TcpOptions::scaled_to(self.timeout))
-            .unwrap_or_else(|e| panic!("loopback mesh of {p} ranks failed: {e}"));
+        let mesh =
+            TcpTransport::loopback_topology(p, &self.topology, TcpOptions::scaled_to(self.timeout))
+                .unwrap_or_else(|e| panic!("loopback mesh of {p} ranks failed: {e}"));
         let mut ctxs: Vec<RankCtx> = mesh
             .into_iter()
             .enumerate()

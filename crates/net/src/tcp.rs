@@ -39,6 +39,7 @@
 
 use crate::error::NetError;
 use crate::link::{Fabric, TcpOptions, WireFault};
+use crate::topology::Topology;
 use rt_comm::{
     BarrierError, Payload, RecvRawError, SendRawError, Transport, WireFrame, NET_CONTROL_TAG_BIT,
 };
@@ -95,11 +96,29 @@ impl TcpTransport {
         addrs: &[SocketAddr],
         opts: TcpOptions,
     ) -> Result<TcpTransport, NetError> {
+        TcpTransport::establish_topology(rank, world, listener, addrs, &Topology::FullMesh, opts)
+    }
+
+    /// [`TcpTransport::establish_with`] restricted to a connection
+    /// [`Topology`]: only the topology's edges are dialed/accepted, so a
+    /// plan-driven world pays `O(edges)` sockets instead of the full
+    /// `O(P²)` mesh. Sends to an unconnected peer fail typed. Every rank
+    /// must establish with the *same* topology, or establishment
+    /// deadlocks on the mismatched edge.
+    pub fn establish_topology(
+        rank: usize,
+        world: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        topology: &Topology,
+        opts: TcpOptions,
+    ) -> Result<TcpTransport, NetError> {
         assert!(world > 0, "a transport mesh needs at least one rank");
         assert!(rank < world, "rank {rank} outside world of {world}");
         assert_eq!(addrs.len(), world, "address table must cover every rank");
+        topology.validate(world).map_err(NetError::protocol)?;
         let mut streams: Vec<Option<TcpStream>> = (0..world).map(|_| None).collect();
-        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+        for peer in (0..rank).filter(|&p| topology.connects(rank, p)) {
             let stream = connect_with_retry(addrs[peer], rank, peer)?;
             let ctx = |what: &str| format!("rank {rank} {what} rank {peer}");
             stream
@@ -108,9 +127,12 @@ impl TcpTransport {
             let mut s = &stream;
             s.write_all(&(rank as u64).to_le_bytes())
                 .map_err(|e| NetError::io(ctx("greeting"), e))?;
-            *slot = Some(stream);
+            streams[peer] = Some(stream);
         }
-        for _ in rank + 1..world {
+        let expected = (rank + 1..world)
+            .filter(|&p| topology.connects(rank, p))
+            .count();
+        for _ in 0..expected {
             let (stream, _) = listener
                 .accept()
                 .map_err(|e| NetError::io(format!("rank {rank} accepting a mesh peer"), e))?;
@@ -128,6 +150,11 @@ impl TcpTransport {
                     rank + 1
                 )));
             }
+            if !topology.connects(rank, peer) {
+                return Err(NetError::protocol(format!(
+                    "rank {peer} dialed in but the topology has no ({rank}, {peer}) edge"
+                )));
+            }
             let slot = &mut streams[peer];
             if slot.is_some() {
                 return Err(NetError::protocol(format!("rank {peer} connected twice")));
@@ -136,7 +163,7 @@ impl TcpTransport {
         }
 
         let (tx, rx) = channel::<WireFrame>();
-        let fabric = Fabric::new(rank, world, addrs.to_vec(), opts, tx);
+        let fabric = Fabric::new(rank, world, addrs.to_vec(), opts, tx, topology);
         for (peer, slot) in streams.into_iter().enumerate() {
             let Some(stream) = slot else { continue };
             fabric.install_initial(peer, stream)?;
@@ -168,11 +195,55 @@ impl TcpTransport {
     /// # Panics
     /// Panics if `p == 0`.
     pub fn loopback_mesh_with(p: usize, opts: TcpOptions) -> Result<Vec<TcpTransport>, NetError> {
+        TcpTransport::loopback_topology(p, &Topology::FullMesh, opts)
+    }
+
+    /// A loopback world restricted to a connection [`Topology`]: every
+    /// endpoint lives in this process (so the fd cost is `p` listeners
+    /// plus *two* descriptors per edge), and only the topology's edges
+    /// get sockets. Fails typed with [`NetError::TooManyRanks`] — before
+    /// binding anything when the preflight estimate exceeds the
+    /// process's open-file limit, or when the kernel says `EMFILE` /
+    /// `ENFILE` mid-establishment.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn loopback_topology(
+        p: usize,
+        topology: &Topology,
+        opts: TcpOptions,
+    ) -> Result<Vec<TcpTransport>, NetError> {
         assert!(p > 0, "a transport mesh needs at least one rank");
+        // Listeners + both ends of every edge, plus slack for the
+        // process's existing descriptors (stdio, binaries, test files).
+        let fds_needed = p + 2 * topology.socket_count(p) + 64;
+        let fd_limit = fd_soft_limit();
+        if let Some(limit) = fd_limit {
+            if fds_needed > limit {
+                return Err(NetError::TooManyRanks {
+                    world: p,
+                    fds_needed,
+                    fd_limit,
+                });
+            }
+        }
+        let fd_error = |e: std::io::Error, context: &str| {
+            // EMFILE (per-process) / ENFILE (system-wide): the budget ran
+            // out even though the preflight passed.
+            if matches!(e.raw_os_error(), Some(23) | Some(24)) {
+                NetError::TooManyRanks {
+                    world: p,
+                    fds_needed,
+                    fd_limit,
+                }
+            } else {
+                NetError::io(context, e)
+            }
+        };
         let listeners: Vec<TcpListener> = (0..p)
             .map(|_| TcpListener::bind("127.0.0.1:0"))
             .collect::<std::io::Result<_>>()
-            .map_err(|e| NetError::io("binding loopback mesh listeners", e))?;
+            .map_err(|e| fd_error(e, "binding loopback mesh listeners"))?;
         let addrs: Vec<SocketAddr> = listeners
             .iter()
             .map(|l| l.local_addr())
@@ -187,7 +258,14 @@ impl TcpTransport {
                 .enumerate()
                 .map(|(rank, listener)| {
                     scope.spawn(move || {
-                        TcpTransport::establish_with(rank, p, listener, addrs, opts.clone())
+                        TcpTransport::establish_topology(
+                            rank,
+                            p,
+                            listener,
+                            addrs,
+                            topology,
+                            opts.clone(),
+                        )
                     })
                 })
                 .collect();
@@ -210,6 +288,12 @@ impl TcpTransport {
     /// Has `peer` been declared dead by this endpoint's fabric?
     pub fn peer_is_dead(&self, peer: usize) -> bool {
         self.fabric.is_dead(peer)
+    }
+
+    /// How many peers this endpoint holds a socket link to — `world − 1`
+    /// on a full mesh, the rank's topology degree on a restricted world.
+    pub fn link_count(&self) -> usize {
+        self.fabric.link_count()
     }
 
     /// [`Transport::send_raw`] with an optional socket-level fault
@@ -316,6 +400,15 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.fabric.shut_down();
     }
+}
+
+/// The process's soft open-file limit, read from `/proc/self/limits`
+/// (Linux). `None` elsewhere, or if the file is unreadable — the
+/// preflight is then skipped and fd exhaustion surfaces as `EMFILE`.
+fn fd_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
 }
 
 /// Connect with a short retry loop: the address table guarantees the
@@ -640,5 +733,66 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_rank_mesh_panics() {
         let _ = TcpTransport::loopback_mesh(0);
+    }
+
+    #[test]
+    fn restricted_topology_dials_only_its_edges() {
+        // A 4-rank line 0—1—2—3: 3 sockets instead of the mesh's 6.
+        let topo = Topology::from_links([(0, 1), (1, 2), (2, 3)]);
+        let mut world = TcpTransport::loopback_topology(4, &topo, tight()).unwrap();
+        let degrees: Vec<usize> = world.iter().map(|t| t.link_count()).collect();
+        assert_eq!(degrees, vec![1, 2, 2, 1]);
+        assert_eq!(degrees.iter().sum::<usize>(), 2 * topo.socket_count(4));
+        // Connected pairs exchange frames normally.
+        world[0].send_raw(1, frame(0, 7, vec![42])).unwrap();
+        let got = world[1].recv_raw(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.payload.as_slice(), &[42]);
+        // A send outside the topology fails typed, immediately.
+        assert_eq!(
+            world[0].send_raw(3, frame(0, 7, vec![0])),
+            Err(SendRawError { to: 3 })
+        );
+        assert!(!world[0].peer_is_dead(3), "unconnected is not dead");
+    }
+
+    #[test]
+    fn out_of_range_topology_edge_fails_establishment() {
+        let topo = Topology::from_links([(0, 5)]);
+        let Err(err) = TcpTransport::loopback_topology(2, &topo, tight()) else {
+            panic!("edge (0, 5) cannot fit a world of 2");
+        };
+        assert!(matches!(err, NetError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_world_fails_typed_before_binding_sockets() {
+        // The full mesh of 4096 ranks wants ~16.7M descriptors in one
+        // process; no default fd limit allows that, so the preflight
+        // must refuse with the typed error instead of letting the bind
+        // loop die on EMFILE partway through.
+        let Some(limit) = super::fd_soft_limit() else {
+            return; // no /proc on this platform: preflight is skipped
+        };
+        let p = 4096;
+        assert!(p + 2 * (p * (p - 1) / 2) + 64 > limit, "limit too lax");
+        let Err(err) = TcpTransport::loopback_mesh_with(p, tight()) else {
+            panic!("a 4096-rank single-process mesh must exceed the fd budget");
+        };
+        match err {
+            NetError::TooManyRanks {
+                world,
+                fds_needed,
+                fd_limit,
+            } => {
+                assert_eq!(world, p);
+                assert!(fds_needed > limit);
+                assert_eq!(fd_limit, Some(limit));
+            }
+            other => panic!("expected TooManyRanks, got: {other}"),
+        }
+        // The same world under a sparse topology fits the budget — the
+        // preflight charges edges, not P².
+        let line = Topology::from_links((0..64).map(|i| (i, i + 1)));
+        assert!(65 + 2 * line.socket_count(p) + 64 < limit);
     }
 }

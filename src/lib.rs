@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 /// The composition-method field guide, compiled from `docs/METHODS.md` —
-/// one page per method (BS, PP, 2N_RT/N_RT, DS, TO) with data-flow
+/// one page per method (BS, PP, 2N_RT/N_RT, DS, TO, HIER) with data-flow
 /// diagrams, Table-1 / Eq. (5)/(6) cost references, codec interactions
 /// and when-to-use guidance. Included here so every Rust block in the
 /// guide compiles and runs under `cargo test --doc`.
