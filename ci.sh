@@ -123,6 +123,19 @@ cargo run -q --release -p rt-bench --bin stream -- --smoke --out "$stream_out"
 test -s "$stream_out"
 grep -q '"schema": "bench-stream/v1"' "$stream_out"
 
+echo "== quality smoke =="
+# The E12 approximate-compositing grid at CI size (128x128, P=8,
+# raw+trle): every cell is gated inside the binary — disjoint content
+# must be byte-identical to the reference fold on BOTH transports at
+# every budget, lossy cells must stay inside the declared Tolerance,
+# and at least one Pareto cell must beat the fastest exact method at
+# PSNR >= 40 dB. The bench-quality/v1 artifact is kept for inspection.
+quality_out=target/quality_smoke.json
+rm -f "$quality_out"
+cargo run -q --release -p rt-bench --bin quality -- --smoke --out "$quality_out"
+test -s "$quality_out"
+grep -q '"schema": "bench-quality/v1"' "$quality_out"
+
 echo "== display wall smoke =="
 # The tile-ownership display-wall workload at CI size (720p virtual
 # framebuffer onto a 2x2 wall): every cell is verified pixel-for-pixel

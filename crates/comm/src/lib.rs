@@ -61,5 +61,5 @@ pub use transport::{
     frame_tag_base, tile_tag, BarrierError, InProc, RecvRawError, SendRawError, Transport,
     WireFrame, FRAME_TAG_BITS, FRAME_TAG_SHIFT, NET_CONTROL_TAG_BIT, TILE_CH_GATHER,
     TILE_CH_MANIFEST, TILE_CH_PAYLOAD, TILE_CH_REPAIR_MANIFEST, TILE_CH_REPAIR_PAYLOAD,
-    TILE_STEP_BASE,
+    TILE_CH_REPAIR_SEGMENTS, TILE_CH_SEGMENTS, TILE_STEP_BASE,
 };

@@ -45,7 +45,7 @@ pub const NET_CONTROL_TAG_BIT: u64 = 1 << 58;
 /// `rt-core`'s executor); real schedules never exceed a few dozen steps,
 /// so the top half of that field is free. The tile-ownership path — which
 /// has no step structure at all — claims step values `0x80..0x100` as
-/// five sub-channels ([`TILE_CH_MANIFEST`] … [`TILE_CH_GATHER`]), keeping
+/// sub-channels ([`TILE_CH_MANIFEST`] … [`TILE_CH_REPAIR_SEGMENTS`]), keeping
 /// every control bit (58–63) clear and the frame namespace (bits 48–57)
 /// composable, so streaming, fault injection, retransmission and tracing
 /// work unchanged for tile traffic.
@@ -65,6 +65,13 @@ pub const TILE_CH_REPAIR_PAYLOAD: u64 = 3;
 /// Tile sub-channel: gather messages from tile owners to the root or to
 /// display-wall ranks (low bits: cell/owner coordinates).
 pub const TILE_CH_GATHER: u64 = 4;
+/// Tile sub-channel: per-sender puzzle-piece segment metadata — the
+/// per-row non-blank intervals of every tile the sender will ship, used
+/// by the puzzle method's overlap classifier (low bits: sending rank).
+pub const TILE_CH_SEGMENTS: u64 = 5;
+/// Tile sub-channel: segment metadata re-sent during the post-failure
+/// repair round (low bits: sending rank).
+pub const TILE_CH_REPAIR_SEGMENTS: u64 = 6;
 
 /// Tag of a tile-protocol message: frame-namespace bits on top, the
 /// sub-channel in the reserved step-field range, and a channel-specific

@@ -215,7 +215,7 @@ impl HierPlan {
     pub fn intra_steps(&self, g: usize) -> usize {
         match &self.intra_plans[g] {
             ComposePlan::Schedule(s) => s.steps.len(),
-            ComposePlan::Tiles(_) => 1,
+            ComposePlan::Tiles(_) | ComposePlan::Puzzle(_) => 1,
             ComposePlan::Hier(_) => unreachable!("intra plans are flat by construction"),
         }
     }

@@ -74,6 +74,7 @@ pub mod exec;
 pub mod hier;
 pub mod method;
 pub mod pipelined;
+pub mod puzzle;
 pub mod radix;
 pub mod repair;
 pub mod rotate;
@@ -94,6 +95,7 @@ pub use exec::{
 pub use hier::{compose_hier, HierPlan, IntraMethod};
 pub use method::{CompositionMethod, Method};
 pub use pipelined::ParallelPipelined;
+pub use puzzle::{compose_puzzle, PuzzlePlan};
 pub use radix::RadixK;
 pub use repair::{repair, DegradedInfo, RepairEntry, RepairFetch, RepairPlan};
 pub use rotate::{RotateTiling, RtVariant};

@@ -59,6 +59,24 @@ pub enum Method {
         /// The flat method run inside each group.
         intra: crate::hier::IntraMethod,
     },
+    /// Approximate puzzlepiece compositing (after Huang, Usher &
+    /// Pascucci): tile ownership plus per-scanline segment metadata, so
+    /// owners *place* depth-disjoint content with no ordering work and
+    /// fall back to the exact fold only where pieces genuinely overlap
+    /// beyond the budget. The first method in the repo allowed to differ
+    /// from the reference fold — within a declared tolerance (extension).
+    /// Compiles through [`Method::plan`] like [`Method::TileOwner`].
+    Puzzle {
+        /// Tile columns.
+        tiles_x: usize,
+        /// Tile rows.
+        tiles_y: usize,
+        /// Per-tile overlap budget in permille of the tile area: a tile
+        /// whose estimated contributor overlap exceeds this falls back
+        /// to the exact depth-ordered fold. `0` makes the method fully
+        /// conservative (byte-identical to the reference everywhere).
+        budget_permille: u16,
+    },
 }
 
 impl Method {
@@ -102,6 +120,18 @@ impl Method {
             Method::Hier { k, intra } => Ok(ComposePlan::Hier(crate::hier::HierPlan::build(
                 p, *k, *intra, width, height,
             )?)),
+            Method::Puzzle {
+                tiles_x,
+                tiles_y,
+                budget_permille,
+            } => {
+                let grid = TileGrid::new(width, height, *tiles_x, *tiles_y)?;
+                Ok(ComposePlan::Puzzle(crate::puzzle::PuzzlePlan::new(
+                    p,
+                    grid,
+                    *budget_permille,
+                )?))
+            }
             _ => Ok(ComposePlan::Schedule(self.build(p, width * height)?)),
         }
     }
@@ -120,6 +150,11 @@ impl CompositionMethod for Method {
             },
             Method::TileOwner { tiles_x, tiles_y } => format!("TO({tiles_x}x{tiles_y})"),
             Method::Hier { k, intra } => format!("HIER(k={k},{})", intra.as_method().name()),
+            Method::Puzzle {
+                tiles_x,
+                tiles_y,
+                budget_permille,
+            } => format!("PZ({tiles_x}x{tiles_y},b{budget_permille})"),
         }
     }
 
@@ -143,6 +178,12 @@ impl CompositionMethod for Method {
                 method: "hier",
                 why: "two-level plans span group views and cannot compile to one flat \
                       span schedule; use Method::plan for a ComposePlan"
+                    .into(),
+            }),
+            Method::Puzzle { .. } => Err(CoreError::UnsupportedShape {
+                method: "puzzle",
+                why: "content-adaptive segment routing cannot compile to a static span \
+                      schedule; use Method::plan for a ComposePlan"
                     .into(),
             }),
         }

@@ -1,0 +1,1092 @@
+//! Approximate puzzlepiece compositing: tile ownership plus per-scanline
+//! segment metadata and an overlap budget.
+//!
+//! After *Approximate Puzzlepiece Compositing* (Huang, Usher & Pascucci,
+//! arXiv:2501.12581): every rank's rendered partial is treated as a set of
+//! puzzle pieces — per tile, per scanline, the bounding interval of its
+//! non-blank pixels. Ranks exchange this tiny metadata alongside the
+//! tile-ownership manifests, and each owner *classifies* every owned tile
+//! before touching a payload:
+//!
+//! * **solo / disjoint** — at most one contributor, or all pairwise
+//!   interval intersections empty: the owner *places* each piece (decode +
+//!   interval copy, exactly like the gather stage) with **no `over` work
+//!   and no ordering constraint at all**. Provably byte-identical to the
+//!   reference fold, because blank is a two-sided identity of `over` and
+//!   the intervals conservatively cover every non-blank pixel.
+//! * **lightly overlapping** — the pairwise interval overlap is within the
+//!   plan's `budget_permille` of the tile area: pieces are still placed,
+//!   farthest-first, with a nearest-wins rule on conflict pixels. This is
+//!   the *approximate* merge — exact wherever the front piece is opaque or
+//!   pieces don't truly overlap, and bounded by the translucent tail of
+//!   `over` on the (budgeted) conflict pixels otherwise.
+//! * **heavily overlapping** — over budget (or metadata missing): fall
+//!   back to the exact depth-ordered left fold of the tile-ownership
+//!   path, byte-identical to [`rt_imaging::image::reference_composite`].
+//!
+//! A budget of `0` never takes the approximate branch, so the whole method
+//! degenerates to an exact (placement-accelerated) fold. On fully
+//! depth-disjoint content every tile classifies solo/disjoint and the
+//! output is byte-identical at *any* budget.
+//!
+//! This is the repo's first method allowed to differ from the baseline;
+//! its reconciliation story is therefore *tolerance-gated* (see the
+//! `rt-quality` crate) instead of bit-exact. The placement fast path is
+//! priced like the gather stage — decode charges, no `over` charges —
+//! which is where the measured virtual-clock win over the exact methods
+//! comes from.
+//!
+//! Failure handling mirrors the tile path: fail-stop points before any
+//! traffic (step 0) and after compositing (step 1), liveness consensus,
+//! deterministic reassignment of dead owners' tiles, and a repair round
+//! that re-ships manifests, segment metadata and payloads to the new
+//! owners — which re-classify with the surviving contributors only.
+
+// The approximate path carries the same no-escape-hatch bar as rt-net and
+// rt-pvr from day one: every failure is a typed error, never a panic.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use crate::exec::{ComposeConfig, ComposeOutput, ExecPath, Scratch};
+use crate::repair::DegradedInfo;
+use crate::tile::{
+    compose_one_tile, gather_to_root, gather_to_wall, manifest_bit, manifest_bytes,
+    next_live_owner, verify_tile_plan, TileGrid, TilePlan,
+};
+use crate::CoreError;
+use rt_comm::{
+    tile_tag, CommError, ComputeKind, RankCtx, TILE_CH_MANIFEST, TILE_CH_PAYLOAD,
+    TILE_CH_REPAIR_MANIFEST, TILE_CH_REPAIR_PAYLOAD, TILE_CH_REPAIR_SEGMENTS, TILE_CH_SEGMENTS,
+};
+use rt_compress::{Codec, CodecKind, OverDir};
+use rt_imaging::pixel::Pixel;
+use rt_imaging::Image;
+use rt_obs::Phase;
+use std::collections::BTreeMap;
+
+/// Per-scanline non-blank bounding intervals of one tile, top to bottom,
+/// in tile-local x coordinates (`lo == hi` marks a blank row).
+type RowIvals = Vec<(u16, u16)>;
+
+/// An approximate puzzlepiece plan: a [`TilePlan`] (grid, owner map, depth
+/// order) plus the per-tile overlap budget that gates the approximate
+/// merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PuzzlePlan {
+    /// The underlying tile-ownership plan (grid, owners, depth order).
+    pub tiles: TilePlan,
+    /// Per-tile overlap budget in permille of the tile area. Estimated
+    /// contributor overlap above this forces the exact fold; `0` is fully
+    /// conservative (byte-identical to the reference everywhere).
+    pub budget_permille: u16,
+    /// Display name, e.g. `PZ(16x16,b50)`.
+    pub method: String,
+}
+
+impl PuzzlePlan {
+    /// A plan over a round-robin [`TilePlan`] with the identity depth
+    /// order and the given overlap budget.
+    pub fn new(p: usize, grid: TileGrid, budget_permille: u16) -> Result<Self, CoreError> {
+        if budget_permille > 1000 {
+            return Err(CoreError::UnsupportedShape {
+                method: "puzzle",
+                why: format!("overlap budget {budget_permille}‰ exceeds 1000‰ (the tile area)"),
+            });
+        }
+        if grid.width > u16::MAX as usize {
+            return Err(CoreError::UnsupportedShape {
+                method: "puzzle",
+                why: format!(
+                    "frame width {} overflows the u16 segment coordinates",
+                    grid.width
+                ),
+            });
+        }
+        let tiles = TilePlan::new(p, grid)?;
+        Ok(Self {
+            tiles,
+            budget_permille,
+            method: format!("PZ({}x{},b{budget_permille})", grid.tiles_x, grid.tiles_y),
+        })
+    }
+
+    /// Relabel the plan onto physical ranks (see [`TilePlan::permute`]);
+    /// the budget rides along unchanged.
+    pub fn permute(&self, rank_of_depth: &[usize]) -> Result<PuzzlePlan, CoreError> {
+        let tiles = self.tiles.permute(rank_of_depth)?;
+        Ok(PuzzlePlan {
+            tiles,
+            budget_permille: self.budget_permille,
+            method: format!("{}∘π", self.method),
+        })
+    }
+
+    /// Verify the plan: the inner tile plan's invariants plus the puzzle
+    /// constraints (budget and segment-coordinate range).
+    pub fn verify(&self) -> Result<(), CoreError> {
+        verify_tile_plan(&self.tiles)?;
+        if self.budget_permille > 1000 {
+            return Err(CoreError::InvalidSchedule {
+                why: format!("puzzle budget {}‰ exceeds 1000‰", self.budget_permille),
+            });
+        }
+        if self.tiles.grid.width > u16::MAX as usize {
+            return Err(CoreError::InvalidSchedule {
+                why: format!(
+                    "frame width {} overflows the u16 segment coordinates",
+                    self.tiles.grid.width
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Scan the local partial once: per tile, whether it holds any content,
+/// and the per-row non-blank bounding intervals.
+fn scan_tiles<P: Pixel>(
+    local: &Image<P>,
+    grid: &TileGrid,
+) -> Result<(Vec<bool>, Vec<RowIvals>), CoreError> {
+    let nt = grid.tiles();
+    let mut have = vec![false; nt];
+    let mut segs: Vec<RowIvals> = Vec::with_capacity(nt);
+    for (t, have_t) in have.iter_mut().enumerate() {
+        let spans = grid.row_spans(t);
+        let mut rows: RowIvals = Vec::with_capacity(spans.len());
+        for span in &spans {
+            let px = local.span_pixels(*span)?;
+            match px.iter().position(|p| !p.is_blank()) {
+                None => rows.push((0, 0)),
+                Some(lo) => {
+                    let hi = px.iter().rposition(|p| !p.is_blank()).unwrap_or(lo) + 1;
+                    *have_t = true;
+                    rows.push((lo as u16, hi as u16));
+                }
+            }
+        }
+        segs.push(rows);
+    }
+    Ok((have, segs))
+}
+
+/// The segment-metadata blob this rank sends to `owner`: the row intervals
+/// of every non-blank tile in `owner_tiles` (ascending tile order — the
+/// receiver parses with the same deterministic order).
+fn segments_blob(owner_tiles: &[usize], have: &[bool], segs: &[RowIvals]) -> Vec<u8> {
+    let mut blob = Vec::new();
+    for &t in owner_tiles {
+        if !have[t] {
+            continue;
+        }
+        for &(lo, hi) in &segs[t] {
+            blob.extend_from_slice(&lo.to_le_bytes());
+            blob.extend_from_slice(&hi.to_le_bytes());
+        }
+    }
+    blob
+}
+
+/// Parse `src`'s segment blob for the tiles in `owned` (ascending) whose
+/// manifest bit is set, validating interval sanity and exact length.
+fn parse_segments_blob(
+    grid: &TileGrid,
+    owned: &[usize],
+    expects: impl Fn(usize) -> bool,
+    blob: &[u8],
+    src: usize,
+) -> Result<BTreeMap<usize, RowIvals>, CoreError> {
+    let mut out = BTreeMap::new();
+    let mut at = 0usize;
+    for &t in owned {
+        if !expects(t) {
+            continue;
+        }
+        let rect = grid.rect(t);
+        let rows = rect.height();
+        let need = rows * 4;
+        let Some(chunk) = blob.get(at..at + need) else {
+            return Err(CoreError::InvalidSchedule {
+                why: format!("rank {src}: puzzle segment metadata truncated at tile {t}"),
+            });
+        };
+        let mut ivals: RowIvals = Vec::with_capacity(rows);
+        for row in chunk.chunks_exact(4) {
+            let lo = u16::from_le_bytes([row[0], row[1]]);
+            let hi = u16::from_le_bytes([row[2], row[3]]);
+            if lo > hi || hi as usize > rect.width() {
+                return Err(CoreError::InvalidSchedule {
+                    why: format!(
+                        "rank {src}: puzzle segment interval {lo}..{hi} out of range \
+                         for tile {t} ({} wide)",
+                        rect.width()
+                    ),
+                });
+            }
+            ivals.push((lo, hi));
+        }
+        out.insert(t, ivals);
+        at += need;
+    }
+    if at != blob.len() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "rank {src}: puzzle segment metadata has {} trailing bytes",
+                blob.len() - at
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// Conservative overlap estimate: the summed width of every pairwise
+/// row-interval intersection across the contributors. Zero proves the
+/// pieces are depth-disjoint on this tile (intervals over-approximate
+/// content); with many deep layers the sum may exceed the tile area.
+fn overlap_pixels(ivals: &[&RowIvals]) -> usize {
+    let rows = ivals.first().map_or(0, |v| v.len());
+    let mut overlap = 0usize;
+    for row in 0..rows {
+        for (i, a) in ivals.iter().enumerate() {
+            let (alo, ahi) = a[row];
+            if alo == ahi {
+                continue;
+            }
+            for b in &ivals[i + 1..] {
+                let (blo, bhi) = b[row];
+                let (lo, hi) = (alo.max(blo), ahi.min(bhi));
+                if hi > lo {
+                    overlap += (hi - lo) as usize;
+                }
+            }
+        }
+    }
+    overlap
+}
+
+/// Classify one owned tile and resolve it: placement (exact or
+/// nearest-wins approximate) when the segment metadata allows, the exact
+/// depth-ordered fold otherwise. Writes the finished tile back into
+/// `local`.
+#[allow(clippy::too_many_arguments)]
+fn compose_puzzle_tile<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &PuzzlePlan,
+    local: &mut Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+    codec: &dyn Codec<P>,
+    t: usize,
+    have: &[bool],
+    my_segs: &[RowIvals],
+    expects: &impl Fn(usize, usize) -> bool,
+    remote_segs: &BTreeMap<(usize, usize), RowIvals>,
+    payload_ch: u64,
+    skip: Option<&BTreeMap<usize, usize>>,
+    count_kernel_pixels: &impl Fn(&mut rt_obs::Counters, u64),
+) -> Result<(), CoreError> {
+    let me = ctx.rank();
+    let tiles = &plan.tiles;
+    let raw = config.codec == CodecKind::Raw;
+    // Contributors in depth order (front to back), dead ranks excluded.
+    let contributors: Vec<usize> = tiles
+        .rank_at_depth
+        .iter()
+        .copied()
+        .filter(|r| !skip.is_some_and(|dead| dead.contains_key(r)))
+        .filter(|&r| if r == me { have[t] } else { expects(r, t) })
+        .collect();
+    if contributors.is_empty() {
+        // Nothing anywhere: the owner's own region is already blank.
+        return Ok(());
+    }
+    if contributors.len() == 1 && contributors[0] == me {
+        // Solo-local: the finished tile is the local content, in place.
+        ctx.obs_counters(|c| c.tiles_placed += 1);
+        return Ok(());
+    }
+    // Collect every contributor's intervals; any gap in the metadata
+    // (e.g. a sender that died mid-protocol) forces the exact fold.
+    let mut ivals: Vec<&RowIvals> = Vec::with_capacity(contributors.len());
+    let mut metadata_complete = true;
+    for &r in &contributors {
+        if r == me {
+            ivals.push(&my_segs[t]);
+        } else if let Some(iv) = remote_segs.get(&(r, t)) {
+            ivals.push(iv);
+        } else {
+            metadata_complete = false;
+            break;
+        }
+    }
+    let area = tiles.grid.area(t);
+    let overlap = if metadata_complete {
+        overlap_pixels(&ivals)
+    } else {
+        usize::MAX
+    };
+    let placeable = metadata_complete
+        && (overlap == 0 || overlap * 1000 <= plan.budget_permille as usize * area);
+    if !placeable {
+        ctx.obs_counters(|c| c.tiles_exact_fallback += 1);
+        return compose_one_tile(
+            ctx,
+            tiles,
+            local,
+            config,
+            scratch,
+            codec,
+            t,
+            have,
+            expects,
+            payload_ch,
+            skip,
+            count_kernel_pixels,
+        );
+    }
+    ctx.obs_counters(|c| {
+        if overlap == 0 {
+            c.tiles_placed += 1;
+        } else {
+            c.tiles_approx += 1;
+        }
+    });
+
+    // Placement: farthest-first interval copies, nearest content winning
+    // conflict pixels. No `over` work — priced like the gather stage
+    // (decode charges only), which is the method's measured speed win.
+    let spans = tiles.grid.row_spans(t);
+    let tw = tiles.grid.rect(t).width();
+    let mut acc = scratch.take_acc(area, ctx);
+    for (&r, iv) in contributors.iter().zip(&ivals).rev() {
+        if r == me {
+            for (row, span) in spans.iter().enumerate() {
+                let (lo, hi) = (iv[row].0 as usize, iv[row].1 as usize);
+                if hi <= lo {
+                    continue;
+                }
+                let src = &local.span_pixels(*span)?[lo..hi];
+                let base = row * tw;
+                for (a, s) in acc[base + lo..base + hi].iter_mut().zip(src) {
+                    if !s.is_blank() {
+                        *a = s.clone();
+                    }
+                }
+            }
+            continue;
+        }
+        let bytes = match ctx.recv(r, tile_tag(config.frame_tag, payload_ch, t as u64)) {
+            Ok(bytes) => bytes,
+            Err(CommError::RankFailed { .. }) if config.resilient => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if !raw {
+            ctx.compute(ComputeKind::Decode, bytes.len() as u64);
+        }
+        let dec_started = ctx.obs_start();
+        let mut staged = scratch.take_acc(area, ctx);
+        match config.path {
+            ExecPath::Pooled => {
+                // `over` in front of a blank accumulator is an exact copy.
+                codec.decode_over_with(&bytes, &mut staged, OverDir::Front, config.kernel)?;
+            }
+            ExecPath::PerTransfer => {
+                let pixels: Vec<P> = codec.decode(&bytes, area)?;
+                staged.clone_from_slice(&pixels);
+            }
+        }
+        for (row, _) in spans.iter().enumerate() {
+            let (lo, hi) = (iv[row].0 as usize, iv[row].1 as usize);
+            if hi <= lo {
+                continue;
+            }
+            let base = row * tw;
+            let (dst, src) = (
+                &mut acc[base + lo..base + hi],
+                &staged[base + lo..base + hi],
+            );
+            for (a, s) in dst.iter_mut().zip(src) {
+                if !s.is_blank() {
+                    *a = s.clone();
+                }
+            }
+        }
+        scratch.put_acc(staged);
+        ctx.obs_span(Phase::Decode, dec_started);
+        ctx.obs_counters(|c| c.tiles_recv += 1);
+    }
+    let mut at = 0usize;
+    for span in &spans {
+        local.insert(*span, &acc[at..at + span.len])?;
+        at += span.len;
+    }
+    scratch.put_acc(acc);
+    Ok(())
+}
+
+/// Execute a [`PuzzlePlan`] on this rank with `local` as the rank's
+/// rendered partial — the puzzle counterpart of
+/// [`crate::tile::compose_tiles`], with the same crash semantics (fail-stop
+/// points 0 and 1, liveness consensus, deterministic owner reassignment,
+/// repair round).
+pub fn compose_puzzle<P: Pixel>(
+    ctx: &mut RankCtx,
+    plan: &PuzzlePlan,
+    mut local: Image<P>,
+    config: &ComposeConfig,
+    scratch: &mut Scratch<P>,
+) -> Result<ComposeOutput<P>, CoreError> {
+    let me = ctx.rank();
+    let tiles = &plan.tiles;
+    let p = tiles.p;
+    if p != ctx.size() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!("plan built for {p} ranks, machine has {}", ctx.size()),
+        });
+    }
+    if tiles.grid.width != local.width() || tiles.grid.height != local.height() {
+        return Err(CoreError::InvalidSchedule {
+            why: format!(
+                "plan built for {}x{} frames, image is {}x{}",
+                tiles.grid.width,
+                tiles.grid.height,
+                local.width(),
+                local.height()
+            ),
+        });
+    }
+    if let Some(wall) = config.display {
+        wall.validate(p)?;
+    }
+    let codec = config.codec.build::<P>();
+    let raw = config.codec == CodecKind::Raw;
+    let wide_requested = config.kernel == rt_compress::KernelPath::Wide;
+    let wide_active = wide_requested && P::HAS_WIDE_KERNEL;
+    let count_kernel_pixels = move |c: &mut rt_obs::Counters, source_pixels: u64| {
+        if wide_active {
+            c.wide_kernel_pixels += source_pixels;
+        } else {
+            c.scalar_kernel_pixels += source_pixels;
+        }
+        if wide_requested && !wide_active {
+            c.kernel_fallbacks += 1;
+        }
+    };
+    let nt = tiles.grid.tiles();
+
+    let my_crash = if config.resilient {
+        ctx.my_crash_step().filter(|k| *k <= 1)
+    } else {
+        None
+    };
+
+    ctx.mark("compose:start");
+    if my_crash == Some(0) {
+        ctx.announce_death(0);
+        ctx.mark("compose:crashed");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels: 0,
+            owners: Vec::new(),
+            residual: None,
+            degraded: Some(DegradedInfo::self_crash(me, 0)),
+        });
+    }
+    ctx.mark("step:0");
+
+    // ---- Scan: content flags + per-row segment intervals, one pass. ----
+    let (have, my_segs) = scan_tiles(&local, &tiles.grid)?;
+    let blank_tiles = have.iter().filter(|h| !**h).count() as u64;
+    ctx.obs_counters(|c| {
+        c.tiles_scanned += nt as u64;
+        c.tiles_blank += blank_tiles;
+    });
+
+    let owner_ranks: Vec<usize> = (0..p).filter(|&r| tiles.owned_area(r) > 0).collect();
+
+    // ---- Manifests + segment metadata to every other owner rank. -------
+    let manifest = manifest_bytes(&have);
+    for &r in &owner_ranks {
+        if r == me {
+            continue;
+        }
+        let wire = manifest.len() as u64;
+        ctx.obs_counters(|c| c.add_wire_bytes("tile-manifest", wire));
+        ctx.send(
+            r,
+            tile_tag(config.frame_tag, TILE_CH_MANIFEST, me as u64),
+            manifest.clone(),
+        )?;
+        let r_tiles = tiles.tiles_of(r);
+        if r_tiles.iter().any(|&t| have[t]) {
+            let blob = segments_blob(&r_tiles, &have, &my_segs);
+            let wire = blob.len() as u64;
+            ctx.obs_counters(|c| c.add_wire_bytes("pz-segments", wire));
+            ctx.send(
+                r,
+                tile_tag(config.frame_tag, TILE_CH_SEGMENTS, me as u64),
+                blob,
+            )?;
+        }
+    }
+
+    // ---- Ship non-blank tiles straight to their owners. ----------------
+    for (t, &owner) in tiles.owner_of.iter().enumerate() {
+        if !have[t] || owner == me || tiles.grid.area(t) == 0 {
+            continue;
+        }
+        let spans = tiles.grid.row_spans(t);
+        let enc_started = ctx.obs_start();
+        let encoded = match config.path {
+            ExecPath::Pooled => {
+                scratch.gather_pixels.clear();
+                for span in &spans {
+                    scratch
+                        .gather_pixels
+                        .extend_from_slice(local.span_pixels(*span)?);
+                }
+                codec.encode_with(&scratch.gather_pixels, config.kernel)
+            }
+            ExecPath::PerTransfer => {
+                let mut pixels: Vec<P> = Vec::with_capacity(tiles.grid.area(t));
+                for span in &spans {
+                    pixels.extend(local.extract(*span)?);
+                }
+                codec.encode(&pixels)
+            }
+        };
+        ctx.obs_span(Phase::Encode, enc_started);
+        if !raw {
+            ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+        }
+        let wire = encoded.bytes.len() as u64;
+        ctx.obs_counters(|c| {
+            c.tiles_sent += 1;
+            c.add_wire_bytes(config.codec.name(), wire);
+            if wide_active && config.path == ExecPath::Pooled {
+                c.wide_kernel_bytes += wire;
+            }
+        });
+        ctx.send(
+            owner,
+            tile_tag(config.frame_tag, TILE_CH_PAYLOAD, t as u64),
+            encoded.bytes,
+        )?;
+    }
+
+    // ---- Collect manifests + segment metadata (owners only). -----------
+    let my_tiles = tiles.tiles_of(me);
+    let mut have_of: Vec<Option<Vec<u8>>> = vec![None; p];
+    let mut remote_segs: BTreeMap<(usize, usize), RowIvals> = BTreeMap::new();
+    if !my_tiles.is_empty() {
+        for (src, slot) in have_of.iter_mut().enumerate() {
+            if src == me {
+                continue;
+            }
+            match ctx.recv(
+                src,
+                tile_tag(config.frame_tag, TILE_CH_MANIFEST, src as u64),
+            ) {
+                Ok(bytes) => *slot = Some(bytes.to_vec()),
+                Err(CommError::RankFailed { .. }) if config.resilient => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for (src, slot) in have_of.iter().enumerate() {
+            if src == me {
+                continue;
+            }
+            let Some(m) = slot.as_ref() else {
+                continue;
+            };
+            if !my_tiles.iter().any(|&t| manifest_bit(Some(m), t)) {
+                continue;
+            }
+            match ctx.recv(
+                src,
+                tile_tag(config.frame_tag, TILE_CH_SEGMENTS, src as u64),
+            ) {
+                Ok(bytes) => {
+                    let parsed = parse_segments_blob(
+                        &tiles.grid,
+                        &my_tiles,
+                        |t| manifest_bit(Some(m), t),
+                        &bytes,
+                        src,
+                    )?;
+                    for (t, iv) in parsed {
+                        remote_segs.insert((src, t), iv);
+                    }
+                }
+                // A dead sender's metadata stays absent: the affected
+                // tiles conservatively take the exact fold.
+                Err(CommError::RankFailed { .. }) if config.resilient => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    // ---- Resolve owned tiles: classify, then place or fold. ------------
+    for &t in &my_tiles {
+        let expects = |r: usize, t: usize| manifest_bit(have_of[r].as_ref(), t);
+        compose_puzzle_tile(
+            ctx,
+            plan,
+            &mut local,
+            config,
+            scratch,
+            codec.as_ref(),
+            t,
+            &have,
+            &my_segs,
+            &expects,
+            &remote_segs,
+            TILE_CH_PAYLOAD,
+            None,
+            &count_kernel_pixels,
+        )?;
+    }
+
+    ctx.mark("flush:start");
+    if my_crash == Some(1) {
+        ctx.announce_death(1);
+        ctx.mark("compose:crashed");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels: 0,
+            owners: Vec::new(),
+            residual: None,
+            degraded: Some(DegradedInfo::self_crash(me, 1)),
+        });
+    }
+    ctx.mark("compose:end");
+
+    // ---- Failure agreement + tile-granular repair. ---------------------
+    let mut effective_owner = tiles.owner_of.clone();
+    let mut root = config.root;
+    let mut degraded: Option<DegradedInfo> = None;
+    let mut crashed: BTreeMap<usize, usize> = BTreeMap::new();
+    let crash_planned = config.resilient && ctx.planned_crashes().iter().any(|(_, k)| *k <= 1);
+    if crash_planned {
+        ctx.mark("repair:start");
+        let announced: Vec<(usize, usize)> = ctx
+            .planned_crashes()
+            .into_iter()
+            .filter(|&(_, k)| k <= 1)
+            .collect();
+        crashed = ctx.liveness_exchange(&announced)?;
+        if !crashed.is_empty() {
+            let mut reassigned: Vec<usize> = Vec::new();
+            for (t, owner) in effective_owner.iter_mut().enumerate() {
+                if crashed.contains_key(owner) {
+                    *owner = next_live_owner(*owner, p, &crashed)?;
+                    if tiles.grid.area(t) > 0 {
+                        reassigned.push(t);
+                    }
+                }
+            }
+            // Repair round: live ranks re-announce manifests + segment
+            // metadata to the new owners, then re-ship the non-blank
+            // reassigned tiles; new owners re-classify with the surviving
+            // contributors only.
+            let new_owners: std::collections::BTreeSet<usize> =
+                reassigned.iter().map(|&t| effective_owner[t]).collect();
+            for &o in &new_owners {
+                if o == me {
+                    continue;
+                }
+                let wire = manifest.len() as u64;
+                ctx.obs_counters(|c| c.add_wire_bytes("tile-manifest", wire));
+                ctx.send(
+                    o,
+                    tile_tag(config.frame_tag, TILE_CH_REPAIR_MANIFEST, me as u64),
+                    manifest.clone(),
+                )?;
+                let o_tiles: Vec<usize> = reassigned
+                    .iter()
+                    .copied()
+                    .filter(|&t| effective_owner[t] == o)
+                    .collect();
+                if o_tiles.iter().any(|&t| have[t]) {
+                    let blob = segments_blob(&o_tiles, &have, &my_segs);
+                    let wire = blob.len() as u64;
+                    ctx.obs_counters(|c| c.add_wire_bytes("pz-segments", wire));
+                    ctx.send(
+                        o,
+                        tile_tag(config.frame_tag, TILE_CH_REPAIR_SEGMENTS, me as u64),
+                        blob,
+                    )?;
+                }
+            }
+            for &t in &reassigned {
+                let owner = effective_owner[t];
+                if !have[t] || owner == me {
+                    continue;
+                }
+                let spans = tiles.grid.row_spans(t);
+                let enc_started = ctx.obs_start();
+                let encoded = match config.path {
+                    ExecPath::Pooled => {
+                        scratch.gather_pixels.clear();
+                        for span in &spans {
+                            scratch
+                                .gather_pixels
+                                .extend_from_slice(local.span_pixels(*span)?);
+                        }
+                        codec.encode_with(&scratch.gather_pixels, config.kernel)
+                    }
+                    ExecPath::PerTransfer => {
+                        let mut pixels: Vec<P> = Vec::with_capacity(tiles.grid.area(t));
+                        for span in &spans {
+                            pixels.extend(local.extract(*span)?);
+                        }
+                        codec.encode(&pixels)
+                    }
+                };
+                ctx.obs_span(Phase::Encode, enc_started);
+                if !raw {
+                    ctx.compute(ComputeKind::Encode, encoded.raw_bytes as u64);
+                }
+                let wire = encoded.bytes.len() as u64;
+                ctx.obs_counters(|c| {
+                    c.tiles_sent += 1;
+                    c.add_wire_bytes(config.codec.name(), wire);
+                });
+                ctx.send(
+                    owner,
+                    tile_tag(config.frame_tag, TILE_CH_REPAIR_PAYLOAD, t as u64),
+                    encoded.bytes,
+                )?;
+            }
+            let my_new: Vec<usize> = reassigned
+                .iter()
+                .copied()
+                .filter(|&t| effective_owner[t] == me)
+                .collect();
+            if !my_new.is_empty() {
+                let mut rhave: Vec<Option<Vec<u8>>> = vec![None; p];
+                let mut rsegs: BTreeMap<(usize, usize), RowIvals> = BTreeMap::new();
+                for (src, slot) in rhave.iter_mut().enumerate() {
+                    if src == me || crashed.contains_key(&src) {
+                        continue;
+                    }
+                    match ctx.recv(
+                        src,
+                        tile_tag(config.frame_tag, TILE_CH_REPAIR_MANIFEST, src as u64),
+                    ) {
+                        Ok(bytes) => *slot = Some(bytes.to_vec()),
+                        Err(CommError::RankFailed { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                for (src, slot) in rhave.iter().enumerate() {
+                    if src == me || crashed.contains_key(&src) {
+                        continue;
+                    }
+                    let Some(m) = slot.as_ref() else {
+                        continue;
+                    };
+                    if !my_new.iter().any(|&t| manifest_bit(Some(m), t)) {
+                        continue;
+                    }
+                    match ctx.recv(
+                        src,
+                        tile_tag(config.frame_tag, TILE_CH_REPAIR_SEGMENTS, src as u64),
+                    ) {
+                        Ok(bytes) => {
+                            let parsed = parse_segments_blob(
+                                &tiles.grid,
+                                &my_new,
+                                |t| manifest_bit(Some(m), t),
+                                &bytes,
+                                src,
+                            )?;
+                            for (t, iv) in parsed {
+                                rsegs.insert((src, t), iv);
+                            }
+                        }
+                        Err(CommError::RankFailed { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                for &t in &my_new {
+                    let expects = |r: usize, t: usize| manifest_bit(rhave[r].as_ref(), t);
+                    compose_puzzle_tile(
+                        ctx,
+                        plan,
+                        &mut local,
+                        config,
+                        scratch,
+                        codec.as_ref(),
+                        t,
+                        &have,
+                        &my_segs,
+                        &expects,
+                        &rsegs,
+                        TILE_CH_REPAIR_PAYLOAD,
+                        Some(&crashed),
+                        &count_kernel_pixels,
+                    )?;
+                }
+            }
+            let failed: Vec<(usize, usize)> = crashed.iter().map(|(&r, &k)| (r, k)).collect();
+            let image_len = tiles.grid.width * tiles.grid.height;
+            let any_step0 = crashed.values().any(|&k| k == 0);
+            let lost_pixels = if any_step0 {
+                image_len
+            } else {
+                reassigned.iter().map(|&t| tiles.grid.area(t)).sum()
+            };
+            let lost_contributions: Vec<usize> = crashed
+                .iter()
+                .filter(|(&r, &k)| k == 0 || !tiles.tiles_of(r).is_empty())
+                .map(|(&r, _)| r)
+                .collect();
+            let mut info = DegradedInfo {
+                failed,
+                lost_contributions,
+                lost_pixels,
+                reassigned_spans: reassigned.len(),
+                root_reassigned_to: None,
+            };
+            if crashed.contains_key(&root) {
+                let nr = crate::exec::elect_root(p, &crashed)?;
+                info.root_reassigned_to = Some(nr);
+                root = nr;
+            }
+            degraded = Some(info);
+        }
+        ctx.mark("repair:end");
+    }
+
+    let my_final: Vec<usize> = (0..nt)
+        .filter(|&t| effective_owner[t] == me && tiles.grid.area(t) > 0)
+        .collect();
+    let owned_pixels: usize = my_final.iter().map(|&t| tiles.grid.area(t)).sum();
+    let owners: Vec<(rt_imaging::Span, usize)> = (0..nt)
+        .filter(|&t| tiles.grid.area(t) > 0)
+        .flat_map(|t| {
+            let owner = effective_owner[t];
+            tiles
+                .grid
+                .row_spans(t)
+                .into_iter()
+                .map(move |span| (span, owner))
+        })
+        .collect();
+
+    if !config.gather {
+        ctx.mark("gather:end");
+        return Ok(ComposeOutput {
+            frame: None,
+            owned_pixels,
+            owners,
+            residual: Some(local),
+            degraded,
+        });
+    }
+
+    // ---- Gather: identical to the tile path (shared helpers). ----------
+    let tiles_of_eff = |r: usize| -> Vec<usize> {
+        (0..nt)
+            .filter(|&t| effective_owner[t] == r && tiles.grid.area(t) > 0)
+            .collect()
+    };
+    let frame = match config.display {
+        None => gather_to_root(
+            ctx,
+            tiles,
+            &local,
+            config,
+            scratch,
+            codec.as_ref(),
+            root,
+            &tiles_of_eff,
+            &crashed,
+        )?,
+        Some(wall) => gather_to_wall(
+            ctx,
+            tiles,
+            &local,
+            config,
+            scratch,
+            codec.as_ref(),
+            wall,
+            &tiles_of_eff,
+            &crashed,
+        )?,
+    };
+    ctx.mark("gather:end");
+
+    Ok(ComposeOutput {
+        frame,
+        owned_pixels,
+        owners,
+        residual: Some(local),
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::TransportKind;
+    use crate::tile::run_plan_composition;
+    use crate::ComposePlan;
+    use rt_compress::CodecKind;
+    use rt_imaging::image::reference_composite;
+    use rt_imaging::pixel::GrayAlpha8;
+
+    fn band_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+        (0..p)
+            .map(|r| {
+                Image::from_fn(w, h, |x, y| {
+                    if y % p == r {
+                        GrayAlpha8::new((r * 13 + x) as u8, (60 + r * 5 + y) as u8)
+                    } else {
+                        GrayAlpha8::blank()
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Dense content where every rank covers the full frame — maximal
+    /// overlap, so every multi-contributor tile must take the exact fold
+    /// under a zero budget.
+    fn dense_partials(p: usize, w: usize, h: usize) -> Vec<Image<GrayAlpha8>> {
+        (0..p)
+            .map(|r| {
+                Image::from_fn(w, h, |x, y| {
+                    GrayAlpha8::new((r * 31 + x * 3 + y) as u8, (100 + r * 7 + x) as u8)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_builds_verifies_and_permutes() {
+        let grid = TileGrid::new(24, 18, 4, 3).unwrap();
+        let plan = PuzzlePlan::new(5, grid, 50).unwrap();
+        assert_eq!(plan.method, "PZ(4x3,b50)");
+        plan.verify().unwrap();
+        let pi = plan.permute(&[4, 2, 0, 1, 3]).unwrap();
+        pi.verify().unwrap();
+        assert_eq!(pi.budget_permille, 50);
+        assert!(PuzzlePlan::new(5, grid, 1001).is_err());
+    }
+
+    #[test]
+    fn scan_intervals_bound_content() {
+        let img: Image<GrayAlpha8> = Image::from_fn(8, 4, |x, y| {
+            if y == 1 && (2..5).contains(&x) {
+                GrayAlpha8::new(9, 200)
+            } else {
+                GrayAlpha8::blank()
+            }
+        });
+        let grid = TileGrid::new(8, 4, 1, 1).unwrap();
+        let (have, segs) = scan_tiles(&img, &grid).unwrap();
+        assert!(have[0]);
+        assert_eq!(segs[0], vec![(0, 0), (2, 5), (0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn segment_blob_roundtrips() {
+        let img: Image<GrayAlpha8> = Image::from_fn(12, 6, |x, y| {
+            if (x + y) % 3 == 0 {
+                GrayAlpha8::new(1, 50)
+            } else {
+                GrayAlpha8::blank()
+            }
+        });
+        let grid = TileGrid::new(12, 6, 3, 2).unwrap();
+        let (have, segs) = scan_tiles(&img, &grid).unwrap();
+        let owned: Vec<usize> = (0..grid.tiles()).collect();
+        let blob = segments_blob(&owned, &have, &segs);
+        let parsed = parse_segments_blob(&grid, &owned, |t| have[t], &blob, 0).unwrap();
+        for &t in &owned {
+            if have[t] {
+                assert_eq!(parsed[&t], segs[t], "tile {t}");
+            }
+        }
+        // A truncated blob is a typed error, not a panic.
+        assert!(
+            parse_segments_blob(&grid, &owned, |t| have[t], &blob[..blob.len() - 1], 0).is_err()
+        );
+    }
+
+    #[test]
+    fn overlap_estimate_is_zero_iff_disjoint() {
+        let a: RowIvals = vec![(0, 4), (0, 0)];
+        let b: RowIvals = vec![(4, 8), (2, 6)];
+        let c: RowIvals = vec![(3, 5), (0, 0)];
+        assert_eq!(overlap_pixels(&[&a, &b]), 0);
+        assert_eq!(overlap_pixels(&[&a, &c]), 1);
+        assert_eq!(overlap_pixels(&[&a, &b, &c]), 1 + 1);
+    }
+
+    #[test]
+    fn disjoint_content_is_byte_identical_any_budget() {
+        let partials = band_partials(4, 20, 12);
+        let want = reference_composite(&partials).unwrap();
+        for budget in [0u16, 500, 1000] {
+            for codec in CodecKind::ALL {
+                let grid = TileGrid::new(20, 12, 4, 3).unwrap();
+                let plan = ComposePlan::Puzzle(PuzzlePlan::new(4, grid, budget).unwrap());
+                let config = ComposeConfig::default().with_codec(codec);
+                let (results, _) = run_plan_composition(&plan, partials.clone(), &config);
+                let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+                assert_eq!(frame.pixels(), want.pixels(), "b={budget} {codec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_byte_identical_on_dense_content() {
+        // Full overlap everywhere: with budget 0 every shared tile takes
+        // the exact fold, so even maximally overlapping content matches
+        // the reference fold byte for byte.
+        let partials = dense_partials(4, 16, 16);
+        let want = reference_composite(&partials).unwrap();
+        for codec in CodecKind::ALL {
+            let grid = TileGrid::new(16, 16, 4, 4).unwrap();
+            let plan = ComposePlan::Puzzle(PuzzlePlan::new(4, grid, 0).unwrap());
+            let config = ComposeConfig::default().with_codec(codec);
+            let (results, _) = run_plan_composition(&plan, partials.clone(), &config);
+            let frame = results[0].as_ref().unwrap().frame.as_ref().unwrap();
+            assert_eq!(frame.pixels(), want.pixels(), "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_and_per_transfer_paths_agree() {
+        let partials = band_partials(4, 16, 16);
+        let grid = TileGrid::new(16, 16, 4, 4).unwrap();
+        let plan = ComposePlan::Puzzle(PuzzlePlan::new(4, grid, 200).unwrap());
+        for codec in CodecKind::ALL {
+            let pooled = ComposeConfig::default().with_codec(codec);
+            let per = pooled.with_path(ExecPath::PerTransfer);
+            let (r_pooled, t_pooled) = run_plan_composition(&plan, partials.clone(), &pooled);
+            let (r_per, t_per) = run_plan_composition(&plan, partials.clone(), &per);
+            assert_eq!(t_pooled, t_per, "{codec:?}");
+            assert_eq!(r_pooled, r_per, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_matches_in_process() {
+        let partials = band_partials(4, 16, 8);
+        let grid = TileGrid::new(16, 8, 4, 2).unwrap();
+        let plan = ComposePlan::Puzzle(PuzzlePlan::new(4, grid, 100).unwrap());
+        let inproc = ComposeConfig::default().with_codec(CodecKind::Trle);
+        let tcp = inproc.with_transport(TransportKind::TcpLoopback);
+        let (r_in, _) = run_plan_composition(&plan, partials.clone(), &inproc);
+        let (r_tcp, _) = run_plan_composition(&plan, partials, &tcp);
+        let f_in = r_in[0].as_ref().unwrap().frame.as_ref().unwrap();
+        let f_tcp = r_tcp[0].as_ref().unwrap().frame.as_ref().unwrap();
+        assert_eq!(f_in.pixels(), f_tcp.pixels());
+    }
+}

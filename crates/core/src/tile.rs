@@ -284,6 +284,11 @@ pub enum ComposePlan {
     /// A two-level hierarchical plan (intra-group method + Radix-k
     /// leader overlay).
     Hier(crate::hier::HierPlan),
+    /// An approximate puzzlepiece plan: tile ownership plus per-scanline
+    /// segment metadata and an overlap budget (the repo's first method
+    /// allowed to differ from the reference fold — within a declared
+    /// tolerance).
+    Puzzle(crate::puzzle::PuzzlePlan),
 }
 
 impl ComposePlan {
@@ -293,6 +298,7 @@ impl ComposePlan {
             ComposePlan::Schedule(s) => s.p,
             ComposePlan::Tiles(t) => t.p,
             ComposePlan::Hier(h) => h.p,
+            ComposePlan::Puzzle(z) => z.tiles.p,
         }
     }
 
@@ -302,6 +308,7 @@ impl ComposePlan {
             ComposePlan::Schedule(s) => s.image_len,
             ComposePlan::Tiles(t) => t.grid.width * t.grid.height,
             ComposePlan::Hier(h) => h.width * h.height,
+            ComposePlan::Puzzle(z) => z.tiles.grid.width * z.tiles.grid.height,
         }
     }
 
@@ -311,6 +318,7 @@ impl ComposePlan {
             ComposePlan::Schedule(s) => &s.method,
             ComposePlan::Tiles(t) => &t.method,
             ComposePlan::Hier(h) => &h.method,
+            ComposePlan::Puzzle(z) => &z.method,
         }
     }
 
@@ -321,6 +329,7 @@ impl ComposePlan {
             ComposePlan::Schedule(s) => verify_schedule(s),
             ComposePlan::Tiles(t) => verify_tile_plan(t),
             ComposePlan::Hier(h) => h.verify(),
+            ComposePlan::Puzzle(z) => z.verify(),
         }
     }
 }
@@ -340,11 +349,12 @@ pub fn compose_plan<P: Pixel>(
         }
         ComposePlan::Tiles(t) => compose_tiles(ctx, t, local, config, scratch),
         ComposePlan::Hier(h) => crate::hier::compose_hier(ctx, h, local, config, scratch),
+        ComposePlan::Puzzle(z) => crate::puzzle::compose_puzzle(ctx, z, local, config, scratch),
     }
 }
 
 /// Manifest bitmap: bit `t` set when the sender will ship tile `t`.
-fn manifest_bytes(have: &[bool]) -> Vec<u8> {
+pub(crate) fn manifest_bytes(have: &[bool]) -> Vec<u8> {
     let mut bytes = vec![0u8; have.len().div_ceil(8)];
     for (t, &h) in have.iter().enumerate() {
         if h {
@@ -355,14 +365,14 @@ fn manifest_bytes(have: &[bool]) -> Vec<u8> {
 }
 
 /// Read bit `t` of a manifest (an absent manifest reads all-blank).
-fn manifest_bit(manifest: Option<&Vec<u8>>, t: usize) -> bool {
+pub(crate) fn manifest_bit(manifest: Option<&Vec<u8>>, t: usize) -> bool {
     manifest.is_some_and(|m| m.get(t / 8).is_some_and(|b| b & (1 << (t % 8)) != 0))
 }
 
 /// Lowest live rank strictly "after" `dead` cyclically — the deterministic
 /// reassignment every survivor computes identically from the agreed
 /// crashed set.
-fn next_live_owner(
+pub(crate) fn next_live_owner(
     dead: usize,
     p: usize,
     crashed: &BTreeMap<usize, usize>,
@@ -809,7 +819,7 @@ pub fn compose_tiles<P: Pixel>(
 /// through the fused kernels on arrival. Writes the finished tile back
 /// into `local`.
 #[allow(clippy::too_many_arguments)]
-fn compose_one_tile<P: Pixel>(
+pub(crate) fn compose_one_tile<P: Pixel>(
     ctx: &mut RankCtx,
     plan: &TilePlan,
     local: &mut Image<P>,
@@ -928,7 +938,7 @@ fn compose_one_tile<P: Pixel>(
 /// message with its tiles concatenated (tile order, row order); the root
 /// scatters them into the frame.
 #[allow(clippy::too_many_arguments)]
-fn gather_to_root<P: Pixel>(
+pub(crate) fn gather_to_root<P: Pixel>(
     ctx: &mut RankCtx,
     plan: &TilePlan,
     local: &Image<P>,
@@ -1037,7 +1047,7 @@ fn gather_to_root<P: Pixel>(
 /// concatenated; each display rank assembles its own cell-sized
 /// framebuffer. Returns the cell image on display ranks, `None` elsewhere.
 #[allow(clippy::too_many_arguments)]
-fn gather_to_wall<P: Pixel>(
+pub(crate) fn gather_to_wall<P: Pixel>(
     ctx: &mut RankCtx,
     plan: &TilePlan,
     local: &Image<P>,

@@ -69,6 +69,15 @@ pub struct Counters {
     pub tiles_sent: u64,
     /// Tile payloads received and composited by owner ranks.
     pub tiles_recv: u64,
+    /// Puzzle tiles resolved by exact interval placement (solo or
+    /// depth-disjoint contributors — no `over` work at all).
+    pub tiles_placed: u64,
+    /// Puzzle tiles merged approximately (nearest-wins placement inside
+    /// the declared overlap budget).
+    pub tiles_approx: u64,
+    /// Puzzle tiles whose overlap exceeded the budget and fell back to
+    /// the exact depth-ordered fold.
+    pub tiles_exact_fallback: u64,
     /// Wire bytes sent per codec name, as an ordered `(codec, bytes)` list.
     ///
     /// A list instead of a map so the derived serde impls apply; entries
@@ -117,6 +126,9 @@ impl Counters {
         self.tiles_blank += other.tiles_blank;
         self.tiles_sent += other.tiles_sent;
         self.tiles_recv += other.tiles_recv;
+        self.tiles_placed += other.tiles_placed;
+        self.tiles_approx += other.tiles_approx;
+        self.tiles_exact_fallback += other.tiles_exact_fallback;
         for (codec, bytes) in &other.wire_bytes {
             self.add_wire_bytes(codec, *bytes);
         }
@@ -145,6 +157,9 @@ impl Counters {
             ("tiles_blank", self.tiles_blank),
             ("tiles_sent", self.tiles_sent),
             ("tiles_recv", self.tiles_recv),
+            ("tiles_placed", self.tiles_placed),
+            ("tiles_approx", self.tiles_approx),
+            ("tiles_exact_fallback", self.tiles_exact_fallback),
         ]
     }
 }
@@ -188,6 +203,9 @@ mod tests {
             tiles_blank: 18,
             tiles_sent: 19,
             tiles_recv: 20,
+            tiles_placed: 21,
+            tiles_approx: 22,
+            tiles_exact_fallback: 23,
             wire_bytes: vec![("raw".into(), 100)],
         };
         let b = a.clone();
@@ -212,6 +230,9 @@ mod tests {
         assert_eq!(a.tiles_blank, 36);
         assert_eq!(a.tiles_sent, 38);
         assert_eq!(a.tiles_recv, 40);
+        assert_eq!(a.tiles_placed, 42);
+        assert_eq!(a.tiles_approx, 44);
+        assert_eq!(a.tiles_exact_fallback, 46);
         assert_eq!(a.wire_bytes_for("raw"), 200);
     }
 

@@ -1,0 +1,233 @@
+//! Tolerance policies and the reconciliation entry points.
+//!
+//! A [`Tolerance`] is a *declared contract* on all three metric axes —
+//! exactness (max-abs-error), signal fidelity (PSNR) and structure
+//! (SSIM). The approximate compositing path carries its contract
+//! explicitly (the puzzle budget implies one) and every consumer gates
+//! frames through [`assert_within_tolerance`], so "how wrong is this
+//! allowed to be" lives in one reviewable value instead of scattered
+//! magic epsilons.
+
+use crate::metrics::{max_abs_error, mse, psnr_db, ssim, ChannelPixel};
+use crate::QualityError;
+use rt_imaging::Image;
+use serde::{Deserialize, Serialize};
+
+/// A full quality measurement of one frame against its reference.
+///
+/// Produced by [`compare`]; serializable for bench artifacts. Note that
+/// [`QualityReport::psnr_db`] is `+∞` for identical frames, which
+/// `serde_json` renders as `null` — artifact writers should emit
+/// [`QualityReport::psnr_db_capped`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Pixels compared.
+    pub pixels: usize,
+    /// Channels per pixel compared.
+    pub channels: usize,
+    /// Maximum absolute per-channel difference (8-bit counts).
+    pub max_abs_error: u8,
+    /// Mean squared error (8-bit counts²).
+    pub mse: f64,
+    /// Peak signal-to-noise ratio, dB (`+∞` when `mse == 0`).
+    pub psnr_db: f64,
+    /// Mean box-window SSIM in `[-1, 1]`.
+    pub ssim: f64,
+}
+
+impl QualityReport {
+    /// True iff the frames were byte-identical in every compared channel.
+    pub fn is_exact(&self) -> bool {
+        self.max_abs_error == 0
+    }
+
+    /// PSNR clamped to `cap` dB, for JSON artifacts where `+∞` does not
+    /// round-trip.
+    pub fn psnr_db_capped(&self, cap: f64) -> f64 {
+        if self.psnr_db.is_finite() {
+            self.psnr_db.min(cap)
+        } else {
+            cap
+        }
+    }
+}
+
+/// Declared quality bounds on all three metric axes.
+///
+/// A report passes iff `max_abs_error ≤ max_abs_error`,
+/// `psnr_db ≥ min_psnr_db` **and** `ssim ≥ min_ssim`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerance {
+    /// Largest admissible per-channel difference (8-bit counts).
+    pub max_abs_error: u8,
+    /// Smallest admissible PSNR in dB (`f64::INFINITY` demands
+    /// byte-identity on this axis).
+    pub min_psnr_db: f64,
+    /// Smallest admissible SSIM in `[0, 1]`.
+    pub min_ssim: f64,
+}
+
+impl Tolerance {
+    /// The byte-identity contract: zero error on every axis. This is the
+    /// contract every *exact* method in the workspace honors, and what
+    /// the puzzle method honors at `budget_permille = 0` or on fully
+    /// depth-disjoint content.
+    pub const EXACT: Tolerance = Tolerance {
+        max_abs_error: 0,
+        min_psnr_db: f64::INFINITY,
+        min_ssim: 1.0,
+    };
+
+    /// A lossy contract with explicit bounds on all three axes.
+    pub const fn lossy(max_abs_error: u8, min_psnr_db: f64, min_ssim: f64) -> Tolerance {
+        Tolerance {
+            max_abs_error,
+            min_psnr_db,
+            min_ssim,
+        }
+    }
+
+    /// Reject self-contradictory bounds (NaN, or `min_ssim ∉ [0, 1]`).
+    pub fn validate(&self) -> Result<(), QualityError> {
+        if self.min_psnr_db.is_nan() {
+            return Err(QualityError::BadTolerance {
+                why: "min_psnr_db is NaN".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_ssim) {
+            return Err(QualityError::BadTolerance {
+                why: format!("min_ssim {} outside [0, 1]", self.min_ssim),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check a measured report against this contract; `Err` lists every
+    /// violated axis.
+    pub fn check(&self, report: &QualityReport) -> Result<(), QualityError> {
+        self.validate()?;
+        let mut violations = Vec::new();
+        if report.max_abs_error > self.max_abs_error {
+            violations.push(format!(
+                "max-abs-error {} > {}",
+                report.max_abs_error, self.max_abs_error
+            ));
+        }
+        if report.psnr_db < self.min_psnr_db {
+            violations.push(format!(
+                "PSNR {:.2} dB < {:.2} dB",
+                report.psnr_db, self.min_psnr_db
+            ));
+        }
+        if report.ssim < self.min_ssim {
+            violations.push(format!("SSIM {:.4} < {:.4}", report.ssim, self.min_ssim));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(QualityError::OutOfTolerance {
+                report: *report,
+                why: violations.join("; "),
+            })
+        }
+    }
+}
+
+/// Measure every metric of `frame` against `reference`.
+pub fn compare<P: ChannelPixel>(
+    frame: &Image<P>,
+    reference: &Image<P>,
+) -> Result<QualityReport, QualityError> {
+    Ok(QualityReport {
+        pixels: frame.len(),
+        channels: P::CHANNELS,
+        max_abs_error: max_abs_error(frame, reference)?,
+        mse: mse(frame, reference)?,
+        psnr_db: psnr_db(frame, reference)?,
+        ssim: ssim(frame, reference)?,
+    })
+}
+
+/// Reconcile an (approximate) `frame` against its exact `reference`:
+/// measure every metric and gate the result on `tolerance`.
+///
+/// `Ok` returns the full report so callers can log margins;
+/// [`QualityError::OutOfTolerance`] carries the same report plus every
+/// violated axis.
+pub fn assert_within_tolerance<P: ChannelPixel>(
+    frame: &Image<P>,
+    reference: &Image<P>,
+    tolerance: &Tolerance,
+) -> Result<QualityReport, QualityError> {
+    let report = compare(frame, reference)?;
+    tolerance.check(&report)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_imaging::pixel::GrayAlpha8;
+
+    fn frame(w: usize, h: usize) -> Image<GrayAlpha8> {
+        Image::from_fn(w, h, |x, y| GrayAlpha8::new(((x * 5 + y) % 240) as u8, 180))
+    }
+
+    #[test]
+    fn exact_contract_accepts_only_byte_identity() {
+        let a = frame(24, 24);
+        let report = assert_within_tolerance(&a, &a, &Tolerance::EXACT).unwrap();
+        assert!(report.is_exact());
+        let mut b = a.clone();
+        b.set(0, 0, GrayAlpha8::new(255, 180));
+        let err = assert_within_tolerance(&b, &a, &Tolerance::EXACT).unwrap_err();
+        let QualityError::OutOfTolerance { report, why } = err else {
+            panic!("expected OutOfTolerance, got {err}");
+        };
+        assert!(!report.is_exact());
+        assert!(why.contains("max-abs-error"), "{why}");
+    }
+
+    #[test]
+    fn lossy_contract_reports_margins_and_violations() {
+        let a = frame(24, 24);
+        let mut b = a.clone();
+        b.set(3, 3, GrayAlpha8::new(a.get(3, 3).v.saturating_add(5), 180));
+        let report = assert_within_tolerance(&b, &a, &Tolerance::lossy(8, 40.0, 0.9)).unwrap();
+        assert_eq!(report.max_abs_error, 5);
+        // Demand more than the frame delivers on two axes at once.
+        let err = assert_within_tolerance(&b, &a, &Tolerance::lossy(2, 90.0, 0.9)).unwrap_err();
+        let QualityError::OutOfTolerance { why, .. } = err else {
+            panic!("expected OutOfTolerance, got {err}");
+        };
+        assert!(
+            why.contains("max-abs-error") && why.contains("PSNR"),
+            "{why}"
+        );
+    }
+
+    #[test]
+    fn malformed_tolerances_are_rejected() {
+        let a = frame(8, 8);
+        let bad = Tolerance::lossy(0, f64::NAN, 1.0);
+        assert!(matches!(
+            assert_within_tolerance(&a, &a, &bad),
+            Err(QualityError::BadTolerance { .. })
+        ));
+        let bad = Tolerance::lossy(0, 40.0, 1.5);
+        assert!(matches!(
+            bad.validate(),
+            Err(QualityError::BadTolerance { .. })
+        ));
+    }
+
+    #[test]
+    fn capped_psnr_round_trips_through_json() {
+        let a = frame(8, 8);
+        let report = compare(&a, &a).unwrap();
+        assert_eq!(report.psnr_db_capped(99.0), 99.0);
+        let json = serde_json::to_string(&Tolerance::lossy(4, 40.0, 0.95)).unwrap();
+        let back: Tolerance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Tolerance::lossy(4, 40.0, 0.95));
+    }
+}

@@ -6,7 +6,8 @@
 //! See the individual crates for full documentation:
 //! [`rt_core`] (composition methods & theory), [`rt_comm`] (multicomputer
 //! substrate), [`rt_obs`] (observability), [`rt_imaging`], [`rt_compress`],
-//! [`rt_render`], [`rt_pvr`].
+//! [`rt_render`], [`rt_pvr`], [`rt_quality`] (error metrics & tolerance
+//! policies).
 //!
 #![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
@@ -26,4 +27,5 @@ pub use rt_imaging as imaging;
 pub use rt_net as net;
 pub use rt_obs as obs;
 pub use rt_pvr as pvr;
+pub use rt_quality as quality;
 pub use rt_render as render;

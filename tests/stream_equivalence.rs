@@ -194,3 +194,37 @@ fn between_frame_death_attributes_the_abandoned_frame_on_both_transports() {
         );
     }
 }
+
+/// Satellite of the puzzle subsystem: `Method::Puzzle` plans thread
+/// through the streaming path (plan → per-camera rank permutation →
+/// compose) like any other plan method. Streamed frames must match the
+/// serial per-frame pipeline byte for byte at budget 0 (the conservative
+/// contract) *and* at a lossy budget (approximation changes the answer
+/// deterministically, so stream and serial still agree exactly).
+#[test]
+fn streamed_puzzle_frames_match_the_serial_pipeline_at_any_budget() {
+    let orbit = OrbitConfig::quarter(3);
+    for budget in [0u16, 300] {
+        let method = Method::Puzzle {
+            tiles_x: 4,
+            tiles_y: 4,
+            budget_permille: budget,
+        };
+        let config = base(method, CodecKind::Trle);
+        let want = serial_frames(4, &config, &orbit);
+        let session = StreamSession::new(4);
+        let got = session
+            .open()
+            .collect_orbit(&StreamConfig::new(config), &orbit)
+            .unwrap();
+        assert_eq!(got.len(), want.len());
+        for (k, (frame, want)) in got.iter().zip(&want).enumerate() {
+            assert!(frame.degraded.is_none());
+            assert_eq!(
+                frame.frame.pixels(),
+                want.pixels(),
+                "puzzle b={budget} frame {k} diverged from the serial pipeline"
+            );
+        }
+    }
+}
